@@ -1,0 +1,76 @@
+//! Criterion benches for the leader-election algorithms: wall-clock cost of
+//! simulating a full election to stabilization, per algorithm and system
+//! size. Complements experiment E3 (which counts protocol messages) with the
+//! implementation's computational cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lls_primitives::{Duration, Instant, ProcessId};
+use netsim::{SimBuilder, SystemSParams, Topology};
+use omega::baseline::{AllToAllOmega, BroadcastSourceOmega};
+use omega::{CommEffOmega, OmegaParams};
+
+const HORIZON: u64 = 20_000;
+
+fn bench_comm_efficient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election/comm_efficient");
+    group.sample_size(10);
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let topo = Topology::system_s(n, ProcessId(1), SystemSParams::default());
+                let mut sim = SimBuilder::new(n)
+                    .seed(7)
+                    .topology(topo)
+                    .build_with(|env| CommEffOmega::new(env, OmegaParams::default()));
+                sim.run_until(Instant::from_ticks(HORIZON));
+                sim.stats().total_sent()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election/broadcast_baseline");
+    group.sample_size(10);
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let topo = Topology::system_s(n, ProcessId(1), SystemSParams::default());
+                let mut sim = SimBuilder::new(n)
+                    .seed(7)
+                    .topology(topo)
+                    .build_with(|env| BroadcastSourceOmega::new(env, OmegaParams::default()));
+                sim.run_until(Instant::from_ticks(HORIZON));
+                sim.stats().total_sent()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_to_all_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election/all_to_all_baseline");
+    group.sample_size(10);
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = SimBuilder::new(n)
+                    .seed(7)
+                    .topology(Topology::all_timely(n, Duration::from_ticks(2)))
+                    .build_with(|env| AllToAllOmega::new(env, OmegaParams::default()));
+                sim.run_until(Instant::from_ticks(HORIZON));
+                sim.stats().total_sent()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_comm_efficient,
+    bench_broadcast_baseline,
+    bench_all_to_all_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the simulator substrate itself: raw event
+//! throughput and per-message link-routing cost. These bound how large the
+//! experiments can scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lls_primitives::{Ctx, Duration, Instant, ProcessId, Sm, TimerId};
+use netsim::{LinkFate, LinkModel, SimBuilder, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A chatty machine: every tick, broadcast; count deliveries.
+#[derive(Debug)]
+struct Chatty {
+    received: u64,
+}
+
+const TICK: TimerId = TimerId(0);
+
+impl Sm for Chatty {
+    type Msg = u64;
+    type Output = ();
+    type Request = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64, ()>) {
+        ctx.set_timer(TICK, Duration::from_ticks(1));
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u64, ()>, _from: ProcessId, _msg: u64) {
+        self.received += 1;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64, ()>, _timer: TimerId) {
+        ctx.broadcast(self.received);
+        ctx.set_timer(TICK, Duration::from_ticks(1));
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/event_throughput");
+    group.sample_size(10);
+    let n = 10usize;
+    let horizon = 2_000u64;
+    // Each tick: n broadcasts of (n-1) messages = ~n(n-1) deliveries/tick.
+    let events = horizon * (n * (n - 1)) as u64;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("n10_dense", |b| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(n)
+                .topology(Topology::all_timely(n, Duration::from_ticks(1)))
+                .build_with(|_| Chatty { received: 0 });
+            sim.run_until(Instant::from_ticks(horizon));
+            sim.stats().total_sent()
+        });
+    });
+    group.finish();
+}
+
+fn bench_link_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/link_routing");
+    group.throughput(Throughput::Elements(10_000));
+    let links = [
+        ("timely", LinkModel::timely(3)),
+        ("eventually_timely", LinkModel::eventually_timely(500, 3, 0.7)),
+        ("fair_lossy", LinkModel::fair_lossy(0.3, 2)),
+        ("lossy_async", LinkModel::lossy_async(0.5, 2)),
+    ];
+    for (name, link) in links {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut delivered = 0u64;
+                for t in 0..10_000u64 {
+                    if let LinkFate::DeliverAt(_) = link.route(Instant::from_ticks(t), &mut rng) {
+                        delivered += 1;
+                    }
+                }
+                delivered
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_link_routing);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! CLI regenerating every experiment table/series (E1–E10).
+//!
+//! Usage:
+//!   cargo run -p omega-bench --release --bin experiments -- all
+//!   cargo run -p omega-bench --release --bin experiments -- e3 e7
+//!   cargo run -p omega-bench --release --bin experiments -- --quick all
+
+use omega_bench::{e_consensus, e_omega, e_thread};
+
+struct Scale {
+    seeds: u64,
+    horizon: u64,
+    long_horizon: u64,
+    sizes: Vec<usize>,
+}
+
+fn print_exp(id: &str, title: &str, body: String) {
+    println!("\n=== {} — {} ===", id.to_uppercase(), title);
+    println!("{body}");
+}
+
+fn run(id: &str, s: &Scale) {
+    match id {
+        "e1" => print_exp(
+            id,
+            "Ω convergence in system S (claim: 100%)",
+            e_omega::e1_convergence(&s.sizes, s.seeds, s.horizon).render(),
+        ),
+        "e2" => print_exp(
+            id,
+            "sender-set collapse over time (claim: →1 for comm-eff, stays n for baseline)",
+            e_omega::e2_sender_series(10, 3, 20_000, 1_000).render(),
+        ),
+        "e3" => print_exp(
+            id,
+            "steady-state message complexity (claim: Θ(n) vs Θ(n²))",
+            e_omega::e3_message_complexity(&s.sizes, s.horizon).render(),
+        ),
+        "e4" => print_exp(
+            id,
+            "robustness: stabilization vs mesh loss × GST",
+            e_omega::e4_robustness(10, s.seeds.min(5), s.horizon).render(),
+        ),
+        "e5" => print_exp(
+            id,
+            "counter boundedness over a long run (claim: finite accusations)",
+            e_omega::e5_counter_stability(5, 17, s.long_horizon).render(),
+        ),
+        "e6" => print_exp(
+            id,
+            "consensus safety & liveness in S_maj (claim: 0 violations, all decide)",
+            e_consensus::e6_consensus(s.seeds.min(8), s.long_horizon).render(),
+        ),
+        "e7" => print_exp(
+            id,
+            "consensus steady state (claim: no re-prepare, ~4(n-1) msgs/cmd, leader-centric)",
+            e_consensus::e7_steady_state(5, 100.min(s.horizon / 200), 10_000).render(),
+        ),
+        "e8" => print_exp(
+            id,
+            "synchrony crossover: #♦-sources needed (claim: 1 suffices for comm-eff)",
+            e_omega::e8_crossover(6, s.seeds.min(6), s.horizon).render(),
+        ),
+        "e9" => print_exp(
+            id,
+            "ablation: accusation dedup × timeout policy",
+            e_omega::e9_ablation(5, s.seeds.min(6), s.horizon).render(),
+        ),
+        "e10" => print_exp(
+            id,
+            "thread-runtime validation (wall clock)",
+            e_thread::e10_threadnet(6, 0.05, 10, 400).render(),
+        ),
+        "e11" => print_exp(
+            id,
+            "message relaying: Ω under eventually timely *paths* (star topology)",
+            e_omega::e11_relay(5, s.seeds.min(6), s.horizon).render(),
+        ),
+        "e12" => print_exp(
+            id,
+            "deterministic blink adversary vs timeout policies (claim: adaptation is necessary)",
+            e_omega::e12_blink(4, s.seeds.min(6), s.horizon).render(),
+        ),
+        "e13" => print_exp(
+            id,
+            "failure-detector QoS: detection time vs timeout (crash the leader)",
+            e_omega::e13_qos(5, s.seeds.min(8), s.horizon).render(),
+        ),
+        "e14" => print_exp(
+            id,
+            "Ω-gated consensus vs rotating coordinator (◇S) on the same adversary",
+            e_consensus::e14_vs_rotating(5, s.seeds.min(8), s.long_horizon).render(),
+        ),
+        other => eprintln!("unknown experiment id: {other} (expected e1..e10 or all)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let scale = if quick {
+        Scale {
+            seeds: 3,
+            horizon: 30_000,
+            long_horizon: 60_000,
+            sizes: vec![3, 5, 10],
+        }
+    } else {
+        Scale {
+            seeds: 10,
+            horizon: 60_000,
+            long_horizon: 300_000,
+            sizes: vec![3, 5, 10, 20, 40],
+        }
+    };
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        for id in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14",
+        ] {
+            run(id, &scale);
+        }
+    } else {
+        for id in &ids {
+            run(id, &scale);
+        }
+    }
+}

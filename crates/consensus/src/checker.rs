@@ -1,0 +1,182 @@
+//! Safety oracles for consensus runs.
+//!
+//! Consensus safety (unlike liveness) must hold in *every* run, including
+//! pre-GST chaos, so the checkers return hard errors that tests turn into
+//! failures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lls_primitives::{Instant, ProcessId};
+
+/// One decision observed in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionRecord<V> {
+    /// When the process decided.
+    pub at: Instant,
+    /// The deciding process.
+    pub process: ProcessId,
+    /// The decided value.
+    pub value: V,
+}
+
+/// **Agreement**: no two processes decide differently.
+///
+/// # Errors
+///
+/// Returns the first conflicting pair found.
+pub fn check_agreement<V: Eq + fmt::Debug>(
+    decisions: &[DecisionRecord<V>],
+) -> Result<(), String> {
+    if let Some(first) = decisions.first() {
+        for d in &decisions[1..] {
+            if d.value != first.value {
+                return Err(format!(
+                    "agreement violated: {} decided {:?} at {}, {} decided {:?} at {}",
+                    first.process, first.value, first.at, d.process, d.value, d.at
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Integrity**: each process decides at most once.
+///
+/// # Errors
+///
+/// Returns the first process observed deciding twice.
+pub fn check_integrity<V>(decisions: &[DecisionRecord<V>]) -> Result<(), String> {
+    let mut seen = BTreeMap::new();
+    for d in decisions {
+        if let Some(prev) = seen.insert(d.process, d.at) {
+            return Err(format!(
+                "integrity violated: {} decided at {} and again at {}",
+                d.process, prev, d.at
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Validity**: every decided value was proposed by someone.
+///
+/// # Errors
+///
+/// Returns the first decided value that matches no proposal.
+pub fn check_validity<V: Eq + fmt::Debug>(
+    decisions: &[DecisionRecord<V>],
+    proposals: &[V],
+) -> Result<(), String> {
+    for d in decisions {
+        if !proposals.contains(&d.value) {
+            return Err(format!(
+                "validity violated: {} decided {:?}, which nobody proposed",
+                d.process, d.value
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs all three single-shot safety checks.
+///
+/// # Errors
+///
+/// Propagates the first failing check.
+pub fn check_consensus_safety<V: Eq + fmt::Debug>(
+    decisions: &[DecisionRecord<V>],
+    proposals: &[V],
+) -> Result<(), String> {
+    check_agreement(decisions)?;
+    check_integrity(decisions)?;
+    check_validity(decisions, proposals)
+}
+
+/// **Log consistency** (replicated logs): for every slot, all processes that
+/// committed the slot committed the same entry; logs are therefore prefixes
+/// of one another up to holes still being learned.
+///
+/// Input: per process, the map `slot → entry`.
+///
+/// # Errors
+///
+/// Returns the first slot with conflicting entries.
+pub fn check_log_consistency<V: Eq + fmt::Debug>(
+    logs: &[BTreeMap<u64, V>],
+) -> Result<(), String> {
+    let mut reference: BTreeMap<u64, (usize, &V)> = BTreeMap::new();
+    for (p, log) in logs.iter().enumerate() {
+        for (slot, entry) in log {
+            match reference.get(slot) {
+                None => {
+                    reference.insert(*slot, (p, entry));
+                }
+                Some((q, other)) if *other != entry => {
+                    return Err(format!(
+                        "log divergence at slot {slot}: p{q} has {other:?}, p{p} has {entry:?}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(process: u32, at: u64, value: u64) -> DecisionRecord<u64> {
+        DecisionRecord {
+            at: Instant::from_ticks(at),
+            process: ProcessId(process),
+            value,
+        }
+    }
+
+    #[test]
+    fn agreement_accepts_unanimity_and_empty() {
+        assert!(check_agreement::<u64>(&[]).is_ok());
+        assert!(check_agreement(&[rec(0, 1, 5), rec(1, 2, 5), rec(2, 9, 5)]).is_ok());
+    }
+
+    #[test]
+    fn agreement_rejects_conflicts() {
+        let err = check_agreement(&[rec(0, 1, 5), rec(1, 2, 6)]).unwrap_err();
+        assert!(err.contains("agreement violated"), "{err}");
+    }
+
+    #[test]
+    fn integrity_rejects_double_decisions() {
+        assert!(check_integrity(&[rec(0, 1, 5), rec(1, 2, 5)]).is_ok());
+        let err = check_integrity(&[rec(0, 1, 5), rec(0, 9, 5)]).unwrap_err();
+        assert!(err.contains("integrity violated"), "{err}");
+    }
+
+    #[test]
+    fn validity_requires_a_matching_proposal() {
+        assert!(check_validity(&[rec(0, 1, 5)], &[4, 5]).is_ok());
+        let err = check_validity(&[rec(0, 1, 7)], &[4, 5]).unwrap_err();
+        assert!(err.contains("validity violated"), "{err}");
+    }
+
+    #[test]
+    fn combined_checker_short_circuits() {
+        let ds = vec![rec(0, 1, 5), rec(1, 2, 6)];
+        assert!(check_consensus_safety(&ds, &[5, 6]).is_err());
+        let ds = vec![rec(0, 1, 5), rec(1, 2, 5)];
+        assert!(check_consensus_safety(&ds, &[5]).is_ok());
+    }
+
+    #[test]
+    fn log_consistency_allows_holes_but_not_divergence() {
+        let a: BTreeMap<u64, u64> = [(0, 10), (1, 11)].into();
+        let b: BTreeMap<u64, u64> = [(1, 11), (2, 12)].into();
+        assert!(check_log_consistency(&[a.clone(), b]).is_ok());
+        let c: BTreeMap<u64, u64> = [(1, 99)].into();
+        let err = check_log_consistency(&[a, c]).unwrap_err();
+        assert!(err.contains("slot 1"), "{err}");
+    }
+}

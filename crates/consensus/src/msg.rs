@@ -1,0 +1,214 @@
+//! Wire messages of the consensus protocols.
+
+use omega::OmegaMsg;
+use serde::{Deserialize, Serialize};
+
+use crate::ballot::Ballot;
+
+/// Messages of the single-shot [`Consensus`](crate::Consensus) protocol over
+/// values `V`. The embedded Ω detector's traffic travels in the same
+/// envelope (`Omega`), so one transport carries the whole stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsensusMsg<V> {
+    /// Embedded leader-election traffic.
+    Omega(OmegaMsg),
+    /// Phase 1a: the proposer asks acceptors to promise ballot `b`.
+    Prepare {
+        /// The proposer's ballot.
+        b: Ballot,
+    },
+    /// Phase 1b: the acceptor promises `b` and reveals what it last accepted.
+    Promise {
+        /// The promised ballot (echoed).
+        b: Ballot,
+        /// The acceptor's highest accepted (ballot, value), if any.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// Phase 2a: the proposer asks acceptors to accept `v` at ballot `b`.
+    Accept {
+        /// The proposer's ballot.
+        b: Ballot,
+        /// The value to accept.
+        v: V,
+    },
+    /// Phase 2b: the acceptor accepted ballot `b`.
+    Accepted {
+        /// The accepted ballot (echoed).
+        b: Ballot,
+    },
+    /// The acceptor refuses `b` because it promised `higher`.
+    Nack {
+        /// The refused ballot (echoed).
+        b: Ballot,
+        /// The ballot the acceptor is promised to.
+        higher: Ballot,
+    },
+    /// The decided value, broadcast (and retransmitted) by the decider.
+    Decide {
+        /// The chosen value.
+        v: V,
+    },
+    /// Acknowledges a `Decide`, silencing retransmission to the sender.
+    DecideAck,
+}
+
+/// A slot's content in the replicated log: a client command or a no-op
+/// filler used by a new leader to close gaps left by its predecessor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Entry<V> {
+    /// Gap filler; applied as "skip".
+    Noop,
+    /// A client command.
+    Cmd(V),
+}
+
+impl<V> Entry<V> {
+    /// The command inside, if any.
+    pub fn command(&self) -> Option<&V> {
+        match self {
+            Entry::Noop => None,
+            Entry::Cmd(v) => Some(v),
+        }
+    }
+}
+
+/// Messages of the [`ReplicatedLog`](crate::ReplicatedLog) (Multi-Paxos
+/// style): phase 1 covers all slots from `from_slot` on with one ballot;
+/// phase 2 runs per slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RsmMsg<V> {
+    /// Embedded leader-election traffic.
+    Omega(OmegaMsg),
+    /// Phase 1a for every slot ≥ `from_slot` at once.
+    Prepare {
+        /// The proposer's ballot.
+        b: Ballot,
+        /// First slot the ballot claims.
+        from_slot: u64,
+    },
+    /// Phase 1b: promise plus everything the acceptor accepted at or above
+    /// `from_slot`.
+    Promise {
+        /// The promised ballot (echoed).
+        b: Ballot,
+        /// Accepted `(slot, ballot, entry)` triples at or after `from_slot`.
+        accepted: Vec<(u64, Ballot, Entry<V>)>,
+        /// The acceptor's first slot not known chosen (hint for the leader).
+        low_slot: u64,
+    },
+    /// Phase 2a for one slot.
+    Accept {
+        /// The proposer's ballot.
+        b: Ballot,
+        /// The slot being written.
+        slot: u64,
+        /// The entry to accept.
+        entry: Entry<V>,
+    },
+    /// Phase 2b for one slot.
+    Accepted {
+        /// The accepted ballot (echoed).
+        b: Ballot,
+        /// The slot that was written.
+        slot: u64,
+    },
+    /// Refusal: the acceptor is promised to `higher`.
+    Nack {
+        /// The refused ballot (echoed).
+        b: Ballot,
+        /// The ballot the acceptor is promised to.
+        higher: Ballot,
+    },
+    /// A chosen slot, broadcast (and retransmitted) by the leader.
+    Decide {
+        /// The chosen slot.
+        slot: u64,
+        /// The chosen entry.
+        entry: Entry<V>,
+    },
+    /// Acknowledges `Decide { slot }` to silence retransmission.
+    DecideAck {
+        /// The acknowledged slot.
+        slot: u64,
+    },
+}
+
+/// Classifier for per-kind message statistics of [`ConsensusMsg`].
+pub fn classify_consensus_msg<V>(msg: &ConsensusMsg<V>) -> &'static str {
+    match msg {
+        ConsensusMsg::Omega(m) => omega::classify_msg(m),
+        ConsensusMsg::Prepare { .. } => "PREPARE",
+        ConsensusMsg::Promise { .. } => "PROMISE",
+        ConsensusMsg::Accept { .. } => "ACCEPT",
+        ConsensusMsg::Accepted { .. } => "ACCEPTED",
+        ConsensusMsg::Nack { .. } => "NACK",
+        ConsensusMsg::Decide { .. } => "DECIDE",
+        ConsensusMsg::DecideAck => "DECIDE_ACK",
+    }
+}
+
+/// Classifier for per-kind message statistics of [`RsmMsg`].
+pub fn classify_rsm_msg<V>(msg: &RsmMsg<V>) -> &'static str {
+    match msg {
+        RsmMsg::Omega(m) => omega::classify_msg(m),
+        RsmMsg::Prepare { .. } => "PREPARE",
+        RsmMsg::Promise { .. } => "PROMISE",
+        RsmMsg::Accept { .. } => "ACCEPT",
+        RsmMsg::Accepted { .. } => "ACCEPTED",
+        RsmMsg::Nack { .. } => "NACK",
+        RsmMsg::Decide { .. } => "DECIDE",
+        RsmMsg::DecideAck { .. } => "DECIDE_ACK",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lls_primitives::ProcessId;
+
+    #[test]
+    fn classify_covers_every_variant() {
+        let b = Ballot::new(1, ProcessId(0));
+        let msgs: Vec<ConsensusMsg<u64>> = vec![
+            ConsensusMsg::Omega(OmegaMsg::Alive { counter: 0 }),
+            ConsensusMsg::Prepare { b },
+            ConsensusMsg::Promise { b, accepted: None },
+            ConsensusMsg::Accept { b, v: 1 },
+            ConsensusMsg::Accepted { b },
+            ConsensusMsg::Nack { b, higher: b },
+            ConsensusMsg::Decide { v: 1 },
+            ConsensusMsg::DecideAck,
+        ];
+        let kinds: Vec<_> = msgs.iter().map(classify_consensus_msg).collect();
+        assert_eq!(
+            kinds,
+            vec!["ALIVE", "PREPARE", "PROMISE", "ACCEPT", "ACCEPTED", "NACK", "DECIDE", "DECIDE_ACK"]
+        );
+    }
+
+    #[test]
+    fn entry_command_projection() {
+        assert_eq!(Entry::<u64>::Noop.command(), None);
+        assert_eq!(Entry::Cmd(7).command(), Some(&7));
+    }
+
+    #[test]
+    fn rsm_classify_covers_every_variant() {
+        let b = Ballot::new(1, ProcessId(0));
+        let msgs: Vec<RsmMsg<u64>> = vec![
+            RsmMsg::Omega(OmegaMsg::Accuse { counter: 0 }),
+            RsmMsg::Prepare { b, from_slot: 0 },
+            RsmMsg::Promise { b, accepted: vec![], low_slot: 0 },
+            RsmMsg::Accept { b, slot: 0, entry: Entry::Cmd(1) },
+            RsmMsg::Accepted { b, slot: 0 },
+            RsmMsg::Nack { b, higher: b },
+            RsmMsg::Decide { slot: 0, entry: Entry::Noop },
+            RsmMsg::DecideAck { slot: 0 },
+        ];
+        let kinds: Vec<_> = msgs.iter().map(classify_rsm_msg).collect();
+        assert_eq!(
+            kinds,
+            vec!["ACCUSE", "PREPARE", "PROMISE", "ACCEPT", "ACCEPTED", "NACK", "DECIDE", "DECIDE_ACK"]
+        );
+    }
+}

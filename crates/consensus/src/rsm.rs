@@ -1,0 +1,863 @@
+//! Repeated consensus: a replicated log in the Multi-Paxos style, gated by
+//! the embedded communication-efficient Ω detector.
+//!
+//! The point of this module is the paper's *communication-efficient
+//! consensus* claim: once Ω stabilizes on a leader `ℓ` after GST, `ℓ` runs
+//! the ballot (phase-1) handshake **once** for all future slots, and every
+//! subsequent command commits in a single `Accept`/`Accepted` round trip plus
+//! a `Decide` notification — Θ(n) messages per decision, all sent by or
+//! addressed to `ℓ`. Experiment E7 measures exactly this steady state.
+//!
+//! Mechanics:
+//!
+//! * One [`Ballot`] covers every slot from `from_slot` on; acceptors promise
+//!   it once and reveal everything they accepted at or above that slot.
+//! * A newly `Led` leader re-proposes inherited entries, plugs the gaps left
+//!   by its predecessor with [`Entry::Noop`], then drains its pending command
+//!   queue into fresh slots.
+//! * Chosen slots are broadcast as `Decide` and retransmitted until each peer
+//!   acknowledges (fair-lossy links), and every process emits
+//!   [`RsmEvent::Committed`] in strict slot order.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use lls_primitives::{Ctx, Effects, Env, ProcessId, Sm, TimerCmd, TimerId};
+use omega::{CommEffOmega, OmegaMsg};
+use serde::{Deserialize, Serialize};
+
+use crate::ballot::Ballot;
+use crate::msg::{Entry, RsmMsg};
+use crate::single::{ConsensusParams, OMEGA_TIMER_BASE, RETRY_TIMER};
+
+/// Observable events of a [`ReplicatedLog`] run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RsmEvent<V> {
+    /// The embedded Ω detector changed its output.
+    Leader(ProcessId),
+    /// Slot `slot` committed (emitted in strict slot order at each process).
+    /// `cmd` is `None` for no-op filler slots.
+    Committed {
+        /// The slot index.
+        slot: u64,
+        /// The committed command, if not a no-op.
+        cmd: Option<V>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum LeaderState<V> {
+    Follower,
+    Preparing {
+        b: Ballot,
+        from_slot: u64,
+        promised_by: Vec<bool>,
+        gathered: BTreeMap<u64, (Ballot, Entry<V>)>,
+    },
+    Led {
+        b: Ballot,
+        next_slot: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Inflight<V> {
+    entry: Entry<V>,
+    acks: Vec<bool>,
+}
+
+/// A replicated log: repeated consensus with a stable-leader fast path.
+///
+/// # Example
+///
+/// ```
+/// use consensus::{ReplicatedLog, ConsensusParams, RsmEvent};
+/// use lls_primitives::{Duration, Instant, ProcessId};
+/// use netsim::{SimBuilder, Topology};
+///
+/// let n = 3;
+/// let mut sim = SimBuilder::new(n)
+///     .topology(Topology::all_timely(n, Duration::from_ticks(2)))
+///     .request_at(Instant::from_ticks(500), ProcessId(0), 7u64)
+///     .request_at(Instant::from_ticks(600), ProcessId(0), 8u64)
+///     .build_with(|env| ReplicatedLog::new(env, ConsensusParams::default()));
+/// sim.run_until(Instant::from_ticks(5_000));
+/// let committed: Vec<u64> = sim.node(ProcessId(1)).committed_commands().cloned().collect();
+/// assert_eq!(committed, vec![7, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicatedLog<V> {
+    env: Env,
+    params: ConsensusParams,
+    omega: CommEffOmega,
+    // Acceptor state.
+    promised: Ballot,
+    accepted: BTreeMap<u64, (Ballot, Entry<V>)>,
+    // Learner state.
+    chosen: BTreeMap<u64, Entry<V>>,
+    emitted_upto: u64,
+    // Leader state.
+    state: LeaderState<V>,
+    highest_seen: Ballot,
+    pending: VecDeque<V>,
+    inflight: BTreeMap<u64, Inflight<V>>,
+    decide_trackers: BTreeMap<u64, Vec<bool>>,
+}
+
+impl<V> ReplicatedLog<V>
+where
+    V: Clone + Eq + fmt::Debug + Send + 'static,
+{
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn new(env: &Env, params: ConsensusParams) -> Self {
+        ReplicatedLog {
+            env: *env,
+            params,
+            omega: CommEffOmega::new(env, params.omega),
+            promised: Ballot::ZERO,
+            accepted: BTreeMap::new(),
+            chosen: BTreeMap::new(),
+            emitted_upto: 0,
+            state: LeaderState::Follower,
+            highest_seen: Ballot::ZERO,
+            pending: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            decide_trackers: BTreeMap::new(),
+        }
+    }
+
+    /// The embedded Ω detector (for instrumentation).
+    pub fn omega(&self) -> &CommEffOmega {
+        &self.omega
+    }
+
+    /// Returns `true` if this replica currently leads with an established
+    /// ballot (steady-state fast path active).
+    pub fn is_established_leader(&self) -> bool {
+        matches!(self.state, LeaderState::Led { .. })
+    }
+
+    /// Number of contiguously committed slots.
+    pub fn committed_len(&self) -> u64 {
+        self.emitted_upto
+    }
+
+    /// The chosen entry of `slot`, if this replica learned it.
+    pub fn chosen(&self, slot: u64) -> Option<&Entry<V>> {
+        self.chosen.get(&slot)
+    }
+
+    /// All contiguously committed client commands in slot order (no-ops
+    /// skipped).
+    pub fn committed_commands(&self) -> impl Iterator<Item = &V> {
+        self.chosen
+            .range(0..self.emitted_upto)
+            .filter_map(|(_, e)| e.command())
+    }
+
+    /// Commands queued locally but not yet committed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The full chosen map (slot → command), for the log-consistency checker.
+    pub fn chosen_log(&self) -> BTreeMap<u64, Option<V>> {
+        self.chosen
+            .iter()
+            .map(|(s, e)| (*s, e.command().cloned()))
+            .collect()
+    }
+
+    fn me(&self) -> ProcessId {
+        self.env.id()
+    }
+
+    fn majority(&self) -> usize {
+        self.env.membership().majority()
+    }
+
+    fn drive_omega(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        step: impl FnOnce(&mut CommEffOmega, &mut Ctx<'_, OmegaMsg, ProcessId>),
+    ) {
+        let mut fx: Effects<OmegaMsg, ProcessId> = Effects::new();
+        {
+            let mut octx = Ctx::new(&self.env, ctx.now(), &mut fx);
+            step(&mut self.omega, &mut octx);
+        }
+        for s in fx.sends {
+            ctx.send(s.to, RsmMsg::Omega(s.msg));
+        }
+        for cmd in fx.timers {
+            match cmd {
+                TimerCmd::Set { timer, after } => {
+                    ctx.set_timer(timer.offset(OMEGA_TIMER_BASE), after);
+                }
+                TimerCmd::Cancel { timer } => {
+                    ctx.cancel_timer(timer.offset(OMEGA_TIMER_BASE));
+                }
+            }
+        }
+        for leader in fx.outputs {
+            ctx.output(RsmEvent::Leader(leader));
+            if leader == self.me() {
+                if matches!(self.state, LeaderState::Follower) {
+                    self.start_prepare(ctx);
+                }
+            } else {
+                self.abdicate();
+            }
+        }
+    }
+
+    fn abdicate(&mut self) {
+        self.state = LeaderState::Follower;
+        self.inflight.clear();
+    }
+
+    fn start_prepare(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        let b = self.highest_seen.max(self.promised).next_for(self.me());
+        self.highest_seen = b;
+        let from_slot = self.emitted_upto;
+        // Self-promise, revealing our own accepted suffix.
+        self.promised = b;
+        let mut promised_by = vec![false; self.env.n()];
+        promised_by[self.me().as_usize()] = true;
+        let gathered: BTreeMap<u64, (Ballot, Entry<V>)> = self
+            .accepted
+            .range(from_slot..)
+            .map(|(s, (ab, e))| (*s, (*ab, e.clone())))
+            .collect();
+        self.state = LeaderState::Preparing {
+            b,
+            from_slot,
+            promised_by,
+            gathered,
+        };
+        ctx.broadcast(RsmMsg::Prepare { b, from_slot });
+        self.try_assume_leadership(ctx);
+    }
+
+    /// Preparing → Led once a majority promised: re-propose inherited
+    /// entries, plug gaps with no-ops, then drain the pending queue.
+    fn try_assume_leadership(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        let LeaderState::Preparing {
+            b,
+            from_slot,
+            promised_by,
+            gathered,
+        } = &self.state
+        else {
+            return;
+        };
+        if promised_by.iter().filter(|p| **p).count() < self.majority() {
+            return;
+        }
+        let (b, from_slot) = (*b, *from_slot);
+        let gathered = gathered.clone();
+        let horizon = gathered
+            .keys()
+            .next_back()
+            .map(|s| s + 1)
+            .unwrap_or(from_slot)
+            .max(self.chosen.keys().next_back().map(|s| s + 1).unwrap_or(0));
+        self.state = LeaderState::Led {
+            b,
+            next_slot: horizon,
+        };
+        for slot in from_slot..horizon {
+            if let Some(entry) = self.chosen.get(&slot).cloned() {
+                // Already chosen here: (re)announce so laggards catch up.
+                self.track_decide(slot);
+                self.broadcast_decide(ctx, slot, entry);
+            } else if let Some((_, entry)) = gathered.get(&slot).cloned() {
+                self.propose_at(ctx, slot, entry);
+            } else {
+                self.propose_at(ctx, slot, Entry::Noop);
+            }
+        }
+        while let Some(cmd) = self.pending.pop_front() {
+            self.propose_next(ctx, Entry::Cmd(cmd));
+        }
+    }
+
+    fn propose_next(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, entry: Entry<V>) {
+        let LeaderState::Led { next_slot, .. } = &mut self.state else {
+            return;
+        };
+        let slot = *next_slot;
+        *next_slot += 1;
+        self.propose_at(ctx, slot, entry);
+    }
+
+    fn propose_at(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
+        let LeaderState::Led { b, .. } = self.state else {
+            // Called from try_assume_leadership after setting Led, or from
+            // propose_next which checked; unreachable otherwise.
+            return;
+        };
+        // Self-accept.
+        self.accepted.insert(slot, (b, entry.clone()));
+        let mut acks = vec![false; self.env.n()];
+        acks[self.me().as_usize()] = true;
+        self.inflight.insert(
+            slot,
+            Inflight {
+                entry: entry.clone(),
+                acks,
+            },
+        );
+        ctx.broadcast(RsmMsg::Accept { b, slot, entry });
+        self.try_choose(ctx, slot);
+    }
+
+    fn try_choose(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64) {
+        let Some(inf) = self.inflight.get(&slot) else {
+            return;
+        };
+        if inf.acks.iter().filter(|a| **a).count() < self.majority() {
+            return;
+        }
+        let entry = inf.entry.clone();
+        self.inflight.remove(&slot);
+        self.learn(ctx, slot, entry.clone());
+        self.track_decide(slot);
+        self.broadcast_decide(ctx, slot, entry);
+    }
+
+    fn track_decide(&mut self, slot: u64) {
+        let mut acks = vec![false; self.env.n()];
+        acks[self.me().as_usize()] = true;
+        self.decide_trackers.insert(slot, acks);
+    }
+
+    fn broadcast_decide(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
+        ctx.broadcast(RsmMsg::Decide { slot, entry });
+    }
+
+    fn learn(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
+        self.chosen.entry(slot).or_insert(entry);
+        while let Some(e) = self.chosen.get(&self.emitted_upto) {
+            ctx.output(RsmEvent::Committed {
+                slot: self.emitted_upto,
+                cmd: e.command().cloned(),
+            });
+            self.emitted_upto += 1;
+        }
+    }
+
+    fn on_retry(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        // Retransmit decided slots to peers that have not acknowledged.
+        let mut done = Vec::new();
+        let trackers: Vec<(u64, Vec<bool>)> = self
+            .decide_trackers
+            .iter()
+            .map(|(s, a)| (*s, a.clone()))
+            .collect();
+        for (slot, acks) in trackers {
+            if acks.iter().all(|a| *a) {
+                done.push(slot);
+                continue;
+            }
+            let Some(entry) = self.chosen.get(&slot).cloned() else {
+                continue;
+            };
+            for q in self.env.membership().others(self.me()) {
+                if !acks[q.as_usize()] {
+                    ctx.send(
+                        q,
+                        RsmMsg::Decide {
+                            slot,
+                            entry: entry.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        for slot in done {
+            self.decide_trackers.remove(&slot);
+        }
+        if !self.omega.is_leader() {
+            if !matches!(self.state, LeaderState::Follower) {
+                self.abdicate();
+            }
+            return;
+        }
+        match &self.state {
+            LeaderState::Follower => self.start_prepare(ctx),
+            LeaderState::Preparing { b, from_slot, promised_by, .. } => {
+                let (b, from_slot) = (*b, *from_slot);
+                let missing: Vec<ProcessId> = self
+                    .env
+                    .membership()
+                    .others(self.me())
+                    .filter(|q| !promised_by[q.as_usize()])
+                    .collect();
+                for q in missing {
+                    ctx.send(q, RsmMsg::Prepare { b, from_slot });
+                }
+            }
+            LeaderState::Led { b, .. } => {
+                let b = *b;
+                let inflight: Vec<(u64, Entry<V>, Vec<bool>)> = self
+                    .inflight
+                    .iter()
+                    .map(|(s, i)| (*s, i.entry.clone(), i.acks.clone()))
+                    .collect();
+                for (slot, entry, acks) in inflight {
+                    for q in self.env.membership().others(self.me()) {
+                        if !acks[q.as_usize()] {
+                            ctx.send(
+                                q,
+                                RsmMsg::Accept {
+                                    b,
+                                    slot,
+                                    entry: entry.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_rsm_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        from: ProcessId,
+        msg: RsmMsg<V>,
+    ) {
+        match msg {
+            RsmMsg::Omega(_) => unreachable!("routed by caller"),
+            RsmMsg::Prepare { b, from_slot } => {
+                self.highest_seen = self.highest_seen.max(b);
+                if b >= self.promised {
+                    self.promised = b;
+                    let accepted: Vec<(u64, Ballot, Entry<V>)> = self
+                        .accepted
+                        .range(from_slot..)
+                        .map(|(s, (ab, e))| (*s, *ab, e.clone()))
+                        .collect();
+                    ctx.send(
+                        from,
+                        RsmMsg::Promise {
+                            b,
+                            accepted,
+                            low_slot: self.emitted_upto,
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        from,
+                        RsmMsg::Nack {
+                            b,
+                            higher: self.promised,
+                        },
+                    );
+                }
+            }
+            RsmMsg::Promise {
+                b,
+                accepted,
+                low_slot,
+            } => {
+                // Help a lagging promiser catch up on already-chosen slots.
+                // (The promiser may also be *ahead* of us: empty range.)
+                let catchup: Vec<(u64, Entry<V>)> = self
+                    .chosen
+                    .range(low_slot..self.emitted_upto.max(low_slot))
+                    .map(|(s, e)| (*s, e.clone()))
+                    .collect();
+                for (slot, entry) in catchup {
+                    ctx.send(from, RsmMsg::Decide { slot, entry });
+                }
+                if let LeaderState::Preparing {
+                    b: cur,
+                    promised_by,
+                    gathered,
+                    ..
+                } = &mut self.state
+                {
+                    if *cur == b {
+                        promised_by[from.as_usize()] = true;
+                        for (slot, ab, entry) in accepted {
+                            match gathered.get(&slot) {
+                                Some((prev, _)) if *prev >= ab => {}
+                                _ => {
+                                    gathered.insert(slot, (ab, entry));
+                                }
+                            }
+                        }
+                        self.try_assume_leadership(ctx);
+                    }
+                }
+            }
+            RsmMsg::Accept { b, slot, entry } => {
+                self.highest_seen = self.highest_seen.max(b);
+                if b >= self.promised {
+                    self.promised = b;
+                    self.accepted.insert(slot, (b, entry));
+                    ctx.send(from, RsmMsg::Accepted { b, slot });
+                } else {
+                    ctx.send(
+                        from,
+                        RsmMsg::Nack {
+                            b,
+                            higher: self.promised,
+                        },
+                    );
+                }
+            }
+            RsmMsg::Accepted { b, slot } => {
+                if let LeaderState::Led { b: cur, .. } = self.state {
+                    if cur == b {
+                        if let Some(inf) = self.inflight.get_mut(&slot) {
+                            inf.acks[from.as_usize()] = true;
+                            self.try_choose(ctx, slot);
+                        }
+                    }
+                }
+            }
+            RsmMsg::Nack { b, higher } => {
+                self.highest_seen = self.highest_seen.max(higher);
+                let ours = match &self.state {
+                    LeaderState::Preparing { b: cur, .. } | LeaderState::Led { b: cur, .. } => {
+                        *cur == b
+                    }
+                    LeaderState::Follower => false,
+                };
+                if ours {
+                    self.abdicate();
+                }
+            }
+            RsmMsg::Decide { slot, entry } => {
+                self.learn(ctx, slot, entry);
+                ctx.send(from, RsmMsg::DecideAck { slot });
+            }
+            RsmMsg::DecideAck { slot } => {
+                if let Some(acks) = self.decide_trackers.get_mut(&slot) {
+                    acks[from.as_usize()] = true;
+                    if acks.iter().all(|a| *a) {
+                        self.decide_trackers.remove(&slot);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<V> Sm for ReplicatedLog<V>
+where
+    V: Clone + Eq + fmt::Debug + Send + 'static,
+{
+    type Msg = RsmMsg<V>;
+    type Output = RsmEvent<V>;
+    type Request = V;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>) {
+        ctx.set_timer(RETRY_TIMER, self.params.retry);
+        self.drive_omega(ctx, |omega, octx| omega.on_start(octx));
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Output>,
+        from: ProcessId,
+        msg: Self::Msg,
+    ) {
+        match msg {
+            RsmMsg::Omega(m) => {
+                self.drive_omega(ctx, |omega, octx| omega.on_message(octx, from, m));
+            }
+            other => self.on_rsm_msg(ctx, from, other),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, timer: TimerId) {
+        if timer.0 >= OMEGA_TIMER_BASE {
+            let inner = TimerId(timer.0 - OMEGA_TIMER_BASE);
+            self.drive_omega(ctx, |omega, octx| omega.on_timer(octx, inner));
+        } else if timer == RETRY_TIMER {
+            self.on_retry(ctx);
+            ctx.set_timer(RETRY_TIMER, self.params.retry);
+        } else {
+            debug_assert!(false, "unexpected timer {timer}");
+        }
+    }
+
+    /// Queues a client command; an established leader proposes it
+    /// immediately, otherwise it waits for leadership (clients of a real
+    /// deployment would resubmit to the actual leader).
+    fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: V) {
+        if matches!(self.state, LeaderState::Led { .. }) {
+            self.propose_next(ctx, Entry::Cmd(req));
+        } else {
+            self.pending.push_back(req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lls_primitives::Instant;
+
+    type Log = ReplicatedLog<u64>;
+
+    struct Harness {
+        env: Env,
+        sm: Log,
+        fx: Effects<RsmMsg<u64>, RsmEvent<u64>>,
+    }
+
+    impl Harness {
+        fn new(me: u32, n: usize) -> Self {
+            let env = Env::new(ProcessId(me), n);
+            let sm = ReplicatedLog::new(&env, ConsensusParams::default());
+            Harness {
+                env,
+                sm,
+                fx: Effects::new(),
+            }
+        }
+
+        fn start(&mut self) -> Effects<RsmMsg<u64>, RsmEvent<u64>> {
+            let mut ctx = Ctx::new(&self.env, Instant::ZERO, &mut self.fx);
+            self.sm.on_start(&mut ctx);
+            self.fx.take()
+        }
+
+        fn deliver(&mut self, from: u32, msg: RsmMsg<u64>) -> Effects<RsmMsg<u64>, RsmEvent<u64>> {
+            let mut ctx = Ctx::new(&self.env, Instant::ZERO, &mut self.fx);
+            self.sm.on_message(&mut ctx, ProcessId(from), msg);
+            self.fx.take()
+        }
+
+        fn request(&mut self, v: u64) -> Effects<RsmMsg<u64>, RsmEvent<u64>> {
+            let mut ctx = Ctx::new(&self.env, Instant::ZERO, &mut self.fx);
+            self.sm.on_request(&mut ctx, v);
+            self.fx.take()
+        }
+    }
+
+    fn b(round: u64, leader: u32) -> Ballot {
+        Ballot::new(round, ProcessId(leader))
+    }
+
+    /// Drives p0 (initial Ω leader) to the Led state in a 3-replica group.
+    fn led_leader() -> Harness {
+        let mut h = Harness::new(0, 3);
+        h.start();
+        h.deliver(
+            1,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 0,
+            },
+        );
+        assert!(h.sm.is_established_leader());
+        h
+    }
+
+    #[test]
+    fn leader_establishes_ballot_with_one_prepare() {
+        let mut h = Harness::new(0, 3);
+        let fx = h.start();
+        let prepares = fx
+            .sends
+            .iter()
+            .filter(|s| matches!(s.msg, RsmMsg::Prepare { from_slot: 0, .. }))
+            .count();
+        assert_eq!(prepares, 2);
+        let _ = led_leader();
+    }
+
+    #[test]
+    fn steady_state_commits_in_one_round_trip() {
+        let mut h = led_leader();
+        let fx = h.request(7);
+        // Phase 1 is NOT re-run: only Accepts go out.
+        assert!(fx
+            .sends
+            .iter()
+            .all(|s| matches!(s.msg, RsmMsg::Accept { slot: 0, .. })));
+        assert_eq!(fx.sends.len(), 2);
+        // One Accepted (plus self) = majority: commit + decide broadcast.
+        let fx = h.deliver(1, RsmMsg::Accepted { b: b(1, 0), slot: 0 });
+        assert!(fx
+            .outputs
+            .contains(&RsmEvent::Committed { slot: 0, cmd: Some(7) }));
+        assert_eq!(
+            fx.sends
+                .iter()
+                .filter(|s| matches!(s.msg, RsmMsg::Decide { slot: 0, .. }))
+                .count(),
+            2
+        );
+        assert_eq!(h.sm.committed_len(), 1);
+    }
+
+    #[test]
+    fn commits_are_emitted_in_slot_order_despite_reordering() {
+        let mut h = Harness::new(2, 3);
+        h.start();
+        // Decide for slot 1 arrives before slot 0 (links are not FIFO).
+        let fx = h.deliver(0, RsmMsg::Decide { slot: 1, entry: Entry::Cmd(11) });
+        assert!(fx.outputs.iter().all(|o| !matches!(o, RsmEvent::Committed { .. })));
+        let fx = h.deliver(0, RsmMsg::Decide { slot: 0, entry: Entry::Cmd(10) });
+        let committed: Vec<_> = fx
+            .outputs
+            .iter()
+            .filter_map(|o| match o {
+                RsmEvent::Committed { slot, cmd } => Some((*slot, *cmd)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, vec![(0, Some(10)), (1, Some(11))]);
+    }
+
+    #[test]
+    fn new_leader_inherits_accepted_entries_and_fills_gaps() {
+        let mut h = Harness::new(0, 5);
+        h.start();
+        // Two promises arrive; one reveals an accepted entry at slot 1 only
+        // (slot 0 is a gap the new leader must fill with a no-op).
+        h.deliver(
+            1,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![(1, b(0, 4), Entry::Cmd(99))],
+                low_slot: 0,
+            },
+        );
+        let fx = h.deliver(
+            2,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 0,
+            },
+        );
+        assert!(h.sm.is_established_leader());
+        let accepts: Vec<(u64, Entry<u64>)> = fx
+            .sends
+            .iter()
+            .filter_map(|s| match &s.msg {
+                RsmMsg::Accept { slot, entry, .. } => Some((*slot, entry.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(accepts.contains(&(0, Entry::Noop)), "gap must be filled: {accepts:?}");
+        assert!(accepts.contains(&(1, Entry::Cmd(99))), "inherited entry must be re-proposed");
+    }
+
+    #[test]
+    fn acceptor_reveals_suffix_on_prepare() {
+        let mut h = Harness::new(1, 3);
+        h.start();
+        h.deliver(0, RsmMsg::Accept { b: b(1, 0), slot: 0, entry: Entry::Cmd(5) });
+        h.deliver(0, RsmMsg::Accept { b: b(1, 0), slot: 3, entry: Entry::Cmd(8) });
+        let fx = h.deliver(2, RsmMsg::Prepare { b: b(2, 2), from_slot: 2 });
+        let promise = fx
+            .sends
+            .iter()
+            .find_map(|s| match &s.msg {
+                RsmMsg::Promise { accepted, .. } => Some(accepted.clone()),
+                _ => None,
+            })
+            .expect("must promise the higher ballot");
+        // Only slots ≥ from_slot are revealed.
+        assert_eq!(promise, vec![(3, b(1, 0), Entry::Cmd(8))]);
+    }
+
+    #[test]
+    fn follower_queues_requests_until_leadership() {
+        let mut h = Harness::new(1, 3);
+        h.start();
+        let fx = h.request(42);
+        assert!(fx.sends.is_empty());
+        assert_eq!(h.sm.pending_len(), 1);
+    }
+
+    #[test]
+    fn stale_ballot_accept_is_nacked() {
+        let mut h = Harness::new(1, 3);
+        h.start();
+        h.deliver(2, RsmMsg::Prepare { b: b(5, 2), from_slot: 0 });
+        let fx = h.deliver(0, RsmMsg::Accept { b: b(1, 0), slot: 0, entry: Entry::Cmd(1) });
+        assert!(fx
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg, RsmMsg::Nack { higher, .. } if higher == b(5, 2))));
+    }
+
+    #[test]
+    fn nack_abdicates_leadership() {
+        let mut h = led_leader();
+        h.request(7);
+        h.deliver(2, RsmMsg::Nack { b: b(1, 0), higher: b(4, 2) });
+        assert!(!h.sm.is_established_leader());
+        assert_eq!(h.sm.inflight.len(), 0, "inflight must be dropped on abdication");
+    }
+
+    #[test]
+    fn promise_triggers_catchup_decides_for_lagging_peer() {
+        let mut h = led_leader();
+        h.request(7);
+        h.deliver(1, RsmMsg::Accepted { b: b(1, 0), slot: 0 });
+        assert_eq!(h.sm.committed_len(), 1);
+        // A new prepare from us after re-election would carry catch-up; here
+        // simulate a late promise from p2 with low_slot 0.
+        let fx = h.deliver(
+            2,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 0,
+            },
+        );
+        assert!(fx
+            .sends
+            .iter()
+            .any(|s| s.to == ProcessId(2) && matches!(s.msg, RsmMsg::Decide { slot: 0, .. })));
+    }
+
+    #[test]
+    fn promise_from_a_peer_ahead_of_us_is_harmless() {
+        // Regression: the catch-up range must not invert when the promiser
+        // has committed further than the (new) leader.
+        let mut h = Harness::new(0, 3);
+        h.start();
+        let fx = h.deliver(
+            1,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 10, // p1 is way ahead
+            },
+        );
+        assert!(h.sm.is_established_leader());
+        assert!(!fx
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg, RsmMsg::Decide { .. })));
+    }
+
+    #[test]
+    fn decide_ack_completes_tracker() {
+        let mut h = led_leader();
+        h.request(7);
+        h.deliver(1, RsmMsg::Accepted { b: b(1, 0), slot: 0 });
+        assert!(h.sm.decide_trackers.contains_key(&0));
+        h.deliver(1, RsmMsg::DecideAck { slot: 0 });
+        h.deliver(2, RsmMsg::DecideAck { slot: 0 });
+        assert!(!h.sm.decide_trackers.contains_key(&0));
+    }
+}

@@ -1,0 +1,17 @@
+//! Baseline Ω implementations the paper compares against.
+//!
+//! * [`AllToAllOmega`] — the classic heartbeat detector: every process
+//!   broadcasts `ALIVE` every η forever and elects the smallest id not
+//!   currently suspected. Correct only when **every** link is ♦-timely (the
+//!   strong model of Larrea et al. 2000); Θ(n²) messages per period forever.
+//! * [`BroadcastSourceOmega`] — correct in the *same weak system* as the
+//!   paper's algorithm (one ♦-source, fair-lossy mesh; PODC'03-style), but
+//!   every process gossips the full accusation-counter vector every η
+//!   forever: Θ(n²) messages per period, each of size Θ(n). The gap between
+//!   this baseline and [`crate::CommEffOmega`] *is* the PODC'04 contribution.
+
+mod all_to_all;
+mod broadcast_source;
+
+pub use all_to_all::{AllToAllMsg, AllToAllOmega};
+pub use broadcast_source::{BroadcastSourceOmega, GossipMsg};

@@ -1,0 +1,445 @@
+//! The communication-efficient Ω algorithm (the paper's main contribution).
+//!
+//! # Mechanism
+//!
+//! Every process `p` keeps a [`RankTable`]: for each candidate `q`, an
+//! *authoritative* accusation counter (the largest value heard from `q`
+//! itself) plus a *provisional* surcharge of unanswered local suspicions.
+//! `p` trusts the candidate with the minimum *(counter, id)* — initially
+//! `p0`, since all counters start at zero.
+//!
+//! * **Leader behaviour.** While `p` trusts itself it broadcasts
+//!   `ALIVE(counter)` every η. Upon receiving `ACCUSE(k)` with `k` equal to
+//!   its current counter, it increments the counter (once per phase `k`; the
+//!   phase check makes retransmitted or stale accusations idempotent) and
+//!   re-evaluates whether it still deserves leadership.
+//! * **Follower behaviour.** While `p` trusts `q ≠ p` it arms one timer with
+//!   `q`'s current timeout. On expiry, `p` grows `q`'s timeout (so premature
+//!   suspicions of a ♦-timely leader die out), records a provisional
+//!   suspicion against `q`, sends `ACCUSE(auth(q))` *to `q` alone*, and
+//!   re-evaluates its choice. On `ALIVE(c)` from `q`, `p` adopts `c`, clears
+//!   `q`'s surcharge and re-arms the timer.
+//!
+//! Followers send nothing except accusations, and every correct process's
+//! accusations are eventually silenced (its final leader stops missing
+//! deadlines), so eventually *only the leader sends* — communication
+//! efficiency. Conversely a crashed or chronically untimely leader
+//! accumulates counter growth until the minimum *(counter, id)* moves to a
+//! candidate that stays timely; the ♦-source guarantees at least one such
+//! candidate exists, so the minimum stabilizes and all correct processes
+//! lock onto the same leader — Ω.
+//!
+//! # Reconstruction note
+//!
+//! The exact PODC'04 pseudocode was not available to this reproduction (see
+//! `DESIGN.md`); this module reconstructs the algorithm from the mechanism
+//! the paper describes: min-(counter, id) leadership, leader-only ALIVE
+//! traffic, accusations addressed to the leader, per-phase idempotent
+//! counting, and unboundedly growing timeouts. Both theorems are enforced on
+//! every run by the [`crate::spec`] checkers across the test suite and the
+//! experiment harness.
+
+use lls_primitives::{Ctx, Duration, Env, ProcessId, Sm, TimerId};
+
+use crate::msg::OmegaMsg;
+use crate::params::OmegaParams;
+use crate::rank::RankTable;
+
+/// Timer used by the always-on heartbeat task.
+pub const HEARTBEAT_TIMER: TimerId = TimerId(0);
+/// Timer used to monitor the current (non-self) leader.
+pub const LEADER_CHECK_TIMER: TimerId = TimerId(1);
+
+/// The communication-efficient Ω state machine.
+///
+/// See the module-level documentation at the top of
+/// `crates/core/src/comm_efficient.rs` for the full mechanism, and the
+/// [crate docs](crate) for a runnable example.
+#[derive(Debug, Clone)]
+pub struct CommEffOmega {
+    me: ProcessId,
+    params: OmegaParams,
+    table: RankTable,
+    timeouts: Vec<Duration>,
+    leader: ProcessId,
+    /// Diagnostics: how many accusations this process has sent.
+    accusations_sent: u64,
+    /// Diagnostics: how many valid accusations this process has absorbed.
+    accusations_received: u64,
+}
+
+impl CommEffOmega {
+    /// Creates the state machine for the process described by `env`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`OmegaParams::validate`].
+    pub fn new(env: &Env, params: OmegaParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid OmegaParams: {e}");
+        }
+        let n = env.n();
+        CommEffOmega {
+            me: env.id(),
+            params,
+            table: RankTable::new(n),
+            timeouts: vec![params.initial_timeout; n],
+            leader: ProcessId(0),
+            accusations_sent: 0,
+            accusations_received: 0,
+        }
+    }
+
+    /// The process this instance currently trusts (the Ω output).
+    pub fn leader(&self) -> ProcessId {
+        self.leader
+    }
+
+    /// Returns `true` if this process currently trusts itself.
+    pub fn is_leader(&self) -> bool {
+        self.leader == self.me
+    }
+
+    /// This process's own accusation counter.
+    pub fn own_counter(&self) -> u64 {
+        self.table.auth(self.me)
+    }
+
+    /// The effective rank table (for instrumentation).
+    pub fn table(&self) -> &RankTable {
+        &self.table
+    }
+
+    /// Current timeout on candidate `q`.
+    pub fn timeout_of(&self, q: ProcessId) -> Duration {
+        self.timeouts[q.as_usize()]
+    }
+
+    /// Accusations sent so far (diagnostics).
+    pub fn accusations_sent(&self) -> u64 {
+        self.accusations_sent
+    }
+
+    /// Valid accusations absorbed so far (diagnostics).
+    pub fn accusations_received(&self) -> u64 {
+        self.accusations_received
+    }
+
+    /// Parameters in force.
+    pub fn params(&self) -> &OmegaParams {
+        &self.params
+    }
+
+    /// Re-evaluates the minimum-(counter, id) choice; on a change, emits the
+    /// new leader as output and (re)arms or cancels the monitoring timer.
+    fn recompute_leader(&mut self, ctx: &mut Ctx<'_, OmegaMsg, ProcessId>) {
+        let best = self.table.best();
+        if best != self.leader {
+            self.leader = best;
+            ctx.output(best);
+            if best == self.me {
+                ctx.cancel_timer(LEADER_CHECK_TIMER);
+            } else {
+                ctx.set_timer(LEADER_CHECK_TIMER, self.timeouts[best.as_usize()]);
+            }
+        }
+    }
+}
+
+impl Sm for CommEffOmega {
+    type Msg = OmegaMsg;
+    type Output = ProcessId;
+    type Request = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, OmegaMsg, ProcessId>) {
+        // Publish the initial choice so traces start with a defined value.
+        ctx.output(self.leader);
+        ctx.set_timer(HEARTBEAT_TIMER, self.params.eta);
+        if self.leader != self.me {
+            ctx.set_timer(LEADER_CHECK_TIMER, self.timeouts[self.leader.as_usize()]);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, OmegaMsg, ProcessId>, from: ProcessId, msg: OmegaMsg) {
+        match msg {
+            OmegaMsg::Alive { counter } => {
+                self.table.record_alive(from, counter);
+                if from == self.leader {
+                    // Fresh evidence about the incumbent: re-arm its deadline.
+                    ctx.set_timer(LEADER_CHECK_TIMER, self.timeouts[from.as_usize()]);
+                }
+                self.recompute_leader(ctx);
+            }
+            OmegaMsg::Accuse { counter } => {
+                let valid = !self.params.dedup_accusations || counter == self.table.auth(self.me);
+                if valid {
+                    self.accusations_received += 1;
+                    self.table.bump_auth(self.me);
+                    self.recompute_leader(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, OmegaMsg, ProcessId>, timer: TimerId) {
+        match timer {
+            HEARTBEAT_TIMER => {
+                if self.leader == self.me {
+                    ctx.broadcast(OmegaMsg::Alive {
+                        counter: self.table.auth(self.me),
+                    });
+                }
+                ctx.set_timer(HEARTBEAT_TIMER, self.params.eta);
+            }
+            LEADER_CHECK_TIMER => {
+                let suspect = self.leader;
+                debug_assert_ne!(suspect, self.me, "self-leader must not monitor itself");
+                // Grow the timeout first: if the suspicion is premature, the
+                // next one comes later, so suspicions of a ♦-timely leader
+                // are finite.
+                let t = &mut self.timeouts[suspect.as_usize()];
+                *t = self.params.timeout_policy.bump(*t);
+                self.table.record_suspicion(suspect);
+                self.accusations_sent += 1;
+                ctx.send(
+                    suspect,
+                    OmegaMsg::Accuse {
+                        counter: self.table.auth(suspect),
+                    },
+                );
+                self.recompute_leader(ctx);
+                if self.leader == suspect {
+                    // Still the best candidate despite the suspicion: keep
+                    // monitoring it under the grown timeout.
+                    ctx.set_timer(LEADER_CHECK_TIMER, self.timeouts[suspect.as_usize()]);
+                }
+            }
+            other => debug_assert!(false, "unexpected timer {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lls_primitives::{Effects, Instant, Send, TimerCmd};
+
+    /// Drives a single state machine by hand and collects effects.
+    struct Harness {
+        env: Env,
+        sm: CommEffOmega,
+        fx: Effects<OmegaMsg, ProcessId>,
+        now: Instant,
+    }
+
+    impl Harness {
+        fn new(me: u32, n: usize) -> Self {
+            let env = Env::new(ProcessId(me), n);
+            let sm = CommEffOmega::new(&env, OmegaParams::default());
+            Harness {
+                env,
+                sm,
+                fx: Effects::new(),
+                now: Instant::ZERO,
+            }
+        }
+
+        fn start(&mut self) -> Effects<OmegaMsg, ProcessId> {
+            let mut ctx = Ctx::new(&self.env, self.now, &mut self.fx);
+            self.sm.on_start(&mut ctx);
+            self.fx.take()
+        }
+
+        fn deliver(&mut self, from: u32, msg: OmegaMsg) -> Effects<OmegaMsg, ProcessId> {
+            let mut ctx = Ctx::new(&self.env, self.now, &mut self.fx);
+            self.sm.on_message(&mut ctx, ProcessId(from), msg);
+            self.fx.take()
+        }
+
+        fn fire(&mut self, timer: TimerId) -> Effects<OmegaMsg, ProcessId> {
+            let mut ctx = Ctx::new(&self.env, self.now, &mut self.fx);
+            self.sm.on_timer(&mut ctx, timer);
+            self.fx.take()
+        }
+    }
+
+    #[test]
+    fn initial_leader_is_p0_everywhere() {
+        for me in 0..3 {
+            let mut h = Harness::new(me, 3);
+            let fx = h.start();
+            assert_eq!(h.sm.leader(), ProcessId(0));
+            assert_eq!(fx.outputs, vec![ProcessId(0)]);
+            // p0 trusts itself: no monitor timer; others arm one.
+            let has_check = fx
+                .timers
+                .iter()
+                .any(|c| matches!(c, TimerCmd::Set { timer, .. } if *timer == LEADER_CHECK_TIMER));
+            assert_eq!(has_check, me != 0);
+        }
+    }
+
+    #[test]
+    fn self_leader_heartbeats_follower_stays_silent() {
+        let mut h0 = Harness::new(0, 3);
+        h0.start();
+        let fx = h0.fire(HEARTBEAT_TIMER);
+        let dests: Vec<_> = fx.sends.iter().map(|s| s.to).collect();
+        assert_eq!(dests, vec![ProcessId(1), ProcessId(2)]);
+        assert!(fx
+            .sends
+            .iter()
+            .all(|s| s.msg == OmegaMsg::Alive { counter: 0 }));
+
+        let mut h1 = Harness::new(1, 3);
+        h1.start();
+        let fx = h1.fire(HEARTBEAT_TIMER);
+        assert!(fx.sends.is_empty(), "follower heartbeat must send nothing");
+    }
+
+    #[test]
+    fn timeout_sends_accusation_to_leader_only() {
+        let mut h = Harness::new(2, 3);
+        h.start();
+        let fx = h.fire(LEADER_CHECK_TIMER);
+        assert_eq!(
+            fx.sends,
+            vec![Send {
+                to: ProcessId(0),
+                msg: OmegaMsg::Accuse { counter: 0 }
+            }]
+        );
+        // One suspicion demotes p0 below p1 ((1, p0) > (0, p1)).
+        assert_eq!(h.sm.leader(), ProcessId(1));
+        assert_eq!(fx.outputs, vec![ProcessId(1)]);
+        assert_eq!(h.sm.accusations_sent(), 1);
+    }
+
+    #[test]
+    fn timeout_grows_on_each_suspicion() {
+        let mut h = Harness::new(1, 2);
+        h.start();
+        let t0 = h.sm.timeout_of(ProcessId(0));
+        h.fire(LEADER_CHECK_TIMER);
+        let t1 = h.sm.timeout_of(ProcessId(0));
+        assert!(t1 > t0, "timeout must grow on suspicion: {t0} -> {t1}");
+    }
+
+    #[test]
+    fn n2_suspicion_elects_self_and_alive_restores_incumbent() {
+        // In a 2-process system, suspecting p0 leaves p1 as its own leader.
+        let mut h = Harness::new(1, 2);
+        h.start();
+        let fx = h.fire(LEADER_CHECK_TIMER);
+        assert_eq!(h.sm.leader(), ProcessId(1));
+        assert!(h.sm.is_leader());
+        assert!(fx
+            .timers
+            .iter()
+            .any(|c| matches!(c, TimerCmd::Cancel { timer } if *timer == LEADER_CHECK_TIMER)));
+        // p0 speaks again: surcharge clears, p0 outranks p1.
+        let fx = h.deliver(0, OmegaMsg::Alive { counter: 0 });
+        assert_eq!(h.sm.leader(), ProcessId(0));
+        assert_eq!(fx.outputs, vec![ProcessId(0)]);
+    }
+
+    #[test]
+    fn valid_accusation_bumps_counter_and_demotes() {
+        let mut h = Harness::new(0, 2);
+        h.start();
+        assert!(h.sm.is_leader());
+        let fx = h.deliver(1, OmegaMsg::Accuse { counter: 0 });
+        assert_eq!(h.sm.own_counter(), 1);
+        // (1, p0) vs (0, p1): p1 now better.
+        assert_eq!(h.sm.leader(), ProcessId(1));
+        assert!(fx
+            .timers
+            .iter()
+            .any(|c| matches!(c, TimerCmd::Set { timer, .. } if *timer == LEADER_CHECK_TIMER)));
+        assert_eq!(h.sm.accusations_received(), 1);
+    }
+
+    #[test]
+    fn stale_and_duplicate_accusations_are_ignored() {
+        let mut h = Harness::new(0, 2);
+        h.start();
+        h.deliver(1, OmegaMsg::Accuse { counter: 0 });
+        assert_eq!(h.sm.own_counter(), 1);
+        // A retransmitted phase-0 accusation must not double-count.
+        h.deliver(1, OmegaMsg::Accuse { counter: 0 });
+        assert_eq!(h.sm.own_counter(), 1);
+        // A future-phase accusation is equally invalid.
+        h.deliver(1, OmegaMsg::Accuse { counter: 7 });
+        assert_eq!(h.sm.own_counter(), 1);
+        // The current phase counts.
+        h.deliver(1, OmegaMsg::Accuse { counter: 1 });
+        assert_eq!(h.sm.own_counter(), 2);
+    }
+
+    #[test]
+    fn dedup_off_counts_every_accusation() {
+        let env = Env::new(ProcessId(0), 2);
+        let params = OmegaParams {
+            dedup_accusations: false,
+            ..OmegaParams::default()
+        };
+        let mut sm = CommEffOmega::new(&env, params);
+        let mut fx = Effects::new();
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+        for _ in 0..3 {
+            sm.on_message(
+                &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+                ProcessId(1),
+                OmegaMsg::Accuse { counter: 0 },
+            );
+            fx.take();
+        }
+        assert_eq!(sm.own_counter(), 3);
+    }
+
+    #[test]
+    fn alive_with_larger_counter_demotes_incumbent() {
+        let mut h = Harness::new(2, 3);
+        h.start();
+        assert_eq!(h.sm.leader(), ProcessId(0));
+        // p0 announces a battered counter; p1 (counter 0) becomes best,
+        // even though p1 has not spoken — rank is (0, p1) vs (5, p0) vs (0, p2)…
+        // p1 < p2 by id.
+        let fx = h.deliver(0, OmegaMsg::Alive { counter: 5 });
+        assert_eq!(h.sm.leader(), ProcessId(1));
+        assert_eq!(fx.outputs, vec![ProcessId(1)]);
+    }
+
+    #[test]
+    fn stale_alive_does_not_regress_counter() {
+        let mut h = Harness::new(1, 2);
+        h.start();
+        h.deliver(0, OmegaMsg::Alive { counter: 4 });
+        assert_eq!(h.sm.table().auth(ProcessId(0)), 4);
+        h.deliver(0, OmegaMsg::Alive { counter: 2 });
+        assert_eq!(h.sm.table().auth(ProcessId(0)), 4);
+    }
+
+    #[test]
+    fn heartbeat_timer_always_rearms() {
+        let mut h = Harness::new(1, 2);
+        h.start();
+        let fx = h.fire(HEARTBEAT_TIMER);
+        assert!(fx
+            .timers
+            .iter()
+            .any(|c| matches!(c, TimerCmd::Set { timer, .. } if *timer == HEARTBEAT_TIMER)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OmegaParams")]
+    fn invalid_params_rejected_at_construction() {
+        let env = Env::new(ProcessId(0), 2);
+        let params = OmegaParams {
+            eta: Duration::ZERO,
+            ..OmegaParams::default()
+        };
+        let _ = CommEffOmega::new(&env, params);
+    }
+}

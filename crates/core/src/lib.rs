@@ -1,0 +1,80 @@
+//! Implementations of the **Ω failure detector** (eventual leader election)
+//! under *limited link synchrony*, after Aguilera, Delporte-Gallet,
+//! Fauconnier and Toueg, *"Communication-efficient leader election and
+//! consensus with limited link synchrony"*, PODC 2004.
+//!
+//! # The problem
+//!
+//! Ω is the weakest failure detector for consensus: each process continuously
+//! outputs one process it *trusts*, and eventually all correct processes
+//! trust the same correct process forever. The paper asks two questions:
+//!
+//! 1. **How little synchrony suffices?** Answer: it is enough that *one*
+//!    unknown correct process is a **♦-source** — after an unknown global
+//!    stabilization time, its outgoing messages arrive within an unknown
+//!    bound δ. Every other link may be merely *fair lossy* (unbounded delay,
+//!    arbitrary — but not total — loss).
+//! 2. **How few messages?** Answer: Ω can be **communication-efficient** —
+//!    there is a time after which *only one process* (the elected leader)
+//!    sends messages. Prior algorithms in comparable models kept all `n`
+//!    processes heartbeating forever, Θ(n²) messages per period.
+//!
+//! # The algorithms in this crate
+//!
+//! * [`CommEffOmega`] — the paper's contribution: leadership by minimum
+//!   *(accusation counter, id)*; only a self-believed leader heartbeats;
+//!   followers that time out *accuse the leader directly*, growing its
+//!   counter and eventually demoting chronically untimely leaders. See the
+//!   [`CommEffOmega`] docs for the full mechanism and the reconstruction
+//!   notes.
+//! * [`baseline::AllToAllOmega`] — classic all-to-all heartbeats; needs every
+//!   link ♦-timely; Θ(n²) messages per period forever.
+//! * [`baseline::BroadcastSourceOmega`] — correct in the same weak system as
+//!   `CommEffOmega` (PODC'03-style), but everyone broadcasts counters
+//!   forever: same synchrony, Θ(n²) message cost. Isolates the PODC'04
+//!   contribution.
+//! * [`spec`] — trace checkers turning the paper's two theorems (Ω holds;
+//!   communication efficiency holds) into assertions usable from tests and
+//!   experiments.
+//!
+//! # Example
+//!
+//! Elect a leader among five simulated processes of which only `p3` is a
+//! ♦-source:
+//!
+//! ```
+//! use lls_primitives::{Duration, Instant, ProcessId};
+//! use netsim::{SimBuilder, SystemSParams, Topology};
+//! use omega::{CommEffOmega, OmegaParams};
+//!
+//! let n = 5;
+//! let topo = Topology::system_s(n, ProcessId(3), SystemSParams::default());
+//! let mut sim = SimBuilder::new(n)
+//!     .seed(1)
+//!     .topology(topo)
+//!     .build_with(|env| CommEffOmega::new(env, OmegaParams::default()));
+//! sim.run_until(Instant::from_ticks(50_000));
+//!
+//! let leaders: Vec<ProcessId> = (0..n as u32)
+//!     .map(|p| sim.node(ProcessId(p)).leader())
+//!     .collect();
+//! assert!(leaders.iter().all(|&l| l == leaders[0]), "disagreement: {leaders:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod baseline;
+mod comm_efficient;
+mod msg;
+mod params;
+pub mod qos;
+mod rank;
+mod relay;
+pub mod spec;
+
+pub use comm_efficient::CommEffOmega;
+pub use msg::{classify_msg, OmegaMsg};
+pub use params::{OmegaParams, TimeoutPolicy};
+pub use rank::{CandidateRank, RankTable};
+pub use relay::{Relay, RelayMsg};

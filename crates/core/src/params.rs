@@ -1,0 +1,140 @@
+//! Tuning parameters shared by the Ω algorithms.
+
+use lls_primitives::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How a process grows its timeout on a candidate after a premature
+/// suspicion.
+///
+/// The paper's mechanism requires only that timeouts grow without bound over
+/// suspicions, so that a ♦-timely leader is suspected finitely often; the
+/// exact policy is an implementation degree of freedom, exercised by the
+/// ablation experiment E9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeoutPolicy {
+    /// `timeout += step` on every suspicion (the pseudocode idiom
+    /// "Timeout\[leader\] := Timeout\[leader\] + 1", generalized).
+    Additive {
+        /// Increment per suspicion.
+        step: Duration,
+    },
+    /// `timeout := timeout * num / den` (with `num > den`), rounded up.
+    Multiplicative {
+        /// Numerator of the growth factor.
+        num: u32,
+        /// Denominator of the growth factor.
+        den: u32,
+    },
+    /// Never grow (deliberately wrong: violates the paper's requirement;
+    /// used as an ablation arm to show why adaptation matters).
+    Frozen,
+}
+
+impl TimeoutPolicy {
+    /// Applies the policy to `current`.
+    pub fn bump(&self, current: Duration) -> Duration {
+        match *self {
+            TimeoutPolicy::Additive { step } => current.saturating_add(step),
+            TimeoutPolicy::Multiplicative { num, den } => {
+                let t = current.ticks().max(1);
+                let grown = t.saturating_mul(num as u64).div_ceil(den as u64);
+                Duration::from_ticks(grown.max(t + 1))
+            }
+            TimeoutPolicy::Frozen => current,
+        }
+    }
+}
+
+/// Parameters of an Ω instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OmegaParams {
+    /// Heartbeat period η: how often a self-believed leader sends `ALIVE`.
+    pub eta: Duration,
+    /// Initial timeout on every candidate leader.
+    pub initial_timeout: Duration,
+    /// Timeout growth policy.
+    pub timeout_policy: TimeoutPolicy,
+    /// Deduplicate accusations per counter value (phase). Disabling this is
+    /// an ablation arm (E9): duplicated or stale accusations then inflate
+    /// counters and churn leadership.
+    pub dedup_accusations: bool,
+}
+
+impl OmegaParams {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: η must be
+    /// positive and the initial timeout at least η (otherwise a leader is
+    /// suspected before it can possibly have heartbeat).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.eta.ticks() == 0 {
+            return Err("eta must be positive".to_owned());
+        }
+        if self.initial_timeout < self.eta {
+            return Err(format!(
+                "initial_timeout ({}) must be at least eta ({})",
+                self.initial_timeout, self.eta
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for OmegaParams {
+    /// η = 10 ticks, initial timeout 30 ticks, additive growth of η/2,
+    /// deduplication on.
+    fn default() -> Self {
+        OmegaParams {
+            eta: Duration::from_ticks(10),
+            initial_timeout: Duration::from_ticks(30),
+            timeout_policy: TimeoutPolicy::Additive {
+                step: Duration::from_ticks(5),
+            },
+            dedup_accusations: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_bump_adds_step() {
+        let p = TimeoutPolicy::Additive {
+            step: Duration::from_ticks(5),
+        };
+        assert_eq!(p.bump(Duration::from_ticks(10)), Duration::from_ticks(15));
+    }
+
+    #[test]
+    fn multiplicative_bump_strictly_grows() {
+        let p = TimeoutPolicy::Multiplicative { num: 3, den: 2 };
+        assert_eq!(p.bump(Duration::from_ticks(10)), Duration::from_ticks(15));
+        // Even at 1 tick, growth is strict.
+        assert!(p.bump(Duration::from_ticks(1)) > Duration::from_ticks(1));
+    }
+
+    #[test]
+    fn frozen_never_grows() {
+        let p = TimeoutPolicy::Frozen;
+        assert_eq!(p.bump(Duration::from_ticks(10)), Duration::from_ticks(10));
+    }
+
+    #[test]
+    fn default_params_validate() {
+        assert!(OmegaParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_params_are_rejected() {
+        let mut p = OmegaParams::default();
+        p.eta = Duration::ZERO;
+        assert!(p.validate().is_err());
+        let mut p = OmegaParams::default();
+        p.initial_timeout = Duration::from_ticks(1);
+        assert!(p.validate().unwrap_err().contains("initial_timeout"));
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end election scenarios on the simulator: the paper's two theorems
+//! exercised under crashes, loss, and degraded synchrony.
+
+mod util;
+
+use lls_primitives::{Duration, Instant, ProcessId};
+use netsim::{FaultPlan, SimBuilder, SystemSParams, Topology};
+use omega::baseline::{AllToAllOmega, BroadcastSourceOmega};
+use omega::spec::{omega_holds_by, stabilization, tail_cut};
+use omega::{classify_msg, CommEffOmega, OmegaParams};
+use util::{correct_set, leader_trace, run_omega};
+
+const HORIZON: u64 = 60_000;
+
+fn system_s(n: usize, source: u32) -> Topology {
+    Topology::system_s(n, ProcessId(source), SystemSParams::default())
+}
+
+#[test]
+fn omega_holds_in_system_s_across_sizes_and_seeds() {
+    for &n in &[3usize, 5, 8] {
+        for seed in 0..5u64 {
+            let source = (seed % n as u64) as u32;
+            let sim = run_omega(
+                n,
+                seed,
+                system_s(n, source),
+                FaultPlan::new(n),
+                HORIZON,
+                |env| CommEffOmega::new(env, OmegaParams::default()),
+            );
+            let trace = leader_trace(&sim);
+            let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+            assert!(
+                omega_holds_by(&trace, &correct, tail_cut(sim.now(), 20)),
+                "omega violated: n={n} seed={seed} source={source}"
+            );
+        }
+    }
+}
+
+#[test]
+fn communication_efficiency_holds_in_system_s() {
+    let n = 6;
+    let sim = run_omega(n, 11, system_s(n, 4), FaultPlan::new(n), HORIZON, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let cut = sim
+        .stats()
+        .quiescence_time(1)
+        .expect("run must quiesce to a single sender");
+    assert!(
+        cut <= tail_cut(sim.now(), 20),
+        "quiescence too late: {cut} vs horizon {}",
+        sim.now()
+    );
+    // The lone sender is exactly the common final leader.
+    let senders = sim.stats().senders_since(cut);
+    let stab = stabilization(
+        &leader_trace(&sim),
+        &(0..n as u32).map(ProcessId).collect::<Vec<_>>(),
+    )
+    .expect("omega must hold");
+    assert_eq!(senders, vec![stab.leader]);
+}
+
+#[test]
+fn followers_send_only_accusations_and_finitely_many() {
+    let n = 5;
+    let mut sim = SimBuilder::new(n)
+        .seed(2)
+        .topology(system_s(n, 3))
+        .classify(classify_msg)
+        .build_with(|env| CommEffOmega::new(env, OmegaParams::default()));
+    sim.run_until(Instant::from_ticks(HORIZON));
+    let kinds = sim.stats().kind_counts();
+    let alive = kinds.get("ALIVE").copied().unwrap_or(0);
+    let accuse = kinds.get("ACCUSE").copied().unwrap_or(0);
+    assert!(alive > 0, "leader must heartbeat");
+    // Accusations are a stabilization-time artifact: orders of magnitude
+    // fewer than heartbeats over a long run.
+    assert!(
+        accuse * 10 < alive,
+        "too many accusations: {accuse} vs {alive} heartbeats"
+    );
+}
+
+#[test]
+fn leader_crash_triggers_reelection_with_two_sources() {
+    let n = 5;
+    // Two ♦-sources so that one can crash.
+    let topo = Topology::system_s_multi(
+        n,
+        &[ProcessId(0), ProcessId(2)],
+        SystemSParams {
+            gst: 200,
+            ..SystemSParams::default()
+        },
+    );
+    let mut faults = FaultPlan::new(n);
+    faults.crash_at(ProcessId(0), Instant::from_ticks(20_000));
+    let sim = run_omega(n, 5, topo, faults.clone(), HORIZON, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let trace = leader_trace(&sim);
+    let correct = correct_set(&faults);
+    let stab = stabilization(&trace, &correct).expect("survivors must re-elect");
+    assert_ne!(stab.leader, ProcessId(0), "dead process cannot stay leader");
+    assert!(
+        stab.at >= Instant::from_ticks(20_000),
+        "re-election must happen after the crash, got {}",
+        stab.at
+    );
+}
+
+#[test]
+fn initial_leader_crash_at_boot_is_survivable() {
+    let n = 4;
+    let mut faults = FaultPlan::new(n);
+    faults.crash_at(ProcessId(0), Instant::from_ticks(1));
+    // p1 is the source; p0 (initial default leader) dies immediately.
+    let sim = run_omega(n, 9, system_s(n, 1), faults.clone(), HORIZON, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let stab = stabilization(&leader_trace(&sim), &correct_set(&faults))
+        .expect("election must recover from a dead initial leader");
+    assert_ne!(stab.leader, ProcessId(0));
+}
+
+#[test]
+fn crashing_every_non_source_still_elects_the_survivor() {
+    // The paper tolerates any number of crashes (no majority needed for Ω).
+    let n = 5;
+    let mut faults = FaultPlan::new(n);
+    for p in [0u32, 1, 3, 4] {
+        faults.crash_at(ProcessId(p), Instant::from_ticks(5_000 + 1_000 * p as u64));
+    }
+    let sim = run_omega(n, 3, system_s(n, 2), faults.clone(), HORIZON, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let stab = stabilization(&leader_trace(&sim), &correct_set(&faults))
+        .expect("the lone survivor must trust itself");
+    assert_eq!(stab.leader, ProcessId(2));
+    assert!(sim.node(ProcessId(2)).is_leader());
+}
+
+#[test]
+fn all_timely_topology_elects_p0_without_noise() {
+    let n = 6;
+    let sim = run_omega(
+        n,
+        0,
+        Topology::all_timely(n, Duration::from_ticks(2)),
+        FaultPlan::new(n),
+        10_000,
+        |env| CommEffOmega::new(env, OmegaParams::default()),
+    );
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    let stab = stabilization(&leader_trace(&sim), &correct).unwrap();
+    assert_eq!(stab.leader, ProcessId(0), "perfect links keep the initial leader");
+    // Nobody was ever suspected: zero accusations anywhere.
+    for p in 0..n as u32 {
+        assert_eq!(sim.node(ProcessId(p)).accusations_sent(), 0);
+    }
+}
+
+#[test]
+fn late_gst_delays_but_does_not_prevent_convergence() {
+    let n = 5;
+    let topo = Topology::system_s(
+        n,
+        ProcessId(1),
+        SystemSParams {
+            gst: 10_000,
+            ..SystemSParams::default()
+        },
+    );
+    let sim = run_omega(n, 13, topo, FaultPlan::new(n), 120_000, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    assert!(
+        omega_holds_by(&leader_trace(&sim), &correct, tail_cut(sim.now(), 20)),
+        "late GST must only delay convergence"
+    );
+}
+
+#[test]
+fn broadcast_source_baseline_converges_to_the_source() {
+    let n = 5;
+    let sim = run_omega(n, 21, system_s(n, 3), FaultPlan::new(n), HORIZON, |env| {
+        BroadcastSourceOmega::new(env, OmegaParams::default())
+    });
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    let stab = stabilization(&leader_trace(&sim), &correct).expect("baseline B must converge");
+    assert_eq!(
+        stab.leader,
+        ProcessId(3),
+        "gossip baseline converges to the ♦-source"
+    );
+    // …but it is not communication-efficient: everyone keeps sending.
+    let senders = sim.stats().senders_since(tail_cut(sim.now(), 10));
+    assert_eq!(senders.len(), n, "all processes gossip forever");
+}
+
+#[test]
+fn all_to_all_baseline_works_on_timely_links_and_counts_n_squared() {
+    let n = 6;
+    let sim = run_omega(
+        n,
+        1,
+        Topology::all_timely(n, Duration::from_ticks(2)),
+        FaultPlan::new(n),
+        20_000,
+        |env| AllToAllOmega::new(env, OmegaParams::default()),
+    );
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    let stab = stabilization(&leader_trace(&sim), &correct).unwrap();
+    assert_eq!(stab.leader, ProcessId(0));
+    // Steady-state cost: every process broadcasts every η.
+    let senders = sim.stats().senders_since(tail_cut(sim.now(), 10));
+    assert_eq!(senders.len(), n);
+}
+
+#[test]
+fn comm_efficient_beats_baselines_by_a_factor_of_n() {
+    let n = 8;
+    let horizon = 40_000u64;
+    let total = |make_baseline: bool| -> (u64, u64) {
+        if make_baseline {
+            let sim = run_omega(n, 7, system_s(n, 5), FaultPlan::new(n), horizon, |env| {
+                BroadcastSourceOmega::new(env, OmegaParams::default())
+            });
+            (sim.stats().total_sent(), 0)
+        } else {
+            let sim = run_omega(n, 7, system_s(n, 5), FaultPlan::new(n), horizon, |env| {
+                CommEffOmega::new(env, OmegaParams::default())
+            });
+            (sim.stats().total_sent(), 0)
+        }
+    };
+    let (eff, _) = total(false);
+    let (base, _) = total(true);
+    let ratio = base as f64 / eff as f64;
+    assert!(
+        ratio > (n as f64) * 0.5,
+        "expected ≈ n× message reduction, got {ratio:.1}× (eff={eff}, base={base})"
+    );
+}
+
+#[test]
+fn deterministic_replay_produces_identical_traces() {
+    let run = |seed| {
+        let sim = run_omega(5, seed, system_s(5, 2), FaultPlan::new(5), 20_000, |env| {
+            CommEffOmega::new(env, OmegaParams::default())
+        });
+        (leader_trace(&sim), sim.stats().total_sent())
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99).0.len(), 0);
+}
+
+#[test]
+fn source_identity_does_not_have_to_win_but_someone_does() {
+    // The theorem does not promise the ♦-source itself is elected — only
+    // that *some* correct process is, permanently. Check both facts.
+    let n = 5;
+    for seed in 0..8u64 {
+        let sim = run_omega(n, seed, system_s(n, 4), FaultPlan::new(n), HORIZON, |env| {
+            CommEffOmega::new(env, OmegaParams::default())
+        });
+        let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+        let stab = stabilization(&leader_trace(&sim), &correct)
+            .unwrap_or_else(|| panic!("no agreement for seed {seed}"));
+        assert!(correct.contains(&stab.leader));
+    }
+}
+
+#[test]
+fn final_leader_counter_is_bounded_and_accusations_stop() {
+    let n = 5;
+    let sim = run_omega(n, 17, system_s(n, 2), FaultPlan::new(n), 200_000, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    let stab = stabilization(&leader_trace(&sim), &correct).unwrap();
+    // The winner's counter as seen by everyone is identical and frozen.
+    let counters: Vec<u64> = (0..n as u32)
+        .map(|p| sim.node(ProcessId(p)).table().auth(stab.leader))
+        .collect();
+    assert!(
+        counters.windows(2).all(|w| w[0] == w[1]),
+        "divergent views of the winner's counter: {counters:?}"
+    );
+    // No correct process keeps accusing after stabilization: the only
+    // sender in the tail is the leader, who sends ALIVEs.
+    let cut = sim.stats().quiescence_time(1).expect("quiescence");
+    assert!(cut <= tail_cut(sim.now(), 50));
+}

@@ -1,0 +1,183 @@
+//! Property-based tests: the paper's theorems over randomized systems.
+//!
+//! Each case draws a random admissible instance of system **S** — size,
+//! ♦-source identity, mesh loss rate, GST, non-source crash schedule, RNG
+//! seed — and asserts that the communication-efficient algorithm satisfies
+//! both theorems by the end of a long run. The generators only produce
+//! *admissible* instances (the source stays correct), mirroring the paper's
+//! assumptions; inadmissible instances are out of contract.
+//!
+//! Mesh loss is drawn from `[0.05, 0.7)`: the near-lossless corner combined
+//! with heavy-tailed delays is a known metastable regime where rare delay
+//! blips advance the counter race so slowly that stabilization, while still
+//! almost-surely finite, has an extremely long tail — certified separately
+//! by the deterministic long-horizon regression
+//! `repro_mult::heavy_tail_blips_converge_late_but_converge` rather than by
+//! randomized finite-horizon checks.
+
+mod util;
+
+use lls_primitives::{Instant, ProcessId};
+use netsim::{FaultPlan, SystemSParams, Topology};
+use omega::spec::{omega_holds_by, stabilization, tail_cut};
+use omega::{CommEffOmega, OmegaParams, TimeoutPolicy};
+use proptest::prelude::*;
+use util::{correct_set, leader_trace, run_omega};
+
+/// An admissible instance of system S.
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    source: u32,
+    seed: u64,
+    gst: u64,
+    mesh_loss: f64,
+    /// Crash times for a subset of non-source processes.
+    crashes: Vec<(u32, u64)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..=7, any::<u64>(), 0u64..3_000, 0.05f64..0.7)
+        .prop_flat_map(|(n, seed, gst, mesh_loss)| {
+            let source = 0u32..n as u32;
+            (Just(n), source, Just(seed), Just(gst), Just(mesh_loss))
+        })
+        .prop_flat_map(|(n, source, seed, gst, mesh_loss)| {
+            // Crash any subset of the non-source processes.
+            let others: Vec<u32> = (0..n as u32).filter(|&p| p != source).collect();
+            let crashes = proptest::sample::subsequence(others.clone(), 0..=others.len())
+                .prop_flat_map(move |victims| {
+                    let times = proptest::collection::vec(0u64..20_000, victims.len());
+                    (Just(victims), times)
+                })
+                .prop_map(|(victims, times)| victims.into_iter().zip(times).collect::<Vec<_>>());
+            (
+                Just(Instance {
+                    n,
+                    source,
+                    seed,
+                    gst,
+                    mesh_loss,
+                    crashes: Vec::new(),
+                }),
+                crashes,
+            )
+        })
+        .prop_map(|(mut inst, crashes)| {
+            inst.crashes = crashes;
+            inst
+        })
+}
+
+fn run_instance(inst: &Instance, horizon: u64) -> (Vec<ProcessId>, netsim::Simulator<CommEffOmega>) {
+    let topo = Topology::system_s(
+        inst.n,
+        ProcessId(inst.source),
+        SystemSParams {
+            gst: inst.gst,
+            mesh_loss: inst.mesh_loss,
+            ..SystemSParams::default()
+        },
+    );
+    let mut faults = FaultPlan::new(inst.n);
+    for &(p, t) in &inst.crashes {
+        faults.crash_at(ProcessId(p), Instant::from_ticks(t));
+    }
+    let sim = run_omega(inst.n, inst.seed, topo, faults.clone(), horizon, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    (correct_set(&faults), sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorem 1 (Ω): every admissible instance converges to a single
+    /// correct leader well before the horizon. The horizon is generous:
+    /// stabilization time is heavy-tailed (rare heavy-tail delay blips can
+    /// nudge leadership late in near-lossless meshes — see
+    /// `heavy_tail_blips_converge_late_but_converge`), and the theorem only
+    /// promises "eventually".
+    #[test]
+    fn omega_holds_on_random_instances(inst in instance()) {
+        let horizon = 200_000;
+        let (correct, sim) = run_instance(&inst, horizon);
+        let trace = leader_trace(&sim);
+        prop_assert!(
+            omega_holds_by(&trace, &correct, tail_cut(sim.now(), 20)),
+            "instance {inst:?} did not converge"
+        );
+    }
+
+    /// Theorem 2 (communication efficiency): eventually at most one process
+    /// sends; and that process is the elected leader.
+    #[test]
+    fn communication_efficiency_on_random_instances(inst in instance()) {
+        let horizon = 200_000;
+        let (correct, sim) = run_instance(&inst, horizon);
+        let cut = sim.stats().quiescence_time(1);
+        prop_assert!(cut.is_some(), "no quiescence on {inst:?}");
+        let cut = cut.unwrap();
+        prop_assert!(
+            cut <= tail_cut(sim.now(), 20),
+            "late quiescence ({cut}) on {inst:?}"
+        );
+        let stab = stabilization(&leader_trace(&sim), &correct).expect("omega must hold");
+        let senders = sim.stats().senders_since(cut);
+        prop_assert!(senders.len() <= 1);
+        if let Some(&only) = senders.first() {
+            prop_assert_eq!(only, stab.leader);
+        }
+    }
+
+    /// Counter sanity: authoritative counters are consistent (no process
+    /// knows a bigger counter for q than q itself knows — q is the origin of
+    /// all authoritative growth).
+    #[test]
+    fn authoritative_counters_never_exceed_origin(inst in instance()) {
+        let (correct, sim) = run_instance(&inst, 40_000);
+        for &q in &correct {
+            let origin = sim.node(q).own_counter();
+            for p in 0..inst.n as u32 {
+                let seen = sim.node(ProcessId(p)).table().auth(q);
+                prop_assert!(
+                    seen <= origin,
+                    "p{p} believes counter {seen} for {q}, origin has {origin}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Timeout-policy robustness: additive growth and (fast) multiplicative
+    /// growth both satisfy Ω within a tight deadline. Slow multiplicative
+    /// growth (×1.5) also converges but with a heavy-tailed stabilization
+    /// time — see `slow_multiplicative_growth_eventually_converges` and the
+    /// E9 ablation — so it is not asserted under this deadline. The broken
+    /// `Frozen` policy is exercised by E9.
+    #[test]
+    fn growth_policies_both_converge(
+        seed in any::<u64>(),
+        source in 0u32..5,
+        additive in proptest::bool::ANY,
+    ) {
+        let n = 5;
+        let params = OmegaParams {
+            timeout_policy: if additive {
+                TimeoutPolicy::Additive { step: lls_primitives::Duration::from_ticks(5) }
+            } else {
+                TimeoutPolicy::Multiplicative { num: 2, den: 1 }
+            },
+            ..OmegaParams::default()
+        };
+        let topo = Topology::system_s(n, ProcessId(source), SystemSParams::default());
+        let sim = run_omega(n, seed, topo, FaultPlan::new(n), 80_000, |env| {
+            CommEffOmega::new(env, params)
+        });
+        let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+        prop_assert!(omega_holds_by(&leader_trace(&sim), &correct, tail_cut(sim.now(), 20)));
+    }
+}

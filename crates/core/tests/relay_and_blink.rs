@@ -1,0 +1,148 @@
+//! Extension scenarios: message relaying under path-only synchrony, and the
+//! deterministic blink adversary that separates adaptive from frozen
+//! timeouts.
+
+mod util;
+
+use lls_primitives::{Duration, Instant, ProcessId};
+use netsim::{FaultPlan, LinkModel, SystemSParams, Topology};
+use omega::spec::{omega_holds_by, stabilization, tail_cut};
+use omega::{CommEffOmega, OmegaParams, Relay, TimeoutPolicy};
+use util::{leader_trace, run_omega};
+
+/// Star topology: only hub ↔ spoke links are timely; spoke ↔ spoke links
+/// are dead. Direct Ω is hopeless for spokes agreeing on another spoke;
+/// relayed Ω works because every pair is connected by a timely *path*
+/// through the hub.
+fn star(n: usize, hub: ProcessId) -> Topology {
+    let mut topo = Topology::all_timely(n, Duration::from_ticks(2));
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            let (pa, pb) = (ProcessId(a), ProcessId(b));
+            if a != b && pa != hub && pb != hub {
+                topo.set_link(pa, pb, LinkModel::Dead);
+            }
+        }
+    }
+    topo
+}
+
+#[test]
+fn relayed_omega_works_on_a_star_where_direct_omega_cannot() {
+    let n = 5;
+    let hub = ProcessId(3);
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+
+    // Relayed: converges.
+    let sim = run_omega(n, 2, star(n, hub), FaultPlan::new(n), 40_000, |env| {
+        Relay::new(env, CommEffOmega::new(env, OmegaParams::default()))
+    });
+    let trace = leader_trace(&sim);
+    assert!(
+        omega_holds_by(&trace, &correct, tail_cut(sim.now(), 20)),
+        "relayed Ω must converge on the star"
+    );
+
+    // Direct: the initial leader p0 is a spoke; its ALIVEs never reach the
+    // other spokes, so the spokes churn forever (they can only ever hear the
+    // hub). Convergence to a common leader is only possible on the hub —
+    // and even then p0 keeps believing in candidates it cannot hear. In this
+    // seed the run does not stabilize at all.
+    let direct = run_omega(n, 2, star(n, hub), FaultPlan::new(n), 40_000, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let dtrace = leader_trace(&direct);
+    let converged = omega_holds_by(&dtrace, &correct, tail_cut(direct.now(), 20));
+    assert!(
+        !converged,
+        "direct Ω should not stabilize on a dead-spoke star (seed-specific sanity)"
+    );
+}
+
+#[test]
+fn relayed_omega_matches_direct_omega_in_system_s() {
+    // On an admissible system-S topology the relay wrapper must not change
+    // the outcome, only the message pattern.
+    let n = 4;
+    let topo = Topology::system_s(n, ProcessId(1), SystemSParams::default());
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    let sim = run_omega(n, 9, topo, FaultPlan::new(n), 60_000, |env| {
+        Relay::new(env, CommEffOmega::new(env, OmegaParams::default()))
+    });
+    assert!(omega_holds_by(
+        &leader_trace(&sim),
+        &correct,
+        tail_cut(sim.now(), 20)
+    ));
+    // Relayed communication efficiency: only one process keeps ORIGINATING.
+    let stab = stabilization(&leader_trace(&sim), &correct).unwrap();
+    let originators: Vec<ProcessId> = (0..n as u32)
+        .map(ProcessId)
+        .filter(|&p| sim.node(p).origination_count() > 0)
+        .collect();
+    assert!(!originators.is_empty());
+    // Everyone forwards (that is the price of relaying)…
+    for p in (0..n as u32).map(ProcessId) {
+        assert!(sim.node(p).forward_count() > 0, "{p} never forwarded");
+    }
+    // …but the leader is among the originators and dominates late traffic.
+    assert!(originators.contains(&stab.leader));
+}
+
+#[test]
+fn blink_adversary_defeats_frozen_timeouts_but_not_adaptive_ones() {
+    // EVERY process's outgoing links blink: 40 ticks on, 60 ticks off,
+    // repeating. (If only one candidate blinked, the accusation-counter
+    // ratchet would permanently demote it and even frozen timeouts would
+    // stabilize — the counters, not the timeouts, do the demotion. With all
+    // candidates blinking, no one can be ratcheted *below* everyone else
+    // forever.) An adaptive timeout eventually exceeds the 60-tick off
+    // phase and stops suspecting the final leader; a frozen 30-tick timeout
+    // fires in every cycle forever, so the leadership churns forever.
+    let n = 4;
+    let mut topo = Topology::all_timely(n, Duration::from_ticks(2));
+    for p in 0..n as u32 {
+        topo.set_outgoing(ProcessId(p), LinkModel::blink(40, 60, 2));
+    }
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+
+    let adaptive = run_omega(n, 4, topo.clone(), FaultPlan::new(n), 60_000, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    assert!(
+        omega_holds_by(&leader_trace(&adaptive), &correct, tail_cut(adaptive.now(), 20)),
+        "adaptive timeouts must ride out the blink"
+    );
+
+    let frozen_params = OmegaParams {
+        timeout_policy: TimeoutPolicy::Frozen,
+        ..OmegaParams::default()
+    };
+    let frozen = run_omega(n, 4, topo, FaultPlan::new(n), 60_000, |env| {
+        CommEffOmega::new(env, frozen_params)
+    });
+    let ftrace = leader_trace(&frozen);
+    let late_changes = ftrace
+        .iter()
+        .filter(|r| r.at >= tail_cut(frozen.now(), 20))
+        .count();
+    assert!(
+        late_changes > 0,
+        "frozen timeouts should keep churning under the blink adversary"
+    );
+}
+
+#[test]
+fn relay_does_not_break_crash_handling() {
+    let n = 4;
+    let mut faults = FaultPlan::new(n);
+    faults.crash_at(ProcessId(0), Instant::from_ticks(10_000));
+    let topo = Topology::all_timely(n, Duration::from_ticks(2));
+    let sim = run_omega(n, 6, topo, faults, 50_000, |env| {
+        Relay::new(env, CommEffOmega::new(env, OmegaParams::default()))
+    });
+    let correct: Vec<ProcessId> = (1..n as u32).map(ProcessId).collect();
+    let stab = stabilization(&leader_trace(&sim), &correct)
+        .expect("survivors must re-elect through the relay");
+    assert_ne!(stab.leader, ProcessId(0));
+}

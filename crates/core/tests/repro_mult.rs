@@ -1,0 +1,67 @@
+//! Long-horizon regression for a seed where slow multiplicative timeout
+//! growth (×1.5) stabilizes extremely late (~1.66M ticks): every rare
+//! loss-gap cascades into a global counter reshuffle until every
+//! (observer, candidate) timeout has hardened past the gap distribution.
+//! The paper only requires *eventual* convergence, which this verifies;
+//! the run is ignored by default because of its length (~seconds).
+
+mod util;
+
+use lls_primitives::ProcessId;
+use netsim::{FaultPlan, SystemSParams, Topology};
+use omega::spec::stabilization;
+use omega::{CommEffOmega, OmegaParams, TimeoutPolicy};
+use util::{leader_trace, run_omega};
+
+#[test]
+#[ignore = "multi-second long-horizon run; exercised by CI-nightly style invocations"]
+fn slow_multiplicative_growth_eventually_converges() {
+    let n = 5;
+    let seed = 13923082122801904585u64;
+    let params = OmegaParams {
+        timeout_policy: TimeoutPolicy::Multiplicative { num: 3, den: 2 },
+        ..OmegaParams::default()
+    };
+    let topo = Topology::system_s(n, ProcessId(1), SystemSParams::default());
+    let sim = run_omega(n, seed, topo, FaultPlan::new(n), 2_000_000, |env| {
+        CommEffOmega::new(env, params)
+    });
+    let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+    let stab = stabilization(&leader_trace(&sim), &correct)
+        .expect("must converge eventually even under slow growth");
+    assert!(stab.at.ticks() < 1_900_000, "no margin before horizon");
+}
+
+/// A second heavy-tail regression (found by the property suite): a
+/// *near-lossless* mesh (1.5 % loss) keeps every candidate attractive, so
+/// rare heavy-tailed delay blips keep nudging leadership until each
+/// (observer, candidate) timeout has hardened — this instance stabilizes
+/// only around t ≈ 65 k. It must converge comfortably within a generous
+/// horizon.
+#[test]
+fn heavy_tail_blips_converge_late_but_converge() {
+    use lls_primitives::Instant;
+    let n = 4;
+    let topo = Topology::system_s(
+        n,
+        ProcessId(2),
+        SystemSParams {
+            gst: 199,
+            mesh_loss: 0.01531724505667352,
+            ..SystemSParams::default()
+        },
+    );
+    let mut faults = FaultPlan::new(n);
+    faults.crash_at(ProcessId(0), Instant::from_ticks(4071));
+    faults.crash_at(ProcessId(3), Instant::from_ticks(168));
+    let sim = run_omega(n, 14439106478458361407, topo, faults, 600_000, |env| {
+        CommEffOmega::new(env, OmegaParams::default())
+    });
+    let correct = vec![ProcessId(1), ProcessId(2)];
+    let stab = stabilization(&leader_trace(&sim), &correct).expect("must converge");
+    assert!(
+        stab.at.ticks() < 500_000,
+        "stabilized too late: {}",
+        stab.at
+    );
+}

@@ -1,0 +1,147 @@
+//! Commands, client tags, and responses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A client session identity. Each client numbers its commands with a
+/// strictly increasing sequence; the pair `(ClientId, seq)` makes retries
+/// idempotent.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// A key-value command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvCmd {
+    /// Set `key` to `value`.
+    Put {
+        /// The key.
+        key: String,
+        /// The new value.
+        value: String,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key.
+        key: String,
+    },
+    /// Compare-and-swap: set `key` to `value` only if its current value is
+    /// `expect` (`None` = key must be absent).
+    Cas {
+        /// The key.
+        key: String,
+        /// Required current value.
+        expect: Option<String>,
+        /// The new value.
+        value: String,
+    },
+}
+
+impl KvCmd {
+    /// Convenience `Put` constructor.
+    pub fn put(key: impl Into<String>, value: impl Into<String>) -> Self {
+        KvCmd::Put {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience `Delete` constructor.
+    pub fn delete(key: impl Into<String>) -> Self {
+        KvCmd::Delete { key: key.into() }
+    }
+
+    /// Convenience `Cas` constructor.
+    pub fn cas(
+        key: impl Into<String>,
+        expect: Option<&str>,
+        value: impl Into<String>,
+    ) -> Self {
+        KvCmd::Cas {
+            key: key.into(),
+            expect: expect.map(str::to_owned),
+            value: value.into(),
+        }
+    }
+
+    /// The key this command touches.
+    pub fn key(&self) -> &str {
+        match self {
+            KvCmd::Put { key, .. } | KvCmd::Delete { key } | KvCmd::Cas { key, .. } => key,
+        }
+    }
+}
+
+/// A command tagged with its client session identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tagged<C> {
+    /// The issuing client.
+    pub client: ClientId,
+    /// The client's sequence number for this command (strictly increasing
+    /// per client).
+    pub seq: u64,
+    /// The command.
+    pub cmd: C,
+}
+
+/// The outcome of applying one command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvResponse {
+    /// The command executed; `previous` is the value the key held before.
+    Applied {
+        /// Prior value of the key, if any.
+        previous: Option<String>,
+    },
+    /// A `Cas` whose expectation failed; nothing changed.
+    CasFailed {
+        /// The actual current value that did not match.
+        actual: Option<String>,
+    },
+    /// The `(client, seq)` tag was already applied earlier; nothing changed.
+    Duplicate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        assert_eq!(
+            KvCmd::put("a", "1"),
+            KvCmd::Put {
+                key: "a".into(),
+                value: "1".into()
+            }
+        );
+        assert_eq!(KvCmd::delete("a"), KvCmd::Delete { key: "a".into() });
+        assert_eq!(
+            KvCmd::cas("a", Some("1"), "2"),
+            KvCmd::Cas {
+                key: "a".into(),
+                expect: Some("1".into()),
+                value: "2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn key_projection() {
+        assert_eq!(KvCmd::put("k", "v").key(), "k");
+        assert_eq!(KvCmd::delete("d").key(), "d");
+        assert_eq!(KvCmd::cas("c", None, "v").key(), "c");
+    }
+
+    #[test]
+    fn client_display() {
+        assert_eq!(ClientId(3).to_string(), "client3");
+    }
+}

@@ -1,0 +1,219 @@
+//! The deterministic state machine: a string map plus session table.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{ClientId, KvCmd, KvResponse, Tagged};
+
+/// The materialized store: key → value plus the per-client session table
+/// that makes command application exactly-once.
+///
+/// Applying the same committed log prefix to two `KvState`s yields equal
+/// states — the determinism that state-machine replication rests on.
+///
+/// # Example
+///
+/// ```
+/// use kvstore::{ClientId, KvCmd, KvResponse, KvState, Tagged};
+///
+/// let mut s = KvState::new();
+/// let tag = |seq, cmd| Tagged { client: ClientId(1), seq, cmd };
+/// assert_eq!(
+///     s.apply(&tag(1, KvCmd::put("k", "v"))),
+///     KvResponse::Applied { previous: None }
+/// );
+/// // A retried command is a no-op.
+/// assert_eq!(s.apply(&tag(1, KvCmd::put("k", "v"))), KvResponse::Duplicate);
+/// assert_eq!(s.get("k"), Some("v"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvState {
+    data: BTreeMap<String, String>,
+    sessions: HashMap<ClientId, u64>,
+    applied: u64,
+    duplicates: u64,
+}
+
+impl KvState {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvState::default()
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.data.get(key).map(String::as_str)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.data.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Commands applied (excluding duplicates).
+    pub fn applied_count(&self) -> u64 {
+        self.applied
+    }
+
+    /// Duplicates suppressed by the session table.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// The highest sequence number applied for `client`, if any.
+    pub fn session_seq(&self, client: ClientId) -> Option<u64> {
+        self.sessions.get(&client).copied()
+    }
+
+    /// Applies one tagged command with exactly-once semantics: tags at or
+    /// below the client's session high-water mark are suppressed.
+    pub fn apply(&mut self, tagged: &Tagged<KvCmd>) -> KvResponse {
+        let high = self.sessions.get(&tagged.client).copied().unwrap_or(0);
+        if tagged.seq <= high {
+            self.duplicates += 1;
+            return KvResponse::Duplicate;
+        }
+        self.sessions.insert(tagged.client, tagged.seq);
+        self.applied += 1;
+        match &tagged.cmd {
+            KvCmd::Put { key, value } => {
+                let previous = self.data.insert(key.clone(), value.clone());
+                KvResponse::Applied { previous }
+            }
+            KvCmd::Delete { key } => {
+                let previous = self.data.remove(key);
+                KvResponse::Applied { previous }
+            }
+            KvCmd::Cas { key, expect, value } => {
+                let actual = self.data.get(key).cloned();
+                if actual.as_deref() == expect.as_deref() {
+                    let previous = self.data.insert(key.clone(), value.clone());
+                    KvResponse::Applied { previous }
+                } else {
+                    KvResponse::CasFailed { actual }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(client: u64, seq: u64, cmd: KvCmd) -> Tagged<KvCmd> {
+        Tagged {
+            client: ClientId(client),
+            seq,
+            cmd,
+        }
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let mut s = KvState::new();
+        assert_eq!(
+            s.apply(&tag(1, 1, KvCmd::put("a", "1"))),
+            KvResponse::Applied { previous: None }
+        );
+        assert_eq!(
+            s.apply(&tag(1, 2, KvCmd::put("a", "2"))),
+            KvResponse::Applied {
+                previous: Some("1".into())
+            }
+        );
+        assert_eq!(s.get("a"), Some("2"));
+        assert_eq!(
+            s.apply(&tag(1, 3, KvCmd::delete("a"))),
+            KvResponse::Applied {
+                previous: Some("2".into())
+            }
+        );
+        assert_eq!(s.get("a"), None);
+        assert!(s.is_empty());
+        assert_eq!(s.applied_count(), 3);
+    }
+
+    #[test]
+    fn cas_checks_expectation() {
+        let mut s = KvState::new();
+        // CAS on an absent key with expect=None succeeds.
+        assert_eq!(
+            s.apply(&tag(1, 1, KvCmd::cas("k", None, "v1"))),
+            KvResponse::Applied { previous: None }
+        );
+        // Wrong expectation fails and changes nothing.
+        assert_eq!(
+            s.apply(&tag(1, 2, KvCmd::cas("k", Some("zzz"), "v2"))),
+            KvResponse::CasFailed {
+                actual: Some("v1".into())
+            }
+        );
+        assert_eq!(s.get("k"), Some("v1"));
+        // Right expectation succeeds.
+        assert_eq!(
+            s.apply(&tag(1, 3, KvCmd::cas("k", Some("v1"), "v2"))),
+            KvResponse::Applied {
+                previous: Some("v1".into())
+            }
+        );
+        assert_eq!(s.get("k"), Some("v2"));
+    }
+
+    #[test]
+    fn duplicates_and_stale_seqs_are_suppressed() {
+        let mut s = KvState::new();
+        s.apply(&tag(1, 5, KvCmd::put("a", "x")));
+        // Exact duplicate.
+        assert_eq!(s.apply(&tag(1, 5, KvCmd::put("a", "y"))), KvResponse::Duplicate);
+        // Older than the high-water mark.
+        assert_eq!(s.apply(&tag(1, 3, KvCmd::put("a", "z"))), KvResponse::Duplicate);
+        assert_eq!(s.get("a"), Some("x"));
+        assert_eq!(s.duplicate_count(), 2);
+        assert_eq!(s.session_seq(ClientId(1)), Some(5));
+    }
+
+    #[test]
+    fn sessions_are_independent_per_client() {
+        let mut s = KvState::new();
+        s.apply(&tag(1, 1, KvCmd::put("a", "1")));
+        // A different client may reuse seq 1.
+        assert_eq!(
+            s.apply(&tag(2, 1, KvCmd::put("b", "2"))),
+            KvResponse::Applied { previous: None }
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn identical_command_streams_yield_identical_states() {
+        let stream: Vec<Tagged<KvCmd>> = vec![
+            tag(1, 1, KvCmd::put("a", "1")),
+            tag(2, 1, KvCmd::put("b", "2")),
+            tag(1, 2, KvCmd::cas("a", Some("1"), "3")),
+            tag(2, 2, KvCmd::delete("b")),
+        ];
+        let mut s1 = KvState::new();
+        let mut s2 = KvState::new();
+        for c in &stream {
+            s1.apply(c);
+        }
+        for c in &stream {
+            s2.apply(c);
+        }
+        assert_eq!(s1, s2);
+        let entries: Vec<_> = s1.iter().collect();
+        assert_eq!(entries, vec![("a", "3")]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Replicated KV store end-to-end: convergence, exactly-once retries,
+//! failover, and linearizable-prefix agreement across replicas.
+
+use consensus::ConsensusParams;
+use kvstore::{ClientId, KvCmd, KvEvent, KvReplica, KvResponse, Tagged};
+use lls_primitives::{Duration, Instant, ProcessId};
+use netsim::{SimBuilder, SystemSParams, Topology};
+
+fn tag(client: u64, seq: u64, cmd: KvCmd) -> Tagged<KvCmd> {
+    Tagged {
+        client: ClientId(client),
+        seq,
+        cmd,
+    }
+}
+
+#[test]
+fn replicas_converge_to_identical_stores_under_loss() {
+    let n = 5;
+    let topo = Topology::system_s(n, ProcessId(0), SystemSParams::default());
+    let mut sim = SimBuilder::new(n)
+        .seed(3)
+        .topology(topo)
+        .build_with(|env| KvReplica::new(env, ConsensusParams::default()));
+    // Find the stable leader, then run a workload against it.
+    sim.run_until(Instant::from_ticks(15_000));
+    let leader = sim.node(ProcessId(0)).omega().leader();
+    let workload = [
+        tag(1, 1, KvCmd::put("a", "1")),
+        tag(1, 2, KvCmd::put("b", "2")),
+        tag(2, 1, KvCmd::put("a", "3")),
+        tag(1, 3, KvCmd::delete("b")),
+        tag(2, 2, KvCmd::cas("a", Some("3"), "4")),
+    ];
+    for (i, cmd) in workload.iter().enumerate() {
+        sim.schedule_request(Instant::from_ticks(15_100 + 300 * i as u64), leader, cmd.clone());
+    }
+    sim.run_until(Instant::from_ticks(80_000));
+
+    let reference: Vec<(String, String)> = sim
+        .node(ProcessId(0))
+        .state()
+        .iter()
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    assert_eq!(reference, vec![("a".to_owned(), "4".to_owned())]);
+    for p in 1..n as u32 {
+        let store: Vec<(String, String)> = sim
+            .node(ProcessId(p))
+            .state()
+            .iter()
+            .map(|(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        assert_eq!(store, reference, "replica p{p} diverged");
+    }
+}
+
+#[test]
+fn client_retries_are_exactly_once() {
+    let n = 3;
+    let mut sim = SimBuilder::new(n)
+        .topology(Topology::all_timely(n, Duration::from_ticks(2)))
+        .build_with(|env| KvReplica::new(env, ConsensusParams::default()));
+    sim.run_until(Instant::from_ticks(2_000));
+    let leader = sim.node(ProcessId(0)).omega().leader();
+    // A client that retries every command three times (as it would after
+    // timeouts in a real deployment).
+    let mut t = 2_100;
+    for seq in 1..=4u64 {
+        for _retry in 0..3 {
+            sim.schedule_request(
+                Instant::from_ticks(t),
+                leader,
+                tag(7, seq, KvCmd::put("ctr", &seq.to_string())),
+            );
+            t += 120;
+        }
+    }
+    sim.run_until(Instant::from_ticks(30_000));
+    for p in (0..n as u32).map(ProcessId) {
+        let state = sim.node(p).state();
+        assert_eq!(state.get("ctr"), Some("4"), "p{p} wrong final value");
+        assert_eq!(state.applied_count(), 4, "p{p} applied retries");
+        assert_eq!(state.duplicate_count(), 8, "p{p} missed duplicates");
+        assert_eq!(state.session_seq(ClientId(7)), Some(4));
+    }
+}
+
+#[test]
+fn store_survives_leader_failover_without_double_apply() {
+    let n = 5;
+    let topo = Topology::system_s_multi(
+        n,
+        &[ProcessId(0), ProcessId(1)],
+        SystemSParams {
+            gst: 100,
+            ..SystemSParams::default()
+        },
+    );
+    let mut sim = SimBuilder::new(n)
+        .seed(11)
+        .topology(topo)
+        .build_with(|env| KvReplica::new(env, ConsensusParams::default()));
+    sim.run_until(Instant::from_ticks(8_000));
+    let first = sim.node(ProcessId(2)).omega().leader();
+    for seq in 1..=3u64 {
+        sim.schedule_request(
+            Instant::from_ticks(8_100 + 200 * seq),
+            first,
+            tag(1, seq, KvCmd::put(format!("k{seq}"), "pre")),
+        );
+    }
+    sim.run_until(Instant::from_ticks(20_000));
+    sim.crash_now(first);
+    sim.run_until(Instant::from_ticks(60_000));
+    let survivor = (0..n as u32)
+        .map(ProcessId)
+        .filter(|&p| p != first)
+        .find(|&p| sim.node(p).omega().leader() == p)
+        .expect("someone must lead");
+    // The client retries its last command against the new leader, plus new
+    // traffic.
+    sim.schedule_request(
+        Instant::from_ticks(60_100),
+        survivor,
+        tag(1, 3, KvCmd::put("k3", "pre")), // retry: must be deduped
+    );
+    sim.schedule_request(
+        Instant::from_ticks(60_300),
+        survivor,
+        tag(1, 4, KvCmd::put("k4", "post")),
+    );
+    sim.run_until(Instant::from_ticks(120_000));
+
+    for p in (0..n as u32).map(ProcessId).filter(|&p| p != first) {
+        let state = sim.node(p).state();
+        for k in ["k1", "k2", "k3"] {
+            assert_eq!(state.get(k), Some("pre"), "p{p} lost {k}");
+        }
+        assert_eq!(state.get("k4"), Some("post"));
+        assert_eq!(state.session_seq(ClientId(1)), Some(4), "p{p} session drift");
+    }
+}
+
+#[test]
+fn applied_events_report_responses_in_slot_order() {
+    let n = 3;
+    let mut sim = SimBuilder::new(n)
+        .topology(Topology::all_timely(n, Duration::from_ticks(2)))
+        .request_at(Instant::from_ticks(500), ProcessId(0), tag(1, 1, KvCmd::put("x", "1")))
+        .request_at(
+            Instant::from_ticks(700),
+            ProcessId(0),
+            tag(1, 2, KvCmd::cas("x", Some("nope"), "2")),
+        )
+        .request_at(Instant::from_ticks(900), ProcessId(0), tag(1, 2, KvCmd::cas("x", Some("nope"), "2")))
+        .build_with(|env| KvReplica::new(env, ConsensusParams::default()));
+    sim.run_until(Instant::from_ticks(10_000));
+    let applied: Vec<(u64, KvResponse)> = sim
+        .outputs()
+        .iter()
+        .filter(|e| e.process == ProcessId(0))
+        .filter_map(|e| match &e.output {
+            KvEvent::Applied { slot, response, .. } => Some((*slot, response.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(applied.len(), 3);
+    assert!(matches!(applied[0], (0, KvResponse::Applied { .. })));
+    assert!(matches!(
+        applied[1],
+        (1, KvResponse::CasFailed { ref actual }) if actual.as_deref() == Some("1")
+    ));
+    assert!(matches!(applied[2], (2, KvResponse::Duplicate)));
+    // Slots strictly increase.
+    assert!(applied.windows(2).all(|w| w[0].0 < w[1].0));
+}

@@ -1,0 +1,179 @@
+//! The simulator's event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lls_primitives::{Instant, ProcessId, TimerId};
+
+use crate::link::LinkModel;
+use crate::topology::Topology;
+
+/// What a queued event does when it fires.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind<M, R> {
+    /// Run `on_start` at the process.
+    Start(ProcessId),
+    /// Deliver a message.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire a timer, if its generation is still current.
+    Timer {
+        /// Owner of the timer.
+        p: ProcessId,
+        /// Which timer.
+        timer: TimerId,
+        /// Generation at arming time; stale generations are ignored.
+        gen: u64,
+    },
+    /// Crash a process (crash-stop).
+    Crash(ProcessId),
+    /// Deliver an external request (client command).
+    Request {
+        /// Target process.
+        p: ProcessId,
+        /// The request payload.
+        req: R,
+    },
+    /// Replace one link's model (dynamic network schedule).
+    SetLink {
+        /// Link source.
+        from: ProcessId,
+        /// Link destination.
+        to: ProcessId,
+        /// The new model.
+        model: LinkModel,
+    },
+    /// Replace the whole topology (e.g. heal a partition).
+    SetTopology(Box<Topology>),
+}
+
+/// A scheduled event. Ordered by `(at, seq)` so that the queue pops in
+/// time order with FIFO tie-breaking — the source of the simulator's
+/// determinism.
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M, R> {
+    pub at: Instant,
+    pub seq: u64,
+    pub kind: EventKind<M, R>,
+}
+
+impl<M, R> PartialEq for QueuedEvent<M, R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M, R> Eq for QueuedEvent<M, R> {}
+
+impl<M, R> PartialOrd for QueuedEvent<M, R> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M, R> Ord for QueuedEvent<M, R> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of events.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M, R> {
+    heap: BinaryHeap<QueuedEvent<M, R>>,
+    next_seq: u64,
+}
+
+impl<M, R> EventQueue<M, R> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: Instant, kind: EventKind<M, R>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, kind });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<QueuedEvent<M, R>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> Instant {
+        Instant::from_ticks(ticks)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<(), ()> = EventQueue::new();
+        q.push(t(5), EventKind::Start(ProcessId(0)));
+        q.push(t(1), EventKind::Start(ProcessId(1)));
+        q.push(t(3), EventKind::Start(ProcessId(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(
+                t(7),
+                EventKind::Deliver {
+                    from: ProcessId(0),
+                    to: ProcessId(1),
+                    msg: i,
+                },
+            );
+        }
+        let mut seen = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventKind::Deliver { msg, .. } = e.kind {
+                seen.push(msg);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q: EventQueue<(), ()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), EventKind::Crash(ProcessId(0)));
+        q.push(t(2), EventKind::Crash(ProcessId(1)));
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Run instrumentation: message counts, sender sets, and windows.
+//!
+//! The paper's headline property is *communication efficiency*: "there is a
+//! time after which only one process sends messages". Verifying it needs to
+//! know, for every suffix of the run, which processes still sent messages.
+//! [`Stats`] tracks that cheaply:
+//!
+//! * `last_send[p]` — the last time `p` sent anything (senders after `t` are
+//!   exactly `{p : last_send[p] ≥ t}`);
+//! * per-window sender bitsets and message counts (the time series plotted by
+//!   experiment E2);
+//! * cumulative per-process and per-kind counters.
+
+use std::collections::BTreeMap;
+
+use lls_primitives::{Duration, Instant, ProcessId};
+
+/// Aggregates for one fixed-length window of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Bitset of processes that sent at least one message in the window
+    /// (bit `p` set ⇔ process `p` sent). Saturates above 64 processes —
+    /// use [`WindowStats::sender_count`] which stays exact.
+    pub sender_bits: u64,
+    /// Exact number of distinct senders in the window.
+    pub sender_count: u32,
+    /// Messages sent during the window.
+    pub messages: u64,
+}
+
+/// Counters for one whole run.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    n: usize,
+    window: Duration,
+    sent: Vec<u64>,
+    delivered: Vec<u64>,
+    dropped_link: Vec<u64>,
+    dropped_dead: Vec<u64>,
+    last_send: Vec<Option<Instant>>,
+    windows: Vec<WindowStats>,
+    /// Scratch: which processes sent in the current window (exact for any n).
+    window_senders: Vec<bool>,
+    current_window: usize,
+    kind_counts: BTreeMap<&'static str, u64>,
+}
+
+impl Stats {
+    pub(crate) fn new(n: usize, window: Duration) -> Self {
+        assert!(window.ticks() > 0, "stats window must be positive");
+        Stats {
+            n,
+            window,
+            sent: vec![0; n],
+            delivered: vec![0; n],
+            dropped_link: vec![0; n],
+            dropped_dead: vec![0; n],
+            last_send: vec![None; n],
+            windows: Vec::new(),
+            window_senders: vec![false; n],
+            current_window: 0,
+            kind_counts: BTreeMap::new(),
+        }
+    }
+
+    fn roll_to(&mut self, w: usize) {
+        if self.windows.is_empty() {
+            self.windows.push(WindowStats::default());
+        }
+        while self.current_window < w {
+            let bits = self
+                .window_senders
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .fold(0u64, |acc, (i, _)| acc | (1u64 << (i.min(63))));
+            let count = self.window_senders.iter().filter(|&&s| s).count() as u32;
+            let cur = &mut self.windows[self.current_window];
+            cur.sender_bits = bits;
+            cur.sender_count = count;
+            self.window_senders.iter_mut().for_each(|s| *s = false);
+            self.current_window += 1;
+            self.windows.push(WindowStats::default());
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from: ProcessId, at: Instant, kind: &'static str) {
+        let w = (at.ticks() / self.window.ticks()) as usize;
+        self.roll_to(w);
+        self.sent[from.as_usize()] += 1;
+        self.last_send[from.as_usize()] = Some(at);
+        self.window_senders[from.as_usize()] = true;
+        let win = self.windows.last_mut().expect("roll_to ensures a window");
+        win.messages += 1;
+        *self.kind_counts.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, to: ProcessId) {
+        self.delivered[to.as_usize()] += 1;
+    }
+
+    pub(crate) fn record_link_drop(&mut self, from: ProcessId) {
+        self.dropped_link[from.as_usize()] += 1;
+    }
+
+    pub(crate) fn record_dead_drop(&mut self, to: ProcessId) {
+        self.dropped_dead[to.as_usize()] += 1;
+    }
+
+    /// Called when the run finishes, to flush the in-progress window.
+    pub(crate) fn finish(&mut self, now: Instant) {
+        let w = (now.ticks() / self.window.ticks()) as usize;
+        self.roll_to(w + 1);
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The window length used for [`Stats::windows`].
+    pub fn window_len(&self) -> Duration {
+        self.window
+    }
+
+    /// Messages sent by `p` over the whole run.
+    pub fn sent_by(&self, p: ProcessId) -> u64 {
+        self.sent[p.as_usize()]
+    }
+
+    /// Messages delivered to `p` over the whole run.
+    pub fn delivered_to(&self, p: ProcessId) -> u64 {
+        self.delivered[p.as_usize()]
+    }
+
+    /// Messages from `p` lost on a link.
+    pub fn link_drops_from(&self, p: ProcessId) -> u64 {
+        self.dropped_link[p.as_usize()]
+    }
+
+    /// Messages addressed to `p` discarded because `p` had crashed.
+    pub fn dead_drops_to(&self, p: ProcessId) -> u64 {
+        self.dropped_dead[p.as_usize()]
+    }
+
+    /// Total messages sent by anyone.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Last time `p` sent a message, if ever.
+    pub fn last_send(&self, p: ProcessId) -> Option<Instant> {
+        self.last_send[p.as_usize()]
+    }
+
+    /// The set of processes that sent at least one message at or after `t`.
+    ///
+    /// This is the communication-efficiency oracle: the algorithm is
+    /// communication-efficient on this run (up to its horizon) iff this set
+    /// has size ≤ 1 for some prefix-cut `t` well before the horizon.
+    pub fn senders_since(&self, t: Instant) -> Vec<ProcessId> {
+        (0..self.n as u32)
+            .map(ProcessId)
+            .filter(|p| self.last_send[p.as_usize()].is_some_and(|s| s >= t))
+            .collect()
+    }
+
+    /// The earliest time from which at most `k` processes ever send again,
+    /// or `None` if more than `k` processes send in every suffix.
+    ///
+    /// For `k = 1` this is the *communication stabilization time* reported in
+    /// the experiments.
+    pub fn quiescence_time(&self, k: usize) -> Option<Instant> {
+        let mut lasts: Vec<Instant> = self.last_send.iter().flatten().copied().collect();
+        lasts.sort();
+        if lasts.len() <= k {
+            return Some(Instant::ZERO);
+        }
+        // After the (len-k)-th largest last-send, only k processes still send.
+        // The cut is just after the last send of the (len-k)-th process.
+        let idx = lasts.len() - k - 1;
+        Some(lasts[idx] + Duration::from_ticks(1))
+    }
+
+    /// Per-window aggregates, oldest first. The final window may be partial.
+    pub fn windows(&self) -> &[WindowStats] {
+        &self.windows
+    }
+
+    /// Messages sent per kind label (as classified by the builder's
+    /// classifier; a single `"msg"` bucket if none was set).
+    pub fn kind_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.kind_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> Instant {
+        Instant::from_ticks(ticks)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new(3, Duration::from_ticks(10));
+        s.record_send(ProcessId(0), t(1), "a");
+        s.record_send(ProcessId(0), t(2), "a");
+        s.record_send(ProcessId(2), t(3), "b");
+        s.record_delivery(ProcessId(1));
+        s.record_link_drop(ProcessId(2));
+        s.record_dead_drop(ProcessId(1));
+        s.finish(t(5));
+        assert_eq!(s.sent_by(ProcessId(0)), 2);
+        assert_eq!(s.sent_by(ProcessId(1)), 0);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.delivered_to(ProcessId(1)), 1);
+        assert_eq!(s.link_drops_from(ProcessId(2)), 1);
+        assert_eq!(s.dead_drops_to(ProcessId(1)), 1);
+        assert_eq!(s.kind_counts()["a"], 2);
+        assert_eq!(s.kind_counts()["b"], 1);
+    }
+
+    #[test]
+    fn senders_since_uses_last_send() {
+        let mut s = Stats::new(3, Duration::from_ticks(10));
+        s.record_send(ProcessId(0), t(5), "m");
+        s.record_send(ProcessId(1), t(50), "m");
+        s.record_send(ProcessId(1), t(80), "m");
+        s.finish(t(100));
+        assert_eq!(
+            s.senders_since(t(0)),
+            vec![ProcessId(0), ProcessId(1)]
+        );
+        assert_eq!(s.senders_since(t(6)), vec![ProcessId(1)]);
+        assert_eq!(s.senders_since(t(81)), Vec::<ProcessId>::new());
+    }
+
+    #[test]
+    fn quiescence_time_finds_single_sender_suffix() {
+        let mut s = Stats::new(3, Duration::from_ticks(10));
+        s.record_send(ProcessId(0), t(5), "m");
+        s.record_send(ProcessId(2), t(30), "m");
+        s.record_send(ProcessId(1), t(500), "m");
+        s.record_send(ProcessId(1), t(900), "m");
+        s.finish(t(1000));
+        // After t=31, only p1 sends.
+        assert_eq!(s.quiescence_time(1), Some(t(31)));
+        assert_eq!(s.senders_since(t(31)), vec![ProcessId(1)]);
+        // After t=6, at most two send.
+        assert_eq!(s.quiescence_time(2), Some(t(6)));
+        // Everyone quiet: k = 3 ≥ number of senders.
+        assert_eq!(s.quiescence_time(3), Some(Instant::ZERO));
+    }
+
+    #[test]
+    fn windows_track_sender_sets() {
+        let mut s = Stats::new(3, Duration::from_ticks(10));
+        s.record_send(ProcessId(0), t(1), "m");
+        s.record_send(ProcessId(1), t(2), "m");
+        s.record_send(ProcessId(0), t(15), "m");
+        s.finish(t(29));
+        let w = s.windows();
+        assert!(w.len() >= 2, "expected >= 2 windows, got {}", w.len());
+        assert_eq!(w[0].sender_count, 2);
+        assert_eq!(w[0].messages, 2);
+        assert_eq!(w[0].sender_bits, 0b11);
+        assert_eq!(w[1].sender_count, 1);
+        assert_eq!(w[1].sender_bits, 0b01);
+    }
+
+    #[test]
+    fn empty_run_quiesces_immediately() {
+        let mut s = Stats::new(2, Duration::from_ticks(10));
+        s.finish(t(10));
+        assert_eq!(s.quiescence_time(1), Some(Instant::ZERO));
+    }
+}

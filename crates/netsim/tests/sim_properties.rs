@@ -1,0 +1,165 @@
+//! Property tests for the simulator substrate's own invariants: the
+//! experiments are only as trustworthy as these.
+
+use lls_primitives::{Ctx, Duration, Instant, ProcessId, Sm, TimerId};
+use netsim::{FaultPlan, LinkFate, LinkModel, SimBuilder, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A chatty machine that broadcasts every tick and records receptions with
+/// their timestamps.
+#[derive(Debug)]
+struct Probe {
+    received: Vec<(u64, u32)>,
+}
+
+const TICK: TimerId = TimerId(0);
+
+impl Sm for Probe {
+    type Msg = ();
+    type Output = ();
+    type Request = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, (), ()>) {
+        ctx.set_timer(TICK, Duration::from_ticks(5));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, (), ()>, from: ProcessId, _msg: ()) {
+        self.received.push((ctx.now().ticks(), from.0));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, (), ()>, _t: TimerId) {
+        ctx.broadcast(());
+        ctx.set_timer(TICK, Duration::from_ticks(5));
+    }
+}
+
+fn any_link() -> impl Strategy<Value = LinkModel> {
+    prop_oneof![
+        (1u64..10).prop_map(LinkModel::timely),
+        (0u64..2_000, 1u64..10, 0.0f64..1.0)
+            .prop_map(|(gst, d, l)| LinkModel::eventually_timely(gst, d, l)),
+        (0.0f64..0.99, 1u64..10).prop_map(|(l, d)| LinkModel::fair_lossy(l, d)),
+        (0.0f64..=1.0, 1u64..10).prop_map(|(l, d)| LinkModel::lossy_async(l, d)),
+        Just(LinkModel::Dead),
+        (1u64..50, 0u64..50, 1u64..5).prop_map(|(on, off, d)| LinkModel::blink(on, off, d)),
+    ]
+}
+
+fn any_topology(n: usize) -> impl Strategy<Value = Topology> {
+    proptest::collection::vec(any_link(), n * n).prop_map(move |links| {
+        let mut topo = Topology::all_timely(n, Duration::from_ticks(1));
+        let mut it = links.into_iter();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let l = it.next().expect("n*n links");
+                if a != b {
+                    topo.set_link(ProcessId(a), ProcessId(b), l);
+                }
+            }
+        }
+        topo
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Determinism: a run is a pure function of (topology, faults, seed).
+    #[test]
+    fn identical_configs_produce_identical_runs(
+        topo in any_topology(4),
+        seed in any::<u64>(),
+        crash in proptest::option::of((0u32..4, 0u64..1_000)),
+    ) {
+        let run = || {
+            let mut faults = FaultPlan::new(4);
+            if let Some((p, t)) = crash {
+                faults.crash_at(ProcessId(p), Instant::from_ticks(t));
+            }
+            let mut sim = SimBuilder::new(4)
+                .seed(seed)
+                .topology(topo.clone())
+                .faults(faults)
+                .build_with(|_| Probe { received: Vec::new() });
+            sim.run_until(Instant::from_ticks(2_000));
+            let receptions: Vec<Vec<(u64, u32)>> = (0..4u32)
+                .map(|p| sim.node(ProcessId(p)).received.clone())
+                .collect();
+            (receptions, sim.stats().total_sent())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Crash-stop: a crashed process receives nothing at or after its crash
+    /// time and sends nothing after it.
+    #[test]
+    fn crashed_processes_are_silent(
+        topo in any_topology(3),
+        seed in any::<u64>(),
+        crash_t in 0u64..1_500,
+    ) {
+        let victim = ProcessId(1);
+        let mut sim = SimBuilder::new(3)
+            .seed(seed)
+            .topology(topo)
+            .crash_at(victim, Instant::from_ticks(crash_t))
+            .build_with(|_| Probe { received: Vec::new() });
+        sim.run_until(Instant::from_ticks(3_000));
+        // No reception at or after the crash.
+        prop_assert!(sim
+            .node(victim)
+            .received
+            .iter()
+            .all(|&(t, _)| t < crash_t));
+        // No send at or after the crash.
+        if let Some(last) = sim.stats().last_send(victim) {
+            prop_assert!(last < Instant::from_ticks(crash_t));
+        }
+    }
+
+    /// Timely links deliver within their bound after their GST — the
+    /// foundation every ♦-source argument rests on.
+    #[test]
+    fn eventually_timely_links_honour_delta_after_gst(
+        gst in 0u64..1_000,
+        delta in 1u64..10,
+        pre_loss in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let link = LinkModel::eventually_timely(gst, delta, pre_loss);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in gst..gst + 500 {
+            match link.route(Instant::from_ticks(t), &mut rng) {
+                LinkFate::DeliverAt(at) => {
+                    prop_assert!(at <= Instant::from_ticks(t + delta));
+                    prop_assert!(at >= Instant::from_ticks(t));
+                }
+                LinkFate::Drop => prop_assert!(false, "post-GST drop"),
+            }
+        }
+    }
+
+    /// Sender accounting is conservative: messages sent equals messages
+    /// delivered plus link drops plus dead drops plus in-flight at horizon.
+    #[test]
+    fn message_conservation(topo in any_topology(3), seed in any::<u64>()) {
+        let mut sim = SimBuilder::new(3)
+            .seed(seed)
+            .topology(topo)
+            .build_with(|_| Probe { received: Vec::new() });
+        sim.run_until(Instant::from_ticks(2_000));
+        let sent: u64 = (0..3u32).map(|p| sim.stats().sent_by(ProcessId(p))).sum();
+        let delivered: u64 = (0..3u32).map(|p| sim.stats().delivered_to(ProcessId(p))).sum();
+        let link_drops: u64 = (0..3u32).map(|p| sim.stats().link_drops_from(ProcessId(p))).sum();
+        let dead_drops: u64 = (0..3u32).map(|p| sim.stats().dead_drops_to(ProcessId(p))).sum();
+        // In-flight messages at the horizon are the only slack.
+        prop_assert!(delivered + link_drops + dead_drops <= sent);
+        prop_assert!(
+            sent - (delivered + link_drops + dead_drops) <= 60,
+            "too many unaccounted messages: sent={sent} delivered={delivered} \
+             link_drops={link_drops} dead_drops={dead_drops}"
+        );
+    }
+}

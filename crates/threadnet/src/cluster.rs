@@ -1,0 +1,336 @@
+//! Cluster lifecycle: spawn, drive, crash, stop, report.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use lls_primitives::{Ctx, Effects, Env, Instant, ProcessId, Sm, TimerCmd, TimerId};
+use parking_lot::Mutex;
+
+use crate::router::{run_router, Envelope, RouterConfig, TrafficStats};
+
+/// Configuration of a thread cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Number of processes (threads).
+    pub n: usize,
+    /// Per-message loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Minimum network delay.
+    pub min_delay: StdDuration,
+    /// Maximum network delay.
+    pub max_delay: StdDuration,
+    /// Wall-clock length of one virtual tick (scales η and timeouts).
+    pub tick: StdDuration,
+    /// RNG seed for loss/delay sampling.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    /// 3 processes, 10 % loss, 0.2–1 ms delay, 200 µs ticks.
+    fn default() -> Self {
+        NetConfig {
+            n: 3,
+            loss: 0.1,
+            min_delay: StdDuration::from_micros(200),
+            max_delay: StdDuration::from_millis(1),
+            tick: StdDuration::from_micros(200),
+            seed: 0,
+        }
+    }
+}
+
+enum Control<M, R> {
+    Deliver(Envelope<M>),
+    Request(R),
+    Crash,
+    Stop,
+}
+
+/// One timestamped protocol output from the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOutput<O> {
+    /// Wall-clock offset from cluster start.
+    pub at: StdDuration,
+    /// The process that emitted the output.
+    pub process: ProcessId,
+    /// The output value.
+    pub output: O,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct Report<O> {
+    /// All outputs, roughly in emission order.
+    pub outputs: Vec<TimedOutput<O>>,
+    /// Messages sent per process (counted at the router ingress).
+    pub sent: Vec<u64>,
+    /// Messages dropped by the lossy mesh, per sender.
+    pub dropped: Vec<u64>,
+    /// Wall-clock offset of each process's last send.
+    pub last_send: Vec<Option<StdDuration>>,
+}
+
+impl<O> Report<O> {
+    /// The last output `p` emitted, if any.
+    pub fn final_output_of(&self, p: ProcessId) -> Option<&O> {
+        self.outputs
+            .iter()
+            .rev()
+            .find(|t| t.process == p)
+            .map(|t| &t.output)
+    }
+
+    /// Processes whose last send happened at or after `since` (from cluster
+    /// start) — the communication-efficiency oracle, as in `netsim`.
+    pub fn senders_since(&self, since: StdDuration) -> Vec<ProcessId> {
+        self.last_send
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some_and(|t| t >= since))
+            .map(|(i, _)| ProcessId(i as u32))
+            .collect()
+    }
+}
+
+/// A running cluster of `n` state-machine threads joined by a lossy mesh.
+///
+/// See the [crate example](crate).
+pub struct Cluster<S: Sm> {
+    n: usize,
+    controls: Vec<Sender<Control<S::Msg, S::Request>>>,
+    handles: Vec<JoinHandle<()>>,
+    router_handle: Option<JoinHandle<()>>,
+    outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
+    traffic: Arc<Mutex<TrafficStats>>,
+}
+
+impl<S: Sm> std::fmt::Debug for Cluster<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("n", &self.n).finish_non_exhaustive()
+    }
+}
+
+impl<S: Sm + Send + 'static> Cluster<S> {
+    /// Spawns `config.n` threads, each running a state machine produced by
+    /// `make`, plus the router thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n < 2`, `config.tick` is zero, or
+    /// `config.min_delay > config.max_delay`.
+    pub fn spawn(config: NetConfig, mut make: impl FnMut(&Env) -> S) -> Self {
+        assert!(config.n >= 2, "the model requires n > 1 processes");
+        assert!(!config.tick.is_zero(), "tick must be positive");
+        assert!(
+            config.min_delay <= config.max_delay,
+            "min_delay must not exceed max_delay"
+        );
+        let n = config.n;
+        let start = StdInstant::now();
+        let outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>> = Arc::new(Mutex::new(Vec::new()));
+        let traffic = Arc::new(Mutex::new(TrafficStats::new(n)));
+        traffic.lock().started_at = start;
+
+        let (router_tx, router_rx) = unbounded::<Envelope<S::Msg>>();
+        let mut controls = Vec::with_capacity(n);
+        let mut control_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Control<S::Msg, S::Request>>(4096);
+            controls.push(tx);
+            control_rxs.push(rx);
+        }
+        // The router forwards into the control inboxes.
+        let inbox_txs: Vec<Sender<Envelope<S::Msg>>> = {
+            // Adapter channels: envelope → control.
+            let mut adapters = Vec::with_capacity(n);
+            for tx in &controls {
+                let (atx, arx) = unbounded::<Envelope<S::Msg>>();
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for env in arx {
+                        if tx.send(Control::Deliver(env)).is_err() {
+                            // Destination stopped: keep draining (lossy link).
+                        }
+                    }
+                });
+                adapters.push(atx);
+            }
+            adapters
+        };
+        let router_cfg = RouterConfig {
+            loss: config.loss,
+            min_delay: config.min_delay,
+            max_delay: config.max_delay,
+            seed: config.seed,
+        };
+        let traffic_for_router = Arc::clone(&traffic);
+        let router_handle = std::thread::spawn(move || {
+            run_router(router_rx, inbox_txs, router_cfg, traffic_for_router);
+        });
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, control_rx) in control_rxs.into_iter().enumerate() {
+            let env = Env::new(ProcessId(i as u32), n);
+            let sm = make(&env);
+            let outputs = Arc::clone(&outputs);
+            let router_tx = router_tx.clone();
+            let tick = config.tick;
+            handles.push(std::thread::spawn(move || {
+                node_loop(env, sm, control_rx, router_tx, outputs, tick, start);
+            }));
+        }
+        Cluster {
+            n,
+            controls,
+            handles,
+            router_handle: Some(router_handle),
+            outputs,
+            traffic,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Crashes `p` (crash-stop): its thread exits and all further traffic to
+    /// it is dropped.
+    pub fn crash(&self, p: ProcessId) {
+        let _ = self.controls[p.as_usize()].send(Control::Crash);
+    }
+
+    /// Delivers an external request to `p`.
+    pub fn request(&self, p: ProcessId, req: S::Request) {
+        let _ = self.controls[p.as_usize()].send(Control::Request(req));
+    }
+
+    /// A live snapshot of `(sent, last_send)` per process.
+    pub fn traffic_snapshot(&self) -> (Vec<u64>, Vec<Option<StdDuration>>) {
+        let t = self.traffic.lock();
+        (t.sent.clone(), t.last_send.clone())
+    }
+
+    /// Stops every thread, joins them, and returns the run report.
+    pub fn stop(mut self) -> Report<S::Output> {
+        for tx in &self.controls {
+            let _ = tx.send(Control::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Dropping the controls disconnects the router ingress (each node
+        // held a clone of router_tx which died with its thread; ours remains
+        // inside `self` only via the nodes — the router exits when all
+        // senders are gone).
+        drop(self.controls.split_off(0));
+        if let Some(h) = self.router_handle.take() {
+            let _ = h.join();
+        }
+        let outputs = self.outputs.lock().clone();
+        let t = self.traffic.lock();
+        Report {
+            outputs,
+            sent: t.sent.clone(),
+            dropped: t.dropped.clone(),
+            last_send: t.last_send.clone(),
+        }
+    }
+}
+
+/// The per-process event loop: timers with reset semantics, inbox delivery,
+/// wall-clock → tick mapping.
+fn node_loop<S: Sm>(
+    env: Env,
+    mut sm: S,
+    inbox: Receiver<Control<S::Msg, S::Request>>,
+    router: Sender<Envelope<S::Msg>>,
+    outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
+    tick: StdDuration,
+    start: StdInstant,
+) {
+    let me = env.id();
+    let now_ticks = |at: StdInstant| -> Instant {
+        Instant::from_ticks((at.saturating_duration_since(start).as_nanos() / tick.as_nanos().max(1)) as u64)
+    };
+    let mut fx: Effects<S::Msg, S::Output> = Effects::new();
+    let mut deadlines: HashMap<TimerId, StdInstant> = HashMap::new();
+
+    let apply = |fx: &mut Effects<S::Msg, S::Output>,
+                     deadlines: &mut HashMap<TimerId, StdInstant>,
+                     at: StdInstant| {
+        let taken = fx.take();
+        for s in taken.sends {
+            let _ = router.send(Envelope {
+                from: me,
+                to: s.to,
+                msg: s.msg,
+            });
+        }
+        for cmd in taken.timers {
+            match cmd {
+                TimerCmd::Set { timer, after } => {
+                    let wall = tick
+                        .checked_mul(after.ticks().min(u32::MAX as u64) as u32)
+                        .unwrap_or(StdDuration::from_secs(3600));
+                    deadlines.insert(timer, at + wall);
+                }
+                TimerCmd::Cancel { timer } => {
+                    deadlines.remove(&timer);
+                }
+            }
+        }
+        if !taken.outputs.is_empty() {
+            let mut out = outputs.lock();
+            for o in taken.outputs {
+                out.push(TimedOutput {
+                    at: at.saturating_duration_since(start),
+                    process: me,
+                    output: o,
+                });
+            }
+        }
+    };
+
+    let at = StdInstant::now();
+    sm.on_start(&mut Ctx::new(&env, now_ticks(at), &mut fx));
+    apply(&mut fx, &mut deadlines, at);
+
+    loop {
+        // Fire all due timers first.
+        let now = StdInstant::now();
+        let due: Vec<TimerId> = deadlines
+            .iter()
+            .filter(|(_, d)| **d <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in due {
+            deadlines.remove(&t);
+            sm.on_timer(&mut Ctx::new(&env, now_ticks(now), &mut fx), t);
+            apply(&mut fx, &mut deadlines, now);
+        }
+        let wait = deadlines
+            .values()
+            .min()
+            .map(|d| d.saturating_duration_since(StdInstant::now()))
+            .unwrap_or(StdDuration::from_millis(20));
+        match inbox.recv_timeout(wait) {
+            Ok(Control::Deliver(envp)) => {
+                let at = StdInstant::now();
+                sm.on_message(&mut Ctx::new(&env, now_ticks(at), &mut fx), envp.from, envp.msg);
+                apply(&mut fx, &mut deadlines, at);
+            }
+            Ok(Control::Request(req)) => {
+                let at = StdInstant::now();
+                sm.on_request(&mut Ctx::new(&env, now_ticks(at), &mut fx), req);
+                apply(&mut fx, &mut deadlines, at);
+            }
+            Ok(Control::Crash) | Ok(Control::Stop) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

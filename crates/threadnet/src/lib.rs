@@ -1,0 +1,45 @@
+//! A real-time, thread-per-process runtime for the same [`Sm`](lls_primitives::Sm)
+//! state machines that run on the `netsim` simulator.
+//!
+//! Each process is an OS thread with a crossbeam inbox; links are modelled by
+//! a router thread that applies per-message loss and uniformly distributed
+//! delay before forwarding — a fair-lossy mesh over real wall-clock time.
+//! Virtual ticks are mapped to wall time (`tick`), so protocol parameters
+//! like η keep their meaning.
+//!
+//! The runtime exists to show the algorithms are not simulator-bound
+//! (experiment E10 reruns the communication-efficiency measurement here) and
+//! to serve as a deployment-shaped integration harness. It is intentionally
+//! *not* deterministic — determinism lives in `netsim`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration as StdDuration;
+//! use lls_primitives::ProcessId;
+//! use omega::{CommEffOmega, OmegaParams};
+//! use threadnet::{Cluster, NetConfig};
+//!
+//! let config = NetConfig {
+//!     n: 3,
+//!     loss: 0.05,
+//!     tick: StdDuration::from_micros(200),
+//!     ..NetConfig::default()
+//! };
+//! let cluster = Cluster::spawn(config, |env| CommEffOmega::new(env, OmegaParams::default()));
+//! std::thread::sleep(StdDuration::from_millis(300));
+//! let report = cluster.stop();
+//! // All three processes ended up trusting the same leader.
+//! let finals: Vec<ProcessId> = (0..3)
+//!     .map(|p| report.final_output_of(ProcessId(p)).copied().expect("leader output"))
+//!     .collect();
+//! assert!(finals.iter().all(|&l| l == finals[0]), "disagreement: {finals:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod router;
+
+pub use cluster::{Cluster, NetConfig, Report, TimedOutput};

@@ -1,0 +1,260 @@
+//! The router thread: a fair-lossy mesh over wall-clock time.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use lls_primitives::ProcessId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A message in transit.
+pub(crate) struct Envelope<M> {
+    pub from: ProcessId,
+    pub to: ProcessId,
+    pub msg: M,
+}
+
+/// Shared, thread-safe traffic statistics.
+#[derive(Debug)]
+pub(crate) struct TrafficStats {
+    pub sent: Vec<u64>,
+    pub dropped: Vec<u64>,
+    pub last_send: Vec<Option<StdDuration>>,
+    pub started_at: StdInstant,
+}
+
+impl TrafficStats {
+    pub fn new(n: usize) -> Self {
+        TrafficStats {
+            sent: vec![0; n],
+            dropped: vec![0; n],
+            last_send: vec![None; n],
+            started_at: StdInstant::now(),
+        }
+    }
+}
+
+struct Delayed<M> {
+    due: StdInstant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+pub(crate) struct RouterConfig {
+    pub loss: f64,
+    pub min_delay: StdDuration,
+    pub max_delay: StdDuration,
+    pub seed: u64,
+}
+
+/// Runs until the ingress channel disconnects: applies loss, holds messages
+/// for their sampled delay, then forwards to the destination inbox. Delivery
+/// failures (crashed/stopped destination) are silently dropped — exactly a
+/// lossy link.
+pub(crate) fn run_router<M: Send + 'static>(
+    ingress: Receiver<Envelope<M>>,
+    inboxes: Vec<Sender<Envelope<M>>>,
+    config: RouterConfig,
+    stats: Arc<Mutex<TrafficStats>>,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut heap: BinaryHeap<Delayed<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Flush everything that is due.
+        let now = StdInstant::now();
+        while heap.peek().is_some_and(|d| d.due <= now) {
+            let d = heap.pop().expect("peeked");
+            let _ = inboxes[d.env.to.as_usize()].send(d.env);
+        }
+        let timeout = heap
+            .peek()
+            .map(|d| d.due.saturating_duration_since(StdInstant::now()))
+            .unwrap_or(StdDuration::from_millis(50));
+        match ingress.recv_timeout(timeout) {
+            Ok(env) => {
+                {
+                    let mut s = stats.lock();
+                    let i = env.from.as_usize();
+                    s.sent[i] += 1;
+                    s.last_send[i] = Some(s.started_at.elapsed());
+                    if config.loss > 0.0 && rng.gen_bool(config.loss.clamp(0.0, 1.0)) {
+                        s.dropped[i] += 1;
+                        continue;
+                    }
+                }
+                let spread = config
+                    .max_delay
+                    .saturating_sub(config.min_delay)
+                    .as_nanos() as u64;
+                let extra = if spread == 0 {
+                    StdDuration::ZERO
+                } else {
+                    StdDuration::from_nanos(rng.gen_range(0..=spread))
+                };
+                let due = StdInstant::now() + config.min_delay + extra;
+                seq += 1;
+                heap.push(Delayed { due, seq, env });
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Ingress closed: flush what is still in flight (waiting out each
+    // remaining delay, bounded by max_delay) so a shutdown does not silently
+    // swallow messages the loss model already admitted.
+    while let Some(d) = heap.pop() {
+        let now = StdInstant::now();
+        if d.due > now {
+            std::thread::sleep(d.due - now);
+        }
+        let _ = inboxes[d.env.to.as_usize()].send(d.env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn delayed_heap_pops_earliest_due_first() {
+        let base = StdInstant::now();
+        let mk = |offset_ms: u64, seq: u64| Delayed {
+            due: base + StdDuration::from_millis(offset_ms),
+            seq,
+            env: Envelope {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                msg: offset_ms,
+            },
+        };
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(mk(30, 0));
+        heap.push(mk(10, 1));
+        heap.push(mk(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|d| d.env.msg).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn delayed_heap_breaks_ties_by_sequence() {
+        let due = StdInstant::now() + StdDuration::from_millis(5);
+        let mk = |seq: u64| Delayed {
+            due,
+            seq,
+            env: Envelope {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                msg: seq,
+            },
+        };
+        let mut heap = std::collections::BinaryHeap::new();
+        for seq in [5u64, 1, 3] {
+            heap.push(mk(seq));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|d| d.seq).collect();
+        assert_eq!(order, vec![1, 3, 5], "equal deadlines must pop FIFO");
+    }
+
+    #[test]
+    fn router_counts_and_drops_deterministically() {
+        let (tx, rx) = unbounded::<Envelope<u8>>();
+        let (out_tx, out_rx) = unbounded::<Envelope<u8>>();
+        let stats = Arc::new(Mutex::new(TrafficStats::new(2)));
+        let handle = {
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                run_router(
+                    rx,
+                    vec![out_tx.clone(), out_tx],
+                    RouterConfig {
+                        loss: 0.5,
+                        min_delay: StdDuration::ZERO,
+                        max_delay: StdDuration::from_micros(100),
+                        seed: 1,
+                    },
+                    stats,
+                )
+            })
+        };
+        for i in 0..200u8 {
+            tx.send(Envelope {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                msg: i,
+            })
+            .unwrap();
+        }
+        drop(tx);
+        handle.join().unwrap();
+        let delivered = out_rx.try_iter().count();
+        let s = stats.lock();
+        assert_eq!(s.sent[0], 200);
+        let dropped = s.dropped[0] as usize;
+        assert_eq!(delivered + dropped, 200, "conservation");
+        assert!(dropped > 50 && dropped < 150, "~50% loss, got {dropped}");
+        assert!(s.last_send[0].is_some());
+        assert!(s.last_send[1].is_none());
+    }
+
+    #[test]
+    fn router_with_zero_loss_delivers_everything() {
+        let (tx, rx) = unbounded::<Envelope<u8>>();
+        let (out_tx, out_rx) = unbounded::<Envelope<u8>>();
+        let stats = Arc::new(Mutex::new(TrafficStats::new(2)));
+        let handle = {
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                run_router(
+                    rx,
+                    vec![out_tx.clone(), out_tx],
+                    RouterConfig {
+                        loss: 0.0,
+                        min_delay: StdDuration::ZERO,
+                        max_delay: StdDuration::ZERO,
+                        seed: 2,
+                    },
+                    stats,
+                )
+            })
+        };
+        for i in 0..50u8 {
+            tx.send(Envelope {
+                from: ProcessId(1),
+                to: ProcessId(0),
+                msg: i,
+            })
+            .unwrap();
+        }
+        drop(tx);
+        handle.join().unwrap();
+        let got: Vec<u8> = out_rx.try_iter().map(|e| e.msg).collect();
+        assert_eq!(got.len(), 50);
+        assert_eq!(stats.lock().dropped[1], 0);
+    }
+}

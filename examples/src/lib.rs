@@ -1,0 +1,14 @@
+//! Runnable examples for the limited-link-synchrony reproduction. The
+//! binaries live in `src/bin/`:
+//!
+//! * `quickstart` — elect a leader in system S, print the timeline and the
+//!   message economy (communication efficiency visible in the counters);
+//! * `replicated_kv` — a consensus-backed key-value store over the
+//!   replicated log;
+//! * `kv_sessions` — exactly-once client retries against the KV store;
+//! * `lock_service` — a CAS-based distributed lock with safe retries;
+//! * `leader_failover` — crash the leader mid-stream and lose no commits;
+//! * `thread_cluster` — the same election live on OS threads with
+//!   injected loss;
+//! * `model_check` — exhaustively verify consensus agreement over every
+//!   interleaving of a small system.

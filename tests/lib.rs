@@ -1,0 +1,2 @@
+//! Intentionally empty: this member exists to host the cross-crate
+//! integration tests under `tests/tests/`.
