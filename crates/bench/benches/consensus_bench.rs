@@ -2,8 +2,8 @@
 //! replicated-log steady-state commit throughput (simulated work per
 //! command, complementing experiment E7's message counts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use consensus::{Consensus, ConsensusParams, ReplicatedLog};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lls_primitives::{Duration, Instant, ProcessId};
 use netsim::{SimBuilder, SystemSParams, Topology};
 
@@ -15,11 +15,7 @@ fn bench_single_shot(c: &mut Criterion) {
             b.iter(|| {
                 let topo = Topology::system_s(n, ProcessId(0), SystemSParams::default());
                 let mut sim = SimBuilder::new(n).seed(3).topology(topo).build_with(|env| {
-                    Consensus::new(
-                        env,
-                        ConsensusParams::default(),
-                        Some(env.id().0 as u64),
-                    )
+                    Consensus::new(env, ConsensusParams::default(), Some(env.id().0 as u64))
                 });
                 sim.run_until(Instant::from_ticks(40_000));
                 assert!(sim.node(ProcessId(0)).decision().is_some());
@@ -40,9 +36,7 @@ fn bench_rsm_steady_state(c: &mut Criterion) {
                 let mut sim = SimBuilder::new(n)
                     .seed(3)
                     .topology(Topology::all_timely(n, Duration::from_ticks(2)))
-                    .build_with(|env| {
-                        ReplicatedLog::<u64>::new(env, ConsensusParams::default())
-                    });
+                    .build_with(|env| ReplicatedLog::<u64>::new(env, ConsensusParams::default()));
                 sim.run_until(Instant::from_ticks(5_000));
                 for k in 0..commands {
                     sim.schedule_request(Instant::from_ticks(5_001 + 50 * k), ProcessId(0), k);

@@ -60,7 +60,10 @@ fn bench_link_routing(c: &mut Criterion) {
     group.throughput(Throughput::Elements(10_000));
     let links = [
         ("timely", LinkModel::timely(3)),
-        ("eventually_timely", LinkModel::eventually_timely(500, 3, 0.7)),
+        (
+            "eventually_timely",
+            LinkModel::eventually_timely(500, 3, 0.7),
+        ),
         ("fair_lossy", LinkModel::fair_lossy(0.3, 2)),
         ("lossy_async", LinkModel::lossy_async(0.5, 2)),
     ];

@@ -1,11 +1,11 @@
-//! CLI regenerating every experiment table/series (E1–E10).
+//! CLI regenerating every experiment table/series (E1–E15).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
 //!   cargo run -p omega-bench --release --bin experiments -- e3 e7
 //!   cargo run -p omega-bench --release --bin experiments -- --quick all
 
-use omega_bench::{e_consensus, e_omega, e_thread};
+use omega_bench::{e_consensus, e_omega, e_thread, e_wire};
 
 struct Scale {
     seeds: u64,
@@ -91,7 +91,12 @@ fn run(id: &str, s: &Scale) {
             "Ω-gated consensus vs rotating coordinator (◇S) on the same adversary",
             e_consensus::e14_vs_rotating(5, s.seeds.min(8), s.long_horizon).render(),
         ),
-        other => eprintln!("unknown experiment id: {other} (expected e1..e10 or all)"),
+        "e15" => print_exp(
+            id,
+            "TCP-socket validation: sender-set collapse over real connections",
+            e_wire::e15_wirenet(5, 0.05, 10, 400).render(),
+        ),
+        other => eprintln!("unknown experiment id: {other} (expected e1..e15 or all)"),
     }
 }
 
@@ -121,7 +126,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14",
+            "e14", "e15",
         ] {
             run(id, &scale);
         }

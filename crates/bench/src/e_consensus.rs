@@ -145,14 +145,24 @@ pub fn e7_steady_state(n: usize, commands: u64, horizon_pad: u64) -> Table {
         // Establish the leader.
         sim.run_until(Instant::from_ticks(10_000));
         let leader = sim.node(ProcessId(0)).omega().leader();
-        let prepares_before = sim.stats().kind_counts().get("PREPARE").copied().unwrap_or(0);
+        let prepares_before = sim
+            .stats()
+            .kind_counts()
+            .get("PREPARE")
+            .copied()
+            .unwrap_or(0);
         let total_before = sim.stats().total_sent();
         for k in 0..commands {
             sim.schedule_request(Instant::from_ticks(10_001 + 150 * k), leader, k);
         }
         let end = 10_000 + 150 * commands + horizon_pad;
         sim.run_until(Instant::from_ticks(end));
-        let prepares_after = sim.stats().kind_counts().get("PREPARE").copied().unwrap_or(0);
+        let prepares_after = sim
+            .stats()
+            .kind_counts()
+            .get("PREPARE")
+            .copied()
+            .unwrap_or(0);
         let committed = sim.node(leader).committed_len();
         // Subtract the constant Ω heartbeat background from the marginal
         // message cost.
@@ -226,9 +236,16 @@ pub fn e14_vs_rotating(n: usize, seeds: u64, horizon: u64) -> Table {
         let mut churn = 0u64;
         let mut decided_runs = 0usize;
         for seed in 0..seeds {
-            let mut sim = SimBuilder::new(n).seed(seed).topology(topo(seed)).build_with(|env| {
-                Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64))
-            });
+            let mut sim = SimBuilder::new(n)
+                .seed(seed)
+                .topology(topo(seed))
+                .build_with(|env| {
+                    Consensus::new(
+                        env,
+                        ConsensusParams::default(),
+                        Some(100 + env.id().0 as u64),
+                    )
+                });
             sim.run_until(Instant::from_ticks(horizon));
             let ds = decisions(&sim);
             if ds.len() == n {
@@ -248,8 +265,16 @@ pub fn e14_vs_rotating(n: usize, seeds: u64, horizon: u64) -> Table {
             format!("{loss:.1}"),
             gst.to_string(),
             format!("{decided_runs}/{seeds}"),
-            if times.is_empty() { "-".into() } else { percentile(&times, 50.0).to_string() },
-            if times.is_empty() { "-".into() } else { percentile(&times, 95.0).to_string() },
+            if times.is_empty() {
+                "-".into()
+            } else {
+                percentile(&times, 50.0).to_string()
+            },
+            if times.is_empty() {
+                "-".into()
+            } else {
+                percentile(&times, 95.0).to_string()
+            },
             format!("{:.0}", msgs as f64 / decided_runs.max(1) as f64),
             format!("{:.1}", churn as f64 / decided_runs.max(1) as f64),
         ]);
@@ -259,9 +284,12 @@ pub fn e14_vs_rotating(n: usize, seeds: u64, horizon: u64) -> Table {
         let mut churn = 0u64;
         let mut decided_runs = 0usize;
         for seed in 0..seeds {
-            let mut sim = SimBuilder::new(n).seed(seed).topology(topo(seed)).build_with(|env| {
-                RotatingConsensus::new(env, ConsensusParams::default(), 100 + env.id().0 as u64)
-            });
+            let mut sim = SimBuilder::new(n)
+                .seed(seed)
+                .topology(topo(seed))
+                .build_with(|env| {
+                    RotatingConsensus::new(env, ConsensusParams::default(), 100 + env.id().0 as u64)
+                });
             sim.run_until(Instant::from_ticks(horizon));
             let ds: Vec<Instant> = sim
                 .outputs()
@@ -288,8 +316,16 @@ pub fn e14_vs_rotating(n: usize, seeds: u64, horizon: u64) -> Table {
             format!("{loss:.1}"),
             gst.to_string(),
             format!("{decided_runs}/{seeds}"),
-            if times.is_empty() { "-".into() } else { percentile(&times, 50.0).to_string() },
-            if times.is_empty() { "-".into() } else { percentile(&times, 95.0).to_string() },
+            if times.is_empty() {
+                "-".into()
+            } else {
+                percentile(&times, 50.0).to_string()
+            },
+            if times.is_empty() {
+                "-".into()
+            } else {
+                percentile(&times, 95.0).to_string()
+            },
             format!("{:.0}", msgs as f64 / decided_runs.max(1) as f64),
             format!("{:.1}", churn as f64 / decided_runs.max(1) as f64),
         ]);

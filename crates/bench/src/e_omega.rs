@@ -85,9 +85,21 @@ pub fn e1_convergence(sizes: &[usize], seeds: u64, horizon: u64) -> Table {
             n.to_string(),
             seeds.to_string(),
             format!("{}/{}", ok, seeds),
-            if stabs.is_empty() { "-".into() } else { percentile(&stabs, 50.0).to_string() },
-            if stabs.is_empty() { "-".into() } else { percentile(&stabs, 95.0).to_string() },
-            if quiets.is_empty() { "-".into() } else { percentile(&quiets, 50.0).to_string() },
+            if stabs.is_empty() {
+                "-".into()
+            } else {
+                percentile(&stabs, 50.0).to_string()
+            },
+            if stabs.is_empty() {
+                "-".into()
+            } else {
+                percentile(&stabs, 95.0).to_string()
+            },
+            if quiets.is_empty() {
+                "-".into()
+            } else {
+                percentile(&quiets, 50.0).to_string()
+            },
         ]);
     }
     t
@@ -230,7 +242,11 @@ pub fn e4_robustness(n: usize, seeds: u64, horizon: u64) -> Table {
                 format!("{loss:.1}"),
                 gst.to_string(),
                 format!("{ok}/{seeds}"),
-                if stabs.is_empty() { "-".into() } else { percentile(&stabs, 50.0).to_string() },
+                if stabs.is_empty() {
+                    "-".into()
+                } else {
+                    percentile(&stabs, 50.0).to_string()
+                },
                 format!("{:.1}", changes as f64 / (seeds as f64 * n as f64)),
                 max_counter.to_string(),
             ]);
@@ -307,20 +323,14 @@ pub fn e8_crossover(n: usize, seeds: u64, horizon: u64) -> Table {
             if stab_of(&eff, &correct).is_some() {
                 eff_ok += 1;
             }
-            eff_senders += eff
-                .stats()
-                .senders_since(tail_cut(eff.now(), 10))
-                .len();
+            eff_senders += eff.stats().senders_since(tail_cut(eff.now(), 10)).len();
             let a2a = run_omega(n, seed, topo, FaultPlan::new(n), horizon, |env| {
                 AllToAllOmega::new(env, OmegaParams::default())
             });
             if stab_of(&a2a, &correct).is_some() {
                 a2a_ok += 1;
             }
-            a2a_senders += a2a
-                .stats()
-                .senders_since(tail_cut(a2a.now(), 10))
-                .len();
+            a2a_senders += a2a.stats().senders_since(tail_cut(a2a.now(), 10)).len();
         }
         let links = k * (n - 1);
         t.row(vec![
@@ -400,7 +410,11 @@ pub fn e9_ablation(n: usize, seeds: u64, horizon: u64) -> Table {
         t.row(vec![
             name.to_owned(),
             format!("{ok}/{seeds}"),
-            if stabs.is_empty() { "-".into() } else { percentile(&stabs, 50.0).to_string() },
+            if stabs.is_empty() {
+                "-".into()
+            } else {
+                percentile(&stabs, 50.0).to_string()
+            },
             max_counter.to_string(),
             accusations.to_string(),
         ]);
@@ -509,11 +523,7 @@ pub fn e12_blink(n: usize, seeds: u64, horizon: u64) -> Table {
         }
         topo
     };
-    let mut t = Table::new(vec![
-        "policy",
-        "converged",
-        "leader_changes_in_tail (mean)",
-    ]);
+    let mut t = Table::new(vec!["policy", "converged", "leader_changes_in_tail (mean)"]);
     let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
     for (name, params) in variants {
         let mut ok = 0usize;
@@ -607,7 +617,11 @@ mod tests {
 
     #[test]
     fn e1_small_instance_converges() {
-        let t = e1_convergence(&[3], 2, 20_000);
+        // Horizon 60k, not 20k: stabilization time is finite but heavy-tailed
+        // (see the metastability note in core/tests/properties.rs), and one of
+        // the two checked seeds stabilizes around tick 25k. The run itself is
+        // deterministic per seed; only the finite-horizon cut-off is loosened.
+        let t = e1_convergence(&[3], 2, 60_000);
         let s = t.render();
         assert!(s.contains("2/2"), "small E1 must fully converge:\n{s}");
     }

@@ -43,7 +43,10 @@ pub fn e10_threadnet(n: usize, loss: f64, windows: usize, window_ms: u64) -> Tab
         .all(|p| report.final_output_of(p).copied() == leader);
     t.row(vec![
         "final".into(),
-        format!("leader={}", leader.map(|l| l.to_string()).unwrap_or("-".into())),
+        format!(
+            "leader={}",
+            leader.map(|l| l.to_string()).unwrap_or("-".into())
+        ),
         format!("agreement={agreed}"),
     ]);
     t

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use lls_primitives::wire::{Wire, WireError, WireReader};
 use lls_primitives::ProcessId;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +68,17 @@ impl Ballot {
                 leader: me,
             }
         }
+    }
+}
+
+impl Wire for Ballot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.leader.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Ballot::new(u64::decode(r)?, ProcessId::decode(r)?))
     }
 }
 

@@ -25,9 +25,7 @@ pub struct DecisionRecord<V> {
 /// # Errors
 ///
 /// Returns the first conflicting pair found.
-pub fn check_agreement<V: Eq + fmt::Debug>(
-    decisions: &[DecisionRecord<V>],
-) -> Result<(), String> {
+pub fn check_agreement<V: Eq + fmt::Debug>(decisions: &[DecisionRecord<V>]) -> Result<(), String> {
     if let Some(first) = decisions.first() {
         for d in &decisions[1..] {
             if d.value != first.value {
@@ -102,9 +100,7 @@ pub fn check_consensus_safety<V: Eq + fmt::Debug>(
 /// # Errors
 ///
 /// Returns the first slot with conflicting entries.
-pub fn check_log_consistency<V: Eq + fmt::Debug>(
-    logs: &[BTreeMap<u64, V>],
-) -> Result<(), String> {
+pub fn check_log_consistency<V: Eq + fmt::Debug>(logs: &[BTreeMap<u64, V>]) -> Result<(), String> {
     let mut reference: BTreeMap<u64, (usize, &V)> = BTreeMap::new();
     for (p, log) in logs.iter().enumerate() {
         for (slot, entry) in log {

@@ -1,5 +1,6 @@
 //! Wire messages of the consensus protocols.
 
+use lls_primitives::wire::{Wire, WireError, WireReader};
 use omega::OmegaMsg;
 use serde::{Deserialize, Serialize};
 
@@ -133,6 +134,188 @@ pub enum RsmMsg<V> {
     },
 }
 
+impl<V: Wire> Wire for Entry<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Entry::Noop => out.push(0),
+            Entry::Cmd(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Entry::Noop),
+            1 => Ok(Entry::Cmd(V::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                type_name: "Entry",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for ConsensusMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConsensusMsg::Omega(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            ConsensusMsg::Prepare { b } => {
+                out.push(1);
+                b.encode(out);
+            }
+            ConsensusMsg::Promise { b, accepted } => {
+                out.push(2);
+                b.encode(out);
+                accepted.encode(out);
+            }
+            ConsensusMsg::Accept { b, v } => {
+                out.push(3);
+                b.encode(out);
+                v.encode(out);
+            }
+            ConsensusMsg::Accepted { b } => {
+                out.push(4);
+                b.encode(out);
+            }
+            ConsensusMsg::Nack { b, higher } => {
+                out.push(5);
+                b.encode(out);
+                higher.encode(out);
+            }
+            ConsensusMsg::Decide { v } => {
+                out.push(6);
+                v.encode(out);
+            }
+            ConsensusMsg::DecideAck => out.push(7),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ConsensusMsg::Omega(OmegaMsg::decode(r)?)),
+            1 => Ok(ConsensusMsg::Prepare {
+                b: Ballot::decode(r)?,
+            }),
+            2 => Ok(ConsensusMsg::Promise {
+                b: Ballot::decode(r)?,
+                accepted: Option::decode(r)?,
+            }),
+            3 => Ok(ConsensusMsg::Accept {
+                b: Ballot::decode(r)?,
+                v: V::decode(r)?,
+            }),
+            4 => Ok(ConsensusMsg::Accepted {
+                b: Ballot::decode(r)?,
+            }),
+            5 => Ok(ConsensusMsg::Nack {
+                b: Ballot::decode(r)?,
+                higher: Ballot::decode(r)?,
+            }),
+            6 => Ok(ConsensusMsg::Decide { v: V::decode(r)? }),
+            7 => Ok(ConsensusMsg::DecideAck),
+            tag => Err(WireError::BadTag {
+                type_name: "ConsensusMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for RsmMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RsmMsg::Omega(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            RsmMsg::Prepare { b, from_slot } => {
+                out.push(1);
+                b.encode(out);
+                from_slot.encode(out);
+            }
+            RsmMsg::Promise {
+                b,
+                accepted,
+                low_slot,
+            } => {
+                out.push(2);
+                b.encode(out);
+                accepted.encode(out);
+                low_slot.encode(out);
+            }
+            RsmMsg::Accept { b, slot, entry } => {
+                out.push(3);
+                b.encode(out);
+                slot.encode(out);
+                entry.encode(out);
+            }
+            RsmMsg::Accepted { b, slot } => {
+                out.push(4);
+                b.encode(out);
+                slot.encode(out);
+            }
+            RsmMsg::Nack { b, higher } => {
+                out.push(5);
+                b.encode(out);
+                higher.encode(out);
+            }
+            RsmMsg::Decide { slot, entry } => {
+                out.push(6);
+                slot.encode(out);
+                entry.encode(out);
+            }
+            RsmMsg::DecideAck { slot } => {
+                out.push(7);
+                slot.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RsmMsg::Omega(OmegaMsg::decode(r)?)),
+            1 => Ok(RsmMsg::Prepare {
+                b: Ballot::decode(r)?,
+                from_slot: u64::decode(r)?,
+            }),
+            2 => Ok(RsmMsg::Promise {
+                b: Ballot::decode(r)?,
+                accepted: Vec::decode(r)?,
+                low_slot: u64::decode(r)?,
+            }),
+            3 => Ok(RsmMsg::Accept {
+                b: Ballot::decode(r)?,
+                slot: u64::decode(r)?,
+                entry: Entry::decode(r)?,
+            }),
+            4 => Ok(RsmMsg::Accepted {
+                b: Ballot::decode(r)?,
+                slot: u64::decode(r)?,
+            }),
+            5 => Ok(RsmMsg::Nack {
+                b: Ballot::decode(r)?,
+                higher: Ballot::decode(r)?,
+            }),
+            6 => Ok(RsmMsg::Decide {
+                slot: u64::decode(r)?,
+                entry: Entry::decode(r)?,
+            }),
+            7 => Ok(RsmMsg::DecideAck {
+                slot: u64::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                type_name: "RsmMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Classifier for per-kind message statistics of [`ConsensusMsg`].
 pub fn classify_consensus_msg<V>(msg: &ConsensusMsg<V>) -> &'static str {
     match msg {
@@ -182,7 +365,16 @@ mod tests {
         let kinds: Vec<_> = msgs.iter().map(classify_consensus_msg).collect();
         assert_eq!(
             kinds,
-            vec!["ALIVE", "PREPARE", "PROMISE", "ACCEPT", "ACCEPTED", "NACK", "DECIDE", "DECIDE_ACK"]
+            vec![
+                "ALIVE",
+                "PREPARE",
+                "PROMISE",
+                "ACCEPT",
+                "ACCEPTED",
+                "NACK",
+                "DECIDE",
+                "DECIDE_ACK"
+            ]
         );
     }
 
@@ -198,17 +390,37 @@ mod tests {
         let msgs: Vec<RsmMsg<u64>> = vec![
             RsmMsg::Omega(OmegaMsg::Accuse { counter: 0 }),
             RsmMsg::Prepare { b, from_slot: 0 },
-            RsmMsg::Promise { b, accepted: vec![], low_slot: 0 },
-            RsmMsg::Accept { b, slot: 0, entry: Entry::Cmd(1) },
+            RsmMsg::Promise {
+                b,
+                accepted: vec![],
+                low_slot: 0,
+            },
+            RsmMsg::Accept {
+                b,
+                slot: 0,
+                entry: Entry::Cmd(1),
+            },
             RsmMsg::Accepted { b, slot: 0 },
             RsmMsg::Nack { b, higher: b },
-            RsmMsg::Decide { slot: 0, entry: Entry::Noop },
+            RsmMsg::Decide {
+                slot: 0,
+                entry: Entry::Noop,
+            },
             RsmMsg::DecideAck { slot: 0 },
         ];
         let kinds: Vec<_> = msgs.iter().map(classify_rsm_msg).collect();
         assert_eq!(
             kinds,
-            vec!["ACCUSE", "PREPARE", "PROMISE", "ACCEPT", "ACCEPTED", "NACK", "DECIDE", "DECIDE_ACK"]
+            vec![
+                "ACCUSE",
+                "PREPARE",
+                "PROMISE",
+                "ACCEPT",
+                "ACCEPTED",
+                "NACK",
+                "DECIDE",
+                "DECIDE_ACK"
+            ]
         );
     }
 }

@@ -503,7 +503,14 @@ mod tests {
         let fx = h.start();
         // p0 coordinates round 0; non-coordinators would send estimates.
         assert!(fx.sends.is_empty(), "coordinator has its own estimate only");
-        let fx = h.deliver(1, RotMsg::Estimate { r: 0, ts: 0, est: 7 });
+        let fx = h.deliver(
+            1,
+            RotMsg::Estimate {
+                r: 0,
+                ts: 0,
+                est: 7,
+            },
+        );
         // Majority (2 of 3): proposes max-ts estimate; ties by iteration
         // order keep a deterministic value; all estimates have ts 0, the max
         // picks one of them — and proposes it to everyone.
@@ -537,13 +544,17 @@ mod tests {
     fn coordinator_decides_on_majority_acks() {
         let mut h = Harness::new(0, 3, 42);
         h.start();
-        h.deliver(1, RotMsg::Estimate { r: 0, ts: 0, est: 7 });
+        h.deliver(
+            1,
+            RotMsg::Estimate {
+                r: 0,
+                ts: 0,
+                est: 7,
+            },
+        );
         let fx = h.deliver(1, RotMsg::Ack { r: 0 });
         assert!(h.sm.decision().is_some());
-        assert!(fx
-            .outputs
-            .iter()
-            .any(|o| matches!(o, RotEvent::Decided(_))));
+        assert!(fx.outputs.iter().any(|o| matches!(o, RotEvent::Decided(_))));
         assert!(fx
             .sends
             .iter()
@@ -578,7 +589,14 @@ mod tests {
         // value.
         let mut h = Harness::new(0, 3, 1);
         h.start();
-        let fx = h.deliver(2, RotMsg::Estimate { r: 3, ts: 2, est: 99 });
+        let fx = h.deliver(
+            2,
+            RotMsg::Estimate {
+                r: 3,
+                ts: 2,
+                est: 99,
+            },
+        );
         assert_eq!(h.sm.round(), 3);
         // Majority is 2 (self + p2): the proposal goes out now and must be 99.
         assert!(
@@ -594,17 +612,21 @@ mod tests {
     fn full_nack_round_moves_coordinator_on() {
         let mut h = Harness::new(0, 3, 42);
         h.start();
-        h.deliver(1, RotMsg::Estimate { r: 0, ts: 0, est: 7 });
+        h.deliver(
+            1,
+            RotMsg::Estimate {
+                r: 0,
+                ts: 0,
+                est: 7,
+            },
+        );
         // Proposal went out; both peers NACK.
         h.deliver(1, RotMsg::Nack { r: 0 });
         let fx = h.deliver(2, RotMsg::Nack { r: 0 });
         // acks(self)=1 + nacks=2 = n: round resolves without decision.
         assert_eq!(h.sm.round(), 1);
         assert!(h.sm.decision().is_none());
-        assert!(fx
-            .outputs
-            .iter()
-            .any(|o| matches!(o, RotEvent::Round(1))));
+        assert!(fx.outputs.iter().any(|o| matches!(o, RotEvent::Round(1))));
     }
 
     #[test]
@@ -613,17 +635,11 @@ mod tests {
         h.start();
         let fx = h.deliver(0, RotMsg::Decide { v: 42 });
         assert_eq!(h.sm.decision(), Some(&42));
-        assert!(fx
-            .sends
-            .iter()
-            .any(|s| matches!(s.msg, RotMsg::DecideAck)));
+        assert!(fx.sends.iter().any(|s| matches!(s.msg, RotMsg::DecideAck)));
         // Duplicate: re-ack, no duplicate output.
         let fx = h.deliver(0, RotMsg::Decide { v: 42 });
         assert!(fx.outputs.is_empty());
-        assert!(fx
-            .sends
-            .iter()
-            .any(|s| matches!(s.msg, RotMsg::DecideAck)));
+        assert!(fx.sends.iter().any(|s| matches!(s.msg, RotMsg::DecideAck)));
     }
 
     #[test]
@@ -639,11 +655,25 @@ mod tests {
         // Coordinator retransmits its proposal to silent peers.
         let mut h = Harness::new(0, 3, 42);
         h.start();
-        h.deliver(1, RotMsg::Estimate { r: 0, ts: 0, est: 7 });
+        h.deliver(
+            1,
+            RotMsg::Estimate {
+                r: 0,
+                ts: 0,
+                est: 7,
+            },
+        );
         h.deliver(1, RotMsg::Ack { r: 0 }); // decides
         let mut h2 = Harness::new(0, 3, 42);
         h2.start();
-        h2.deliver(1, RotMsg::Estimate { r: 0, ts: 0, est: 7 });
+        h2.deliver(
+            1,
+            RotMsg::Estimate {
+                r: 0,
+                ts: 0,
+                est: 7,
+            },
+        );
         let fx = h2.fire(RETRY_TIMER);
         let proposes = fx
             .sends
@@ -659,7 +689,14 @@ mod tests {
         h.start();
         h.fire(SUSPECT_TIMER); // now in round 1, no coord state
         let before = h.sm.round();
-        h.deliver(1, RotMsg::Estimate { r: 0, ts: 0, est: 7 });
+        h.deliver(
+            1,
+            RotMsg::Estimate {
+                r: 0,
+                ts: 0,
+                est: 7,
+            },
+        );
         h.deliver(1, RotMsg::Ack { r: 0 });
         assert_eq!(h.sm.round(), before);
         assert!(h.sm.decision().is_none());

@@ -295,7 +295,12 @@ where
         self.propose_at(ctx, slot, entry);
     }
 
-    fn propose_at(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
+    fn propose_at(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        slot: u64,
+        entry: Entry<V>,
+    ) {
         let LeaderState::Led { b, .. } = self.state else {
             // Called from try_assume_leadership after setting Led, or from
             // propose_next which checked; unreachable otherwise.
@@ -336,7 +341,12 @@ where
         self.decide_trackers.insert(slot, acks);
     }
 
-    fn broadcast_decide(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
+    fn broadcast_decide(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        slot: u64,
+        entry: Entry<V>,
+    ) {
         ctx.broadcast(RsmMsg::Decide { slot, entry });
     }
 
@@ -390,7 +400,12 @@ where
         }
         match &self.state {
             LeaderState::Follower => self.start_prepare(ctx),
-            LeaderState::Preparing { b, from_slot, promised_by, .. } => {
+            LeaderState::Preparing {
+                b,
+                from_slot,
+                promised_by,
+                ..
+            } => {
                 let (b, from_slot) = (*b, *from_slot);
                 let missing: Vec<ProcessId> = self
                     .env
@@ -690,10 +705,17 @@ mod tests {
             .all(|s| matches!(s.msg, RsmMsg::Accept { slot: 0, .. })));
         assert_eq!(fx.sends.len(), 2);
         // One Accepted (plus self) = majority: commit + decide broadcast.
-        let fx = h.deliver(1, RsmMsg::Accepted { b: b(1, 0), slot: 0 });
-        assert!(fx
-            .outputs
-            .contains(&RsmEvent::Committed { slot: 0, cmd: Some(7) }));
+        let fx = h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
+        assert!(fx.outputs.contains(&RsmEvent::Committed {
+            slot: 0,
+            cmd: Some(7)
+        }));
         assert_eq!(
             fx.sends
                 .iter()
@@ -709,9 +731,24 @@ mod tests {
         let mut h = Harness::new(2, 3);
         h.start();
         // Decide for slot 1 arrives before slot 0 (links are not FIFO).
-        let fx = h.deliver(0, RsmMsg::Decide { slot: 1, entry: Entry::Cmd(11) });
-        assert!(fx.outputs.iter().all(|o| !matches!(o, RsmEvent::Committed { .. })));
-        let fx = h.deliver(0, RsmMsg::Decide { slot: 0, entry: Entry::Cmd(10) });
+        let fx = h.deliver(
+            0,
+            RsmMsg::Decide {
+                slot: 1,
+                entry: Entry::Cmd(11),
+            },
+        );
+        assert!(fx
+            .outputs
+            .iter()
+            .all(|o| !matches!(o, RsmEvent::Committed { .. })));
+        let fx = h.deliver(
+            0,
+            RsmMsg::Decide {
+                slot: 0,
+                entry: Entry::Cmd(10),
+            },
+        );
         let committed: Vec<_> = fx
             .outputs
             .iter()
@@ -754,17 +791,43 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(accepts.contains(&(0, Entry::Noop)), "gap must be filled: {accepts:?}");
-        assert!(accepts.contains(&(1, Entry::Cmd(99))), "inherited entry must be re-proposed");
+        assert!(
+            accepts.contains(&(0, Entry::Noop)),
+            "gap must be filled: {accepts:?}"
+        );
+        assert!(
+            accepts.contains(&(1, Entry::Cmd(99))),
+            "inherited entry must be re-proposed"
+        );
     }
 
     #[test]
     fn acceptor_reveals_suffix_on_prepare() {
         let mut h = Harness::new(1, 3);
         h.start();
-        h.deliver(0, RsmMsg::Accept { b: b(1, 0), slot: 0, entry: Entry::Cmd(5) });
-        h.deliver(0, RsmMsg::Accept { b: b(1, 0), slot: 3, entry: Entry::Cmd(8) });
-        let fx = h.deliver(2, RsmMsg::Prepare { b: b(2, 2), from_slot: 2 });
+        h.deliver(
+            0,
+            RsmMsg::Accept {
+                b: b(1, 0),
+                slot: 0,
+                entry: Entry::Cmd(5),
+            },
+        );
+        h.deliver(
+            0,
+            RsmMsg::Accept {
+                b: b(1, 0),
+                slot: 3,
+                entry: Entry::Cmd(8),
+            },
+        );
+        let fx = h.deliver(
+            2,
+            RsmMsg::Prepare {
+                b: b(2, 2),
+                from_slot: 2,
+            },
+        );
         let promise = fx
             .sends
             .iter()
@@ -790,8 +853,21 @@ mod tests {
     fn stale_ballot_accept_is_nacked() {
         let mut h = Harness::new(1, 3);
         h.start();
-        h.deliver(2, RsmMsg::Prepare { b: b(5, 2), from_slot: 0 });
-        let fx = h.deliver(0, RsmMsg::Accept { b: b(1, 0), slot: 0, entry: Entry::Cmd(1) });
+        h.deliver(
+            2,
+            RsmMsg::Prepare {
+                b: b(5, 2),
+                from_slot: 0,
+            },
+        );
+        let fx = h.deliver(
+            0,
+            RsmMsg::Accept {
+                b: b(1, 0),
+                slot: 0,
+                entry: Entry::Cmd(1),
+            },
+        );
         assert!(fx
             .sends
             .iter()
@@ -802,16 +878,32 @@ mod tests {
     fn nack_abdicates_leadership() {
         let mut h = led_leader();
         h.request(7);
-        h.deliver(2, RsmMsg::Nack { b: b(1, 0), higher: b(4, 2) });
+        h.deliver(
+            2,
+            RsmMsg::Nack {
+                b: b(1, 0),
+                higher: b(4, 2),
+            },
+        );
         assert!(!h.sm.is_established_leader());
-        assert_eq!(h.sm.inflight.len(), 0, "inflight must be dropped on abdication");
+        assert_eq!(
+            h.sm.inflight.len(),
+            0,
+            "inflight must be dropped on abdication"
+        );
     }
 
     #[test]
     fn promise_triggers_catchup_decides_for_lagging_peer() {
         let mut h = led_leader();
         h.request(7);
-        h.deliver(1, RsmMsg::Accepted { b: b(1, 0), slot: 0 });
+        h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
         assert_eq!(h.sm.committed_len(), 1);
         // A new prepare from us after re-election would carry catch-up; here
         // simulate a late promise from p2 with low_slot 0.
@@ -854,7 +946,13 @@ mod tests {
     fn decide_ack_completes_tracker() {
         let mut h = led_leader();
         h.request(7);
-        h.deliver(1, RsmMsg::Accepted { b: b(1, 0), slot: 0 });
+        h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
         assert!(h.sm.decide_trackers.contains_key(&0));
         h.deliver(1, RsmMsg::DecideAck { slot: 0 });
         h.deliver(2, RsmMsg::DecideAck { slot: 0 });

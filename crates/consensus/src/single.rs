@@ -268,11 +268,8 @@ where
     }
 
     fn learn(&mut self, ctx: &mut Ctx<'_, ConsensusMsg<V>, ConsensusEvent<V>>, v: V) {
+        // Agreement is checked externally by the consensus checker.
         if self.decided.is_none() {
-            debug_assert!(
-                true,
-                "agreement is checked externally by the consensus checker"
-            );
             self.decided = Some(v.clone());
             ctx.output(ConsensusEvent::Decided(v));
         }
@@ -457,10 +454,7 @@ where
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: V) {
         if self.proposal.is_none() {
             self.proposal = Some(req);
-            if self.omega.is_leader()
-                && self.decided.is_none()
-                && matches!(self.role, Role::Idle)
-            {
+            if self.omega.is_leader() && self.decided.is_none() && matches!(self.role, Role::Idle) {
                 self.start_prepare(ctx);
             }
         }
@@ -562,10 +556,7 @@ mod tests {
         // One accepted (plus self) = majority → decide.
         let fx = h.deliver(1, ConsensusMsg::Accepted { b: b(1, 0) });
         assert_eq!(h.sm.decision(), Some(&42));
-        assert!(fx
-            .outputs
-            .iter()
-            .any(|o| *o == ConsensusEvent::Decided(42)));
+        assert!(fx.outputs.contains(&ConsensusEvent::Decided(42)));
         assert!(fx
             .sends
             .iter()
@@ -663,10 +654,7 @@ mod tests {
         h.start();
         let fx = h.deliver(0, ConsensusMsg::Decide { v: 5 });
         assert_eq!(h.sm.decision(), Some(&5));
-        assert!(fx
-            .outputs
-            .iter()
-            .any(|o| *o == ConsensusEvent::Decided(5)));
+        assert!(fx.outputs.contains(&ConsensusEvent::Decided(5)));
         assert!(fx
             .sends
             .iter()

@@ -38,7 +38,11 @@ fn run_single(
         builder = builder.crash_at(ProcessId(p), Instant::from_ticks(t));
     }
     let mut sim = builder.build_with(|env| {
-        Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64))
+        Consensus::new(
+            env,
+            ConsensusParams::default(),
+            Some(100 + env.id().0 as u64),
+        )
     });
     sim.run_until(Instant::from_ticks(horizon));
     sim
@@ -63,13 +67,7 @@ fn all_correct_processes_decide_the_same_proposed_value() {
 fn safety_holds_with_minority_crashes_and_liveness_resumes() {
     let n = 5;
     // Crash two non-source processes mid-run; majority (3) survives.
-    let sim = run_single(
-        n,
-        7,
-        system_s(n, 2),
-        100_000,
-        &[(0, 3_000), (4, 9_000)],
-    );
+    let sim = run_single(n, 7, system_s(n, 2), 100_000, &[(0, 3_000), (4, 9_000)]);
     let ds = decisions(&sim);
     check_consensus_safety(&ds, &proposals(n)).unwrap();
     // All three survivors decide.
@@ -95,12 +93,13 @@ fn decision_is_stable_across_leader_crash() {
             ..SystemSParams::default()
         },
     );
-    let mut sim = SimBuilder::new(n)
-        .seed(3)
-        .topology(topo)
-        .build_with(|env| {
-            Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64))
-        });
+    let mut sim = SimBuilder::new(n).seed(3).topology(topo).build_with(|env| {
+        Consensus::new(
+            env,
+            ConsensusParams::default(),
+            Some(100 + env.id().0 as u64),
+        )
+    });
     sim.run_until(Instant::from_ticks(30_000));
     let early = decisions(&sim);
     assert!(!early.is_empty(), "nobody decided in 30k ticks");
@@ -117,19 +116,14 @@ fn no_decision_without_majority_but_no_unsafety_either() {
     let n = 4;
     // Crash 3 of 4 immediately: no quorum can ever form after the crashes.
     // Any decisions reached before/after must still be safe; typically none.
-    let sim = run_single(
-        n,
-        11,
-        system_s(n, 3),
-        40_000,
-        &[(0, 10), (1, 10), (2, 10)],
-    );
+    let sim = run_single(n, 11, system_s(n, 3), 40_000, &[(0, 10), (1, 10), (2, 10)]);
     let ds = decisions(&sim);
     check_consensus_safety(&ds, &proposals(n)).unwrap();
     // The survivor alone cannot decide after the crashes: at most the
     // pre-crash instant could decide, and with a 10-tick window it cannot.
     assert!(
-        ds.iter().all(|d| d.process == ProcessId(3) || d.at <= Instant::from_ticks(10)),
+        ds.iter()
+            .all(|d| d.process == ProcessId(3) || d.at <= Instant::from_ticks(10)),
         "quorum-less decisions: {ds:?}"
     );
     assert!(
@@ -186,9 +180,7 @@ fn heavy_loss_delays_but_does_not_break_consensus() {
 #[test]
 fn replicated_log_commits_a_stream_in_order_everywhere() {
     let n = 5;
-    let mut builder = SimBuilder::new(n)
-        .seed(23)
-        .topology(system_s(n, 0));
+    let mut builder = SimBuilder::new(n).seed(23).topology(system_s(n, 0));
     // Submit 20 commands to p0 spaced through the run (p0 is the source and
     // the overwhelmingly likely stable leader).
     for k in 0..20u64 {
@@ -260,7 +252,11 @@ fn replicated_log_survives_leader_crash_without_losing_commits() {
         .find(|&p| sim.node(p).omega().leader() == p)
         .expect("a survivor must lead");
     for k in 5..8u64 {
-        sim.schedule_request(Instant::from_ticks(60_000 + 200 * (k - 5) + 1), new_leader, k);
+        sim.schedule_request(
+            Instant::from_ticks(60_000 + 200 * (k - 5) + 1),
+            new_leader,
+            k,
+        );
     }
     sim.run_until(Instant::from_ticks(120_000));
 
@@ -269,11 +265,7 @@ fn replicated_log_survives_leader_crash_without_losing_commits() {
         .map(|p| sim.node(ProcessId(p)).chosen_log())
         .collect();
     check_log_consistency(&logs).unwrap();
-    let stream: Vec<u64> = sim
-        .node(new_leader)
-        .committed_commands()
-        .cloned()
-        .collect();
+    let stream: Vec<u64> = sim.node(new_leader).committed_commands().cloned().collect();
     // All pre-crash commits survive, in order, and the new ones follow
     // (no-op fillers are skipped by committed_commands).
     assert_eq!(stream, vec![0, 1, 2, 3, 4, 5, 6, 7]);
@@ -291,7 +283,12 @@ fn steady_state_costs_are_linear_per_decision() {
         .classify(consensus::classify_rsm_msg)
         .build_with(|env| ReplicatedLog::<u64>::new(env, ConsensusParams::default()));
     sim.run_until(Instant::from_ticks(10_000));
-    let prepares_before = sim.stats().kind_counts().get("PREPARE").copied().unwrap_or(0);
+    let prepares_before = sim
+        .stats()
+        .kind_counts()
+        .get("PREPARE")
+        .copied()
+        .unwrap_or(0);
     let base_total = sim.stats().total_sent();
 
     let commands = 50u64;
@@ -300,7 +297,12 @@ fn steady_state_costs_are_linear_per_decision() {
     }
     sim.run_until(Instant::from_ticks(10_000 + 100 * commands + 5_000));
 
-    let prepares_after = sim.stats().kind_counts().get("PREPARE").copied().unwrap_or(0);
+    let prepares_after = sim
+        .stats()
+        .kind_counts()
+        .get("PREPARE")
+        .copied()
+        .unwrap_or(0);
     assert_eq!(
         prepares_before, prepares_after,
         "steady state must not re-run phase 1"

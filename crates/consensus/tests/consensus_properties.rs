@@ -63,7 +63,11 @@ fn run(adv: &Adversary, horizon: u64) -> netsim::Simulator<Consensus<u64>> {
         }
     }
     let mut sim = builder.build_with(|env| {
-        Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64))
+        Consensus::new(
+            env,
+            ConsensusParams::default(),
+            Some(100 + env.id().0 as u64),
+        )
     });
     sim.run_until(Instant::from_ticks(horizon));
     sim

@@ -20,9 +20,13 @@ fn decisions(sim: &Simulator<RotatingConsensus<u64>>) -> Vec<DecisionRecord<u64>
         .collect()
 }
 
-fn run(n: usize, seed: u64, topo: Topology, horizon: u64, crashes: &[(u32, u64)])
-    -> Simulator<RotatingConsensus<u64>>
-{
+fn run(
+    n: usize,
+    seed: u64,
+    topo: Topology,
+    horizon: u64,
+    crashes: &[(u32, u64)],
+) -> Simulator<RotatingConsensus<u64>> {
     let mut builder = SimBuilder::new(n).seed(seed).topology(topo);
     for &(p, t) in crashes {
         builder = builder.crash_at(ProcessId(p), Instant::from_ticks(t));

@@ -124,7 +124,12 @@ impl Sm for BroadcastSourceOmega {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg, ProcessId>, from: ProcessId, msg: GossipMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, GossipMsg, ProcessId>,
+        from: ProcessId,
+        msg: GossipMsg,
+    ) {
         self.table.merge_auth(&msg.counters);
         if self.suspected[from.as_usize()] {
             self.suspected[from.as_usize()] = false;
@@ -204,10 +209,10 @@ mod tests {
             h.start();
             let fx = h.fire(HEARTBEAT_TIMER);
             assert_eq!(fx.sends.len(), 2);
-            assert!(fx
-                .sends
-                .iter()
-                .all(|s| s.msg == GossipMsg { counters: vec![0, 0, 0] }));
+            assert!(fx.sends.iter().all(|s| s.msg
+                == GossipMsg {
+                    counters: vec![0, 0, 0]
+                }));
         }
     }
 

@@ -160,7 +160,12 @@ impl Sm for CommEffOmega {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, OmegaMsg, ProcessId>, from: ProcessId, msg: OmegaMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, OmegaMsg, ProcessId>,
+        from: ProcessId,
+        msg: OmegaMsg,
+    ) {
         match msg {
             OmegaMsg::Alive { counter } => {
                 self.table.record_alive(from, counter);

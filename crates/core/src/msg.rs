@@ -1,5 +1,6 @@
 //! Wire messages of the communication-efficient Ω algorithm.
 
+use lls_primitives::wire::{Wire, WireError, WireReader};
 use serde::{Deserialize, Serialize};
 
 /// Messages exchanged by [`CommEffOmega`](crate::CommEffOmega).
@@ -29,6 +30,36 @@ pub enum OmegaMsg {
         /// The accuser's view of the accused's counter.
         counter: u64,
     },
+}
+
+impl Wire for OmegaMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OmegaMsg::Alive { counter } => {
+                out.push(0);
+                counter.encode(out);
+            }
+            OmegaMsg::Accuse { counter } => {
+                out.push(1);
+                counter.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(OmegaMsg::Alive {
+                counter: u64::decode(r)?,
+            }),
+            1 => Ok(OmegaMsg::Accuse {
+                counter: u64::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                type_name: "OmegaMsg",
+                tag,
+            }),
+        }
+    }
 }
 
 /// Classifier for `netsim`-style per-kind message statistics.

@@ -130,11 +130,15 @@ mod tests {
 
     #[test]
     fn bad_params_are_rejected() {
-        let mut p = OmegaParams::default();
-        p.eta = Duration::ZERO;
+        let p = OmegaParams {
+            eta: Duration::ZERO,
+            ..OmegaParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = OmegaParams::default();
-        p.initial_timeout = Duration::from_ticks(1);
+        let p = OmegaParams {
+            initial_timeout: Duration::from_ticks(1),
+            ..OmegaParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("initial_timeout"));
     }
 }

@@ -204,12 +204,7 @@ mod tests {
     #[test]
     fn detection_time_is_last_clearance_after_crash() {
         // p2 crashes at 50. p0 clears at 70, p1 clears at 90 → detection 40.
-        let trace = vec![
-            rec(0, 0, 2),
-            rec(0, 1, 2),
-            rec(70, 0, 0),
-            rec(90, 1, 0),
-        ];
+        let trace = vec![rec(0, 0, 2), rec(0, 1, 2), rec(70, 0, 0), rec(90, 1, 0)];
         let report = qos(3, &trace, &[p(0), p(1)], &[(p(2), t(50))]);
         let d = &report.detections[0];
         assert_eq!(d.victim, p(2));
@@ -237,12 +232,7 @@ mod tests {
     #[test]
     fn wrongful_demotions_count_departures_from_final_leader() {
         // Final leader is p1; p0 trusts it, leaves, returns, stays.
-        let trace = vec![
-            rec(0, 0, 1),
-            rec(10, 0, 2),
-            rec(20, 0, 1),
-            rec(0, 1, 1),
-        ];
+        let trace = vec![rec(0, 0, 1), rec(10, 0, 2), rec(20, 0, 1), rec(0, 1, 1)];
         let report = qos(3, &trace, &[p(0), p(1)], &[]);
         assert_eq!(report.wrongful_demotions, 1);
         assert_eq!(report.stabilization_at, Some(t(20)));

@@ -139,10 +139,19 @@ mod tests {
 
     #[test]
     fn rank_orders_counter_then_id() {
-        let mut ranks = vec![
-            CandidateRank { counter: 1, id: p(0) },
-            CandidateRank { counter: 0, id: p(2) },
-            CandidateRank { counter: 0, id: p(1) },
+        let mut ranks = [
+            CandidateRank {
+                counter: 1,
+                id: p(0),
+            },
+            CandidateRank {
+                counter: 0,
+                id: p(2),
+            },
+            CandidateRank {
+                counter: 0,
+                id: p(1),
+            },
         ];
         ranks.sort();
         assert_eq!(
@@ -218,6 +227,12 @@ mod tests {
         let mut t = RankTable::new(2);
         t.record_alive(p(1), 3);
         t.record_suspicion(p(1));
-        assert_eq!(t.rank(p(1)), CandidateRank { counter: 4, id: p(1) });
+        assert_eq!(
+            t.rank(p(1)),
+            CandidateRank {
+                counter: 4,
+                id: p(1)
+            }
+        );
     }
 }

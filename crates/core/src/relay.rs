@@ -252,7 +252,13 @@ mod tests {
         fn on_timer(&mut self, _ctx: &mut Ctx<'_, &'static str, &'static str>, _t: TimerId) {}
     }
 
-    fn harness(me: u32) -> (Env, Relay<Hello>, Effects<RelayMsg<&'static str>, &'static str>) {
+    fn harness(
+        me: u32,
+    ) -> (
+        Env,
+        Relay<Hello>,
+        Effects<RelayMsg<&'static str>, &'static str>,
+    ) {
         let env = Env::new(ProcessId(me), 3);
         (env, Relay::new(&env, Hello), Effects::new())
     }

@@ -70,7 +70,7 @@ pub fn stabilization(trace: &[LeaderRecord], correct: &[ProcessId]) -> Option<St
             .iter()
             .filter(|r| r.process == p)
             .map(|r| (r.at, r.leader))
-            .last()?;
+            .next_back()?;
         final_leader.push(Some(last));
     }
     let (_, leader) = final_leader.first()?.as_ref().copied()?;
@@ -94,17 +94,17 @@ pub fn stabilization(trace: &[LeaderRecord], correct: &[ProcessId]) -> Option<St
 /// Returns `true` iff the trace satisfies Ω by the end of the run *and*
 /// stabilized no later than `deadline` (giving the "forever" part a
 /// meaningful observation window).
-pub fn omega_holds_by(
-    trace: &[LeaderRecord],
-    correct: &[ProcessId],
-    deadline: Instant,
-) -> bool {
+pub fn omega_holds_by(trace: &[LeaderRecord], correct: &[ProcessId], deadline: Instant) -> bool {
     stabilization(trace, correct).is_some_and(|s| s.at <= deadline)
 }
 
 /// Number of leader changes observed at `p` (excluding the initial output).
 pub fn leader_changes(trace: &[LeaderRecord], p: ProcessId) -> usize {
-    trace.iter().filter(|r| r.process == p).count().saturating_sub(1)
+    trace
+        .iter()
+        .filter(|r| r.process == p)
+        .count()
+        .saturating_sub(1)
 }
 
 /// Splits a run's duration into the *last* `tail_percent` percent and returns
@@ -141,7 +141,13 @@ mod tests {
 
     #[test]
     fn agreement_on_correct_leader_stabilizes() {
-        let trace = vec![rec(0, 0, 0), rec(0, 1, 0), rec(10, 1, 1), rec(20, 0, 1), rec(30, 1, 1)];
+        let trace = vec![
+            rec(0, 0, 0),
+            rec(0, 1, 0),
+            rec(10, 1, 1),
+            rec(20, 0, 1),
+            rec(30, 1, 1),
+        ];
         let s = stabilization(&trace, &[p(0), p(1)]).unwrap();
         assert_eq!(s.leader, p(1));
         assert_eq!(s.at, t(30));

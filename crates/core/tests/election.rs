@@ -157,7 +157,11 @@ fn all_timely_topology_elects_p0_without_noise() {
     );
     let correct: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
     let stab = stabilization(&leader_trace(&sim), &correct).unwrap();
-    assert_eq!(stab.leader, ProcessId(0), "perfect links keep the initial leader");
+    assert_eq!(
+        stab.leader,
+        ProcessId(0),
+        "perfect links keep the initial leader"
+    );
     // Nobody was ever suspected: zero accusations anywhere.
     for p in 0..n as u32 {
         assert_eq!(sim.node(ProcessId(p)).accusations_sent(), 0);

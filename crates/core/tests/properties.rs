@@ -69,7 +69,10 @@ fn instance() -> impl Strategy<Value = Instance> {
         })
 }
 
-fn run_instance(inst: &Instance, horizon: u64) -> (Vec<ProcessId>, netsim::Simulator<CommEffOmega>) {
+fn run_instance(
+    inst: &Instance,
+    horizon: u64,
+) -> (Vec<ProcessId>, netsim::Simulator<CommEffOmega>) {
     let topo = Topology::system_s(
         inst.n,
         ProcessId(inst.source),

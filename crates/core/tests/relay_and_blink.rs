@@ -110,7 +110,11 @@ fn blink_adversary_defeats_frozen_timeouts_but_not_adaptive_ones() {
         CommEffOmega::new(env, OmegaParams::default())
     });
     assert!(
-        omega_holds_by(&leader_trace(&adaptive), &correct, tail_cut(adaptive.now(), 20)),
+        omega_holds_by(
+            &leader_trace(&adaptive),
+            &correct,
+            tail_cut(adaptive.now(), 20)
+        ),
         "adaptive timeouts must ride out the blink"
     );
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use lls_primitives::wire::{Wire, WireError, WireReader};
 use serde::{Deserialize, Serialize};
 
 /// A client session identity. Each client numbers its commands with a
@@ -60,11 +61,7 @@ impl KvCmd {
     }
 
     /// Convenience `Cas` constructor.
-    pub fn cas(
-        key: impl Into<String>,
-        expect: Option<&str>,
-        value: impl Into<String>,
-    ) -> Self {
+    pub fn cas(key: impl Into<String>, expect: Option<&str>, value: impl Into<String>) -> Self {
         KvCmd::Cas {
             key: key.into(),
             expect: expect.map(str::to_owned),
@@ -107,6 +104,107 @@ pub enum KvResponse {
     },
     /// The `(client, seq)` tag was already applied earlier; nothing changed.
     Duplicate,
+}
+
+impl Wire for ClientId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ClientId(u64::decode(r)?))
+    }
+}
+
+impl Wire for KvCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            KvCmd::Put { key, value } => {
+                out.push(0);
+                key.encode(out);
+                value.encode(out);
+            }
+            KvCmd::Delete { key } => {
+                out.push(1);
+                key.encode(out);
+            }
+            KvCmd::Cas { key, expect, value } => {
+                out.push(2);
+                key.encode(out);
+                expect.encode(out);
+                value.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(KvCmd::Put {
+                key: String::decode(r)?,
+                value: String::decode(r)?,
+            }),
+            1 => Ok(KvCmd::Delete {
+                key: String::decode(r)?,
+            }),
+            2 => Ok(KvCmd::Cas {
+                key: String::decode(r)?,
+                expect: Option::decode(r)?,
+                value: String::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                type_name: "KvCmd",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<C: Wire> Wire for Tagged<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.client.encode(out);
+        self.seq.encode(out);
+        self.cmd.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Tagged {
+            client: ClientId::decode(r)?,
+            seq: u64::decode(r)?,
+            cmd: C::decode(r)?,
+        })
+    }
+}
+
+impl Wire for KvResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            KvResponse::Applied { previous } => {
+                out.push(0);
+                previous.encode(out);
+            }
+            KvResponse::CasFailed { actual } => {
+                out.push(1);
+                actual.encode(out);
+            }
+            KvResponse::Duplicate => out.push(2),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(KvResponse::Applied {
+                previous: Option::decode(r)?,
+            }),
+            1 => Ok(KvResponse::CasFailed {
+                actual: Option::decode(r)?,
+            }),
+            2 => Ok(KvResponse::Duplicate),
+            tag => Err(WireError::BadTag {
+                type_name: "KvResponse",
+                tag,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

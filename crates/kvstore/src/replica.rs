@@ -210,7 +210,12 @@ mod tests {
         let out = fx.take();
         assert!(out.outputs.iter().any(|o| matches!(
             o,
-            KvEvent::Applied { slot: 0, seq: 1, response: KvResponse::Applied { .. }, .. }
+            KvEvent::Applied {
+                slot: 0,
+                seq: 1,
+                response: KvResponse::Applied { .. },
+                ..
+            }
         )));
         assert_eq!(r.state().get("x"), Some("1"));
     }

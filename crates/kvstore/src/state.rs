@@ -176,9 +176,15 @@ mod tests {
         let mut s = KvState::new();
         s.apply(&tag(1, 5, KvCmd::put("a", "x")));
         // Exact duplicate.
-        assert_eq!(s.apply(&tag(1, 5, KvCmd::put("a", "y"))), KvResponse::Duplicate);
+        assert_eq!(
+            s.apply(&tag(1, 5, KvCmd::put("a", "y"))),
+            KvResponse::Duplicate
+        );
         // Older than the high-water mark.
-        assert_eq!(s.apply(&tag(1, 3, KvCmd::put("a", "z"))), KvResponse::Duplicate);
+        assert_eq!(
+            s.apply(&tag(1, 3, KvCmd::put("a", "z"))),
+            KvResponse::Duplicate
+        );
         assert_eq!(s.get("a"), Some("x"));
         assert_eq!(s.duplicate_count(), 2);
         assert_eq!(s.session_seq(ClientId(1)), Some(5));

@@ -33,7 +33,11 @@ fn replicas_converge_to_identical_stores_under_loss() {
         tag(2, 2, KvCmd::cas("a", Some("3"), "4")),
     ];
     for (i, cmd) in workload.iter().enumerate() {
-        sim.schedule_request(Instant::from_ticks(15_100 + 300 * i as u64), leader, cmd.clone());
+        sim.schedule_request(
+            Instant::from_ticks(15_100 + 300 * i as u64),
+            leader,
+            cmd.clone(),
+        );
     }
     sim.run_until(Instant::from_ticks(80_000));
 
@@ -71,7 +75,7 @@ fn client_retries_are_exactly_once() {
             sim.schedule_request(
                 Instant::from_ticks(t),
                 leader,
-                tag(7, seq, KvCmd::put("ctr", &seq.to_string())),
+                tag(7, seq, KvCmd::put("ctr", seq.to_string())),
             );
             t += 120;
         }
@@ -138,7 +142,11 @@ fn store_survives_leader_failover_without_double_apply() {
             assert_eq!(state.get(k), Some("pre"), "p{p} lost {k}");
         }
         assert_eq!(state.get("k4"), Some("post"));
-        assert_eq!(state.session_seq(ClientId(1)), Some(4), "p{p} session drift");
+        assert_eq!(
+            state.session_seq(ClientId(1)),
+            Some(4),
+            "p{p} session drift"
+        );
     }
 }
 
@@ -147,13 +155,21 @@ fn applied_events_report_responses_in_slot_order() {
     let n = 3;
     let mut sim = SimBuilder::new(n)
         .topology(Topology::all_timely(n, Duration::from_ticks(2)))
-        .request_at(Instant::from_ticks(500), ProcessId(0), tag(1, 1, KvCmd::put("x", "1")))
+        .request_at(
+            Instant::from_ticks(500),
+            ProcessId(0),
+            tag(1, 1, KvCmd::put("x", "1")),
+        )
         .request_at(
             Instant::from_ticks(700),
             ProcessId(0),
             tag(1, 2, KvCmd::cas("x", Some("nope"), "2")),
         )
-        .request_at(Instant::from_ticks(900), ProcessId(0), tag(1, 2, KvCmd::cas("x", Some("nope"), "2")))
+        .request_at(
+            Instant::from_ticks(900),
+            ProcessId(0),
+            tag(1, 2, KvCmd::cas("x", Some("nope"), "2")),
+        )
         .build_with(|env| KvReplica::new(env, ConsensusParams::default()));
     sim.run_until(Instant::from_ticks(10_000));
     let applied: Vec<(u64, KvResponse)> = sim

@@ -275,7 +275,15 @@ impl ModelChecker {
             }
             *states += 1;
             trace.push(label);
-            self.dfs(&next, invariant, visited, states, complete, trace, depth + 1)?;
+            self.dfs(
+                &next,
+                invariant,
+                visited,
+                states,
+                complete,
+                trace,
+                depth + 1,
+            )?;
             trace.pop();
         }
         Ok(())
@@ -394,7 +402,11 @@ where
         .collect();
     armed.sort();
     let mut h = DefaultHasher::new();
-    format!("{:?}|{:?}|{:?}|{}", world.nodes, flights, armed, world.crashes_used).hash(&mut h);
+    format!(
+        "{:?}|{:?}|{:?}|{}",
+        world.nodes, flights, armed, world.crashes_used
+    )
+    .hash(&mut h);
     h.finish()
 }
 
@@ -471,7 +483,13 @@ mod tests {
             max_states: 100_000,
             max_crashes: 0,
         })
-        .check(|_| Gossip { broken: false, value: None }, agreement);
+        .check(
+            |_| Gossip {
+                broken: false,
+                value: None,
+            },
+            agreement,
+        );
         match outcome {
             CheckOutcome::Ok { states, complete } => {
                 assert!(complete, "exploration should finish ({states} states)");
@@ -491,14 +509,22 @@ mod tests {
             max_states: 100_000,
             max_crashes: 0,
         })
-        .check(|_| Gossip { broken: true, value: None }, agreement);
+        .check(
+            |_| Gossip {
+                broken: true,
+                value: None,
+            },
+            agreement,
+        );
         match outcome {
             CheckOutcome::Violation { message, trace } => {
                 assert!(message.contains("diverged"), "{message}");
                 assert!(!trace.is_empty());
                 // The counterexample must route a message through p1.
                 assert!(
-                    trace.iter().any(|s| s.contains("p1 -> p2") || s.contains("p1 ->")),
+                    trace
+                        .iter()
+                        .any(|s| s.contains("p1 -> p2") || s.contains("p1 ->")),
                     "trace should show the corrupting hop: {trace:?}"
                 );
             }
@@ -508,18 +534,21 @@ mod tests {
 
     #[test]
     fn crash_budget_expands_the_space() {
-        let run = |crashes| {
-            match ModelChecker::new(CheckConfig {
-                n: 2,
-                max_depth: 6,
-                max_states: 100_000,
-                max_crashes: crashes,
-            })
-            .check(|_| Gossip { broken: false, value: None }, agreement)
-            {
-                CheckOutcome::Ok { states, .. } => states,
-                v => panic!("{v:?}"),
-            }
+        let run = |crashes| match ModelChecker::new(CheckConfig {
+            n: 2,
+            max_depth: 6,
+            max_states: 100_000,
+            max_crashes: crashes,
+        })
+        .check(
+            |_| Gossip {
+                broken: false,
+                value: None,
+            },
+            agreement,
+        ) {
+            CheckOutcome::Ok { states, .. } => states,
+            v => panic!("{v:?}"),
         };
         assert!(run(1) > run(0), "crash transitions must add states");
     }
@@ -532,7 +561,13 @@ mod tests {
             max_states: 100_000,
             max_crashes: 0,
         })
-        .check(|_| Gossip { broken: false, value: None }, agreement);
+        .check(
+            |_| Gossip {
+                broken: false,
+                value: None,
+            },
+            agreement,
+        );
         match outcome {
             CheckOutcome::Ok { complete, .. } => assert!(!complete),
             v => panic!("{v:?}"),
@@ -543,8 +578,14 @@ mod tests {
     fn tally_counts_values() {
         let world: World<Gossip> = World {
             nodes: vec![
-                Some(Gossip { broken: false, value: Some(7) }),
-                Some(Gossip { broken: false, value: Some(7) }),
+                Some(Gossip {
+                    broken: false,
+                    value: Some(7),
+                }),
+                Some(Gossip {
+                    broken: false,
+                    value: Some(7),
+                }),
                 None,
             ],
             in_flight: Vec::new(),

@@ -40,7 +40,13 @@ fn consensus_agreement_exhaustive_n2() {
         max_crashes: 0,
     })
     .check(
-        |env| Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64)),
+        |env| {
+            Consensus::new(
+                env,
+                ConsensusParams::default(),
+                Some(100 + env.id().0 as u64),
+            )
+        },
         |w| consensus_agreement(w).and_then(|_| consensus_validity(w)),
     );
     match outcome {
@@ -64,15 +70,27 @@ fn consensus_agreement_with_crashes_n3() {
         max_crashes: 1,
     })
     .check(
-        |env| Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64)),
+        |env| {
+            Consensus::new(
+                env,
+                ConsensusParams::default(),
+                Some(100 + env.id().0 as u64),
+            )
+        },
         consensus_agreement,
     );
     match outcome {
         CheckOutcome::Ok { states, .. } => {
-            assert!(states > 10_000, "space too small to be meaningful: {states}");
+            assert!(
+                states > 10_000,
+                "space too small to be meaningful: {states}"
+            );
         }
         CheckOutcome::Violation { message, trace } => {
-            panic!("consensus unsafe under crash: {message}\ntrace:\n{}", trace.join("\n"))
+            panic!(
+                "consensus unsafe under crash: {message}\ntrace:\n{}",
+                trace.join("\n")
+            )
         }
     }
 }
@@ -112,7 +130,10 @@ fn omega_counter_provenance_invariant_n2() {
             assert!(states > 500, "space too small: {states}");
         }
         CheckOutcome::Violation { message, trace } => {
-            panic!("omega invariant broken: {message}\ntrace:\n{}", trace.join("\n"))
+            panic!(
+                "omega invariant broken: {message}\ntrace:\n{}",
+                trace.join("\n")
+            )
         }
     }
 }

@@ -64,7 +64,10 @@ impl DelayDist {
     ///
     /// Panics if `lo > hi`.
     pub fn uniform(lo: u64, hi: u64) -> Self {
-        assert!(lo <= hi, "uniform delay requires lo <= hi, got [{lo}, {hi}]");
+        assert!(
+            lo <= hi,
+            "uniform delay requires lo <= hi, got [{lo}, {hi}]"
+        );
         DelayDist::Uniform {
             lo: Duration::from_ticks(lo),
             hi: Duration::from_ticks(hi),

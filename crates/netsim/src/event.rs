@@ -139,7 +139,9 @@ mod tests {
         q.push(t(5), EventKind::Start(ProcessId(0)));
         q.push(t(1), EventKind::Start(ProcessId(1)));
         q.push(t(3), EventKind::Start(ProcessId(2)));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 

@@ -291,12 +291,7 @@ mod tests {
         }
         // Before GST: drops happen.
         let drops = (0..200)
-            .filter(|_| {
-                matches!(
-                    link.route(Instant::from_ticks(1), &mut rng),
-                    LinkFate::Drop
-                )
-            })
+            .filter(|_| matches!(link.route(Instant::from_ticks(1), &mut rng), LinkFate::Drop))
             .count();
         assert!(drops > 100, "expected many pre-GST drops, got {drops}");
     }

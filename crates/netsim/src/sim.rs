@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use lls_primitives::{Ctx, Duration, Effects, Env, Instant, ProcessId, Send, Sm, TimerCmd, TimerId};
+use lls_primitives::{
+    Ctx, Duration, Effects, Env, Instant, ProcessId, Send, Sm, TimerCmd, TimerId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -141,7 +143,8 @@ impl<S: Sm> SimBuilder<S> {
     /// Schedules a full topology replacement at `t` (e.g. to heal a
     /// partition by restoring the original matrix).
     pub fn set_topology_at(mut self, t: Instant, topology: Topology) -> Self {
-        self.net_changes.push((t, NetChange::Topo(Box::new(topology))));
+        self.net_changes
+            .push((t, NetChange::Topo(Box::new(topology))));
         self
     }
 
@@ -357,9 +360,13 @@ impl<S: Sm> Simulator<S> {
     ///
     /// Panics if `t` is in the past or the topology size differs.
     pub fn schedule_topology_change(&mut self, t: Instant, topology: Topology) {
-        assert!(t >= self.now, "cannot schedule a topology change in the past");
+        assert!(
+            t >= self.now,
+            "cannot schedule a topology change in the past"
+        );
         assert_eq!(topology.n(), self.nodes.len(), "topology size change");
-        self.queue.push(t, EventKind::SetTopology(Box::new(topology)));
+        self.queue
+            .push(t, EventKind::SetTopology(Box::new(topology)));
     }
 
     /// Partitions the network immediately: all links crossing the boundary
@@ -479,7 +486,14 @@ impl<S: Sm> Simulator<S> {
             let kind = (self.classifier)(&msg);
             self.stats.record_send(p, self.now, kind);
             if let Some(tr) = &mut self.trace {
-                tr.push(self.now, TraceKind::Send { from: p, to, msg_kind: kind });
+                tr.push(
+                    self.now,
+                    TraceKind::Send {
+                        from: p,
+                        to,
+                        msg_kind: kind,
+                    },
+                );
             }
             match self.topology.link(p, to).route(self.now, &mut self.rng) {
                 LinkFate::DeliverAt(at) => {

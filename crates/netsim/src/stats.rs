@@ -229,10 +229,7 @@ mod tests {
         s.record_send(ProcessId(1), t(50), "m");
         s.record_send(ProcessId(1), t(80), "m");
         s.finish(t(100));
-        assert_eq!(
-            s.senders_since(t(0)),
-            vec![ProcessId(0), ProcessId(1)]
-        );
+        assert_eq!(s.senders_since(t(0)), vec![ProcessId(0), ProcessId(1)]);
         assert_eq!(s.senders_since(t(6)), vec![ProcessId(1)]);
         assert_eq!(s.senders_since(t(81)), Vec::<ProcessId>::new());
     }

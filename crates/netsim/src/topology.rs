@@ -202,11 +202,8 @@ mod tests {
 
     #[test]
     fn system_s_multi_sets_all_sources() {
-        let t = Topology::system_s_multi(
-            5,
-            &[ProcessId(0), ProcessId(4)],
-            SystemSParams::default(),
-        );
+        let t =
+            Topology::system_s_multi(5, &[ProcessId(0), ProcessId(4)], SystemSParams::default());
         assert_eq!(t.sources(), vec![ProcessId(0), ProcessId(4)]);
     }
 

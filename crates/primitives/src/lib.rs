@@ -10,7 +10,12 @@
 //!   algorithms are written as pure state machines that react to messages and
 //!   timers by emitting *effects* (sends, timer commands, outputs). The same
 //!   algorithm code then runs unchanged on the deterministic discrete-event
-//!   simulator (`netsim`) and on the real-time thread runtime (`threadnet`).
+//!   simulator (`netsim`), on the real-time thread runtime (`threadnet`), and
+//!   over real TCP sockets (`wirenet`),
+//! * the [`wire`] codec — a versioned, checksummed binary framing shared by
+//!   every transport that serialises messages onto a byte stream,
+//! * the [`FaultInjector`] — the seeded loss/delay model both real-time
+//!   runtimes apply to messages in flight.
 //!
 //! # Why sans-io?
 //!
@@ -70,10 +75,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fault;
 mod id;
 mod sm;
 mod time;
+pub mod wire;
 
+pub use fault::{Fate, FaultInjector};
 pub use id::{Membership, ProcessId};
 pub use sm::{Ctx, Effects, Env, Send, Sm, TimerCmd, TimerId};
 pub use time::{Duration, Instant};
+pub use wire::{Wire, WireError};

@@ -256,7 +256,12 @@ pub trait Sm {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>);
 
     /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, from: ProcessId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Output>,
+        from: ProcessId,
+        msg: Self::Msg,
+    );
 
     /// Called when `timer` expires (and was not re-armed or cancelled since).
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, timer: TimerId);

@@ -1,0 +1,701 @@
+//! Hand-rolled, versioned binary wire codec shared by every transport that
+//! moves protocol messages across a real byte stream (today: `wirenet`).
+//!
+//! # Frame format
+//!
+//! Every message travels in one *frame*:
+//!
+//! ```text
+//! +----------------+---------+----------------+----------------+
+//! | len: u32 LE    | ver: u8 | body: [u8]     | crc: u32 LE    |
+//! +----------------+---------+----------------+----------------+
+//! ```
+//!
+//! `len` counts everything after itself (`1 + body.len() + 4`). `crc` is the
+//! IEEE CRC-32 of the version byte plus the body. Because the length prefix
+//! frames the stream independently of the payload, a frame whose checksum or
+//! body fails to decode can be *skipped* — the reader stays aligned on the
+//! next frame boundary (resynchronisation), which is what lets a transport
+//! count a corrupted frame and move on instead of tearing the connection
+//! down.
+//!
+//! # Value encoding
+//!
+//! * `u8` — one raw byte.
+//! * `u16`/`u32`/`u64`/`usize` — LEB128 varint (small counters stay small).
+//! * `bool` — one byte, `0` or `1`; anything else is a decode error.
+//! * `String` — varint byte length, then UTF-8 bytes.
+//! * `Option<T>` — presence byte then the value.
+//! * `Vec<T>` — varint element count, then elements. The count is validated
+//!   against the bytes actually remaining, so a forged length cannot trigger
+//!   a huge allocation.
+//! * enums — one tag byte, then the variant's fields in declaration order.
+//!
+//! Decoding never panics on malformed input: every failure is a
+//! [`WireError`].
+
+use std::fmt;
+
+use crate::id::ProcessId;
+
+/// Protocol version stamped into every frame. Bump on any incompatible
+/// change to the value encoding of an existing message type.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on `len` accepted by the deframer. A peer announcing a larger
+/// frame is corrupt or hostile; the connection should be dropped because the
+/// stream can no longer be trusted to be aligned.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Size of the `len` prefix.
+const LEN_PREFIX: usize = 4;
+/// Bytes of frame overhead beyond the body: version byte + CRC-32.
+const FRAME_OVERHEAD: usize = 5;
+
+/// Everything that can go wrong while decoding.
+///
+/// Decoders return errors — they never panic on malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended in the middle of a value.
+    Truncated,
+    /// A varint ran past 10 bytes (cannot be a `u64`).
+    VarintOverflow,
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// An enum tag byte matched no variant.
+    BadTag {
+        /// The type being decoded.
+        type_name: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// String bytes were not valid UTF-8.
+    BadUtf8,
+    /// A collection announced more elements than the remaining bytes could
+    /// possibly hold.
+    BadLength {
+        /// The announced element count.
+        announced: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A frame announced a length of zero or above [`MAX_FRAME_LEN`].
+    FrameTooLong {
+        /// The announced frame length.
+        len: usize,
+    },
+    /// The frame's version byte did not match [`PROTOCOL_VERSION`].
+    BadVersion {
+        /// The version byte found.
+        got: u8,
+    },
+    /// The frame's CRC-32 did not match its contents.
+    BadChecksum {
+        /// Checksum carried by the frame.
+        got: u32,
+        /// Checksum computed over the frame.
+        want: u32,
+    },
+    /// A frame body decoded successfully but left bytes unconsumed.
+    TrailingBytes {
+        /// Number of leftover bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated mid-value"),
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::BadBool(b) => write!(f, "invalid boolean byte {b:#04x}"),
+            WireError::BadTag { type_name, tag } => {
+                write!(f, "invalid tag {tag:#04x} for {type_name}")
+            }
+            WireError::BadUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            WireError::BadLength {
+                announced,
+                remaining,
+            } => write!(
+                f,
+                "collection announces {announced} elements but only {remaining} bytes remain"
+            ),
+            WireError::FrameTooLong { len } => {
+                write!(f, "frame length {len} outside (0, {MAX_FRAME_LEN}]")
+            }
+            WireError::BadVersion { got } => {
+                write!(f, "protocol version {got} (expected {PROTOCOL_VERSION})")
+            }
+            WireError::BadChecksum { got, want } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {got:#010x}, computed {want:#010x}"
+                )
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over bytes being decoded.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless everything was
+    /// consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Appends a LEB128 varint to `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A type with a hand-rolled binary encoding.
+///
+/// Implementations must round-trip: `decode(encode(x)) == x`, consuming
+/// exactly the bytes `encode` produced.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: the encoding as a fresh vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Convenience: decodes a value that must span all of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input or trailing bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u8()
+    }
+}
+
+macro_rules! wire_varint {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                put_varint(out, *self as u64);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let v = r.varint()?;
+                <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
+            }
+        }
+    )*};
+}
+wire_varint!(u16, u32, u64, usize);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = usize::decode(r)?;
+        if len > r.remaining() {
+            return Err(WireError::BadLength {
+                announced: len,
+                remaining: r.remaining(),
+            });
+        }
+        let bytes = r.bytes(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                type_name: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = usize::decode(r)?;
+        // Every element costs at least one byte, so a count beyond the
+        // remaining bytes is provably corrupt — reject before allocating.
+        if len > r.remaining() {
+            return Err(WireError::BadLength {
+                announced: len,
+                remaining: r.remaining(),
+            });
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(out);)+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+wire_tuple!(A, B);
+wire_tuple!(A, B, C);
+
+impl Wire for ProcessId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ProcessId(u32::decode(r)?))
+    }
+}
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Encodes `msg` as one complete frame (length prefix included).
+pub fn encode_frame<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&[0, 0, 0, 0]); // length back-patched below
+    out.push(PROTOCOL_VERSION);
+    msg.encode(&mut out);
+    let crc = crc32(&out[LEN_PREFIX..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let len = (out.len() - LEN_PREFIX) as u32;
+    out[..LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Decodes a frame *payload* — the bytes after the length prefix, i.e.
+/// `version | body | crc` — as produced by [`Deframer::next_frame`].
+///
+/// # Errors
+///
+/// Returns [`WireError::BadVersion`], [`WireError::BadChecksum`], or any
+/// body decode error. None of these desynchronise the stream: the caller
+/// already holds a complete, well-delimited frame and can simply skip it.
+pub fn decode_frame<M: Wire>(payload: &[u8]) -> Result<M, WireError> {
+    if payload.len() < FRAME_OVERHEAD {
+        return Err(WireError::Truncated);
+    }
+    let (content, crc_bytes) = payload.split_at(payload.len() - 4);
+    let got = u32::from_le_bytes(crc_bytes.try_into().expect("split at len-4"));
+    let want = crc32(content);
+    if got != want {
+        return Err(WireError::BadChecksum { got, want });
+    }
+    let version = content[0];
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    M::from_bytes(&content[1..])
+}
+
+/// Incremental frame extractor for a byte stream.
+///
+/// Feed raw bytes with [`extend`](Deframer::extend); pull complete frame
+/// payloads with [`next_frame`](Deframer::next_frame). Only an oversized (or
+/// zero) length prefix is fatal — checksum and decode errors are per-frame
+/// and leave the stream aligned.
+#[derive(Debug, Default)]
+pub struct Deframer {
+    buf: Vec<u8>,
+}
+
+impl Deframer {
+    /// An empty deframer.
+    pub fn new() -> Self {
+        Deframer::default()
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload (`version | body | crc`), or
+    /// `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::FrameTooLong`] when the length prefix is zero,
+    /// below the frame overhead, or above [`MAX_FRAME_LEN`] — the stream is
+    /// then unrecoverable and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < LEN_PREFIX {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..LEN_PREFIX].try_into().expect("4 bytes")) as usize;
+        if !(FRAME_OVERHEAD..=MAX_FRAME_LEN).contains(&len) {
+            return Err(WireError::FrameTooLong { len });
+        }
+        if self.buf.len() < LEN_PREFIX + len {
+            return Ok(None);
+        }
+        let payload = self.buf[LEN_PREFIX..LEN_PREFIX + len].to_vec();
+        self.buf.drain(..LEN_PREFIX + len);
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: Wire + PartialEq + std::fmt::Debug>(msg: M) {
+        let bytes = msg.to_bytes();
+        assert_eq!(M::from_bytes(&bytes).expect("roundtrip"), msg);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(300u16);
+        roundtrip(70_000u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(42u64));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip((7u64, String::from("x")));
+        roundtrip((1u64, 2u64, 3u64));
+        roundtrip(ProcessId(17));
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            roundtrip(v);
+        }
+        // 127 fits one byte, 128 needs two.
+        assert_eq!(127u64.to_bytes().len(), 1);
+        assert_eq!(128u64.to_bytes().len(), 2);
+        assert_eq!(u64::MAX.to_bytes().len(), 10);
+    }
+
+    #[test]
+    fn varint_overflow_is_an_error() {
+        // 11 continuation bytes can never terminate a u64.
+        let bytes = [0xffu8; 11];
+        assert_eq!(u64::from_bytes(&bytes), Err(WireError::VarintOverflow));
+        // 10 bytes whose top byte overflows bit 63.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        assert_eq!(u64::from_bytes(&bytes), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_option_tag() {
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError::BadBool(2)));
+        assert!(matches!(
+            Option::<u64>::from_bytes(&[9]),
+            Err(WireError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_vec_length_is_rejected_without_allocating() {
+        // Announces u64::MAX/2 elements with two bytes of data.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, u64::MAX / 2);
+        bytes.extend_from_slice(&[1, 2]);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_string_is_rejected() {
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 10);
+        bytes.extend_from_slice(b"abc");
+        assert!(matches!(
+            String::from_bytes(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 2);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(String::from_bytes(&bytes), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let frame = encode_frame(&(7u64, String::from("leader")));
+        let mut d = Deframer::new();
+        d.extend(&frame);
+        let payload = d.next_frame().expect("aligned").expect("complete");
+        let msg: (u64, String) = decode_frame(&payload).expect("valid");
+        assert_eq!(msg, (7, String::from("leader")));
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn deframer_handles_split_and_coalesced_frames() {
+        let f1 = encode_frame(&1u64);
+        let f2 = encode_frame(&2u64);
+        let mut joined = f1.clone();
+        joined.extend_from_slice(&f2);
+        // Feed one byte at a time: frames appear exactly at their boundary.
+        let mut d = Deframer::new();
+        let mut got = Vec::new();
+        for &b in &joined {
+            d.extend(&[b]);
+            while let Some(p) = d.next_frame().expect("aligned") {
+                got.push(decode_frame::<u64>(&p).expect("valid"));
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn corrupted_frame_is_skipped_and_stream_resyncs() {
+        let mut f1 = encode_frame(&1u64);
+        let f2 = encode_frame(&2u64);
+        // Flip a bit inside frame 1's body (after the length prefix).
+        let mid = LEN_PREFIX + 2;
+        f1[mid] ^= 0x40;
+        let mut d = Deframer::new();
+        d.extend(&f1);
+        d.extend(&f2);
+        let p1 = d.next_frame().expect("aligned").expect("complete");
+        assert!(matches!(
+            decode_frame::<u64>(&p1),
+            Err(WireError::BadChecksum { .. })
+        ));
+        // The stream stays aligned: the next frame decodes fine.
+        let p2 = d.next_frame().expect("aligned").expect("complete");
+        assert_eq!(decode_frame::<u64>(&p2).expect("valid"), 2);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut frame = encode_frame(&1u64);
+        frame[LEN_PREFIX] = PROTOCOL_VERSION + 1;
+        // Fix up the checksum so only the version differs.
+        let end = frame.len() - 4;
+        let crc = crc32(&frame[LEN_PREFIX..end]).to_le_bytes();
+        frame[end..].copy_from_slice(&crc);
+        let mut d = Deframer::new();
+        d.extend(&frame);
+        let p = d.next_frame().expect("aligned").expect("complete");
+        assert!(matches!(
+            decode_frame::<u64>(&p),
+            Err(WireError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut d = Deframer::new();
+        d.extend(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            d.next_frame(),
+            Err(WireError::FrameTooLong { .. })
+        ));
+        let mut d = Deframer::new();
+        d.extend(&0u32.to_le_bytes());
+        assert!(matches!(
+            d.next_frame(),
+            Err(WireError::FrameTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = 1u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            u64::from_bytes(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+}

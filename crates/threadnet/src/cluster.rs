@@ -109,7 +109,9 @@ pub struct Cluster<S: Sm> {
 
 impl<S: Sm> std::fmt::Debug for Cluster<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("n", &self.n).finish_non_exhaustive()
+        f.debug_struct("Cluster")
+            .field("n", &self.n)
+            .finish_non_exhaustive()
     }
 }
 
@@ -214,6 +216,29 @@ impl<S: Sm + Send + 'static> Cluster<S> {
         (t.sent.clone(), t.last_send.clone())
     }
 
+    /// A clone of every output emitted so far, in rough emission order.
+    /// Unlike [`Cluster::latest_outputs`] this lets callers await an event
+    /// that may be followed by later outputs (e.g. a commit followed by a
+    /// leader-change notification).
+    pub fn outputs_so_far(&self) -> Vec<TimedOutput<S::Output>> {
+        self.outputs.lock().clone()
+    }
+
+    /// Each process's most recent output so far, if any (mirrors
+    /// `wirenet::WireCluster::latest_outputs`).
+    pub fn latest_outputs(&self) -> Vec<Option<S::Output>> {
+        let outputs = self.outputs.lock();
+        (0..self.n as u32)
+            .map(|p| {
+                outputs
+                    .iter()
+                    .rev()
+                    .find(|t| t.process == ProcessId(p))
+                    .map(|t| t.output.clone())
+            })
+            .collect()
+    }
+
     /// Stops every thread, joins them, and returns the run report.
     pub fn stop(mut self) -> Report<S::Output> {
         for tx in &self.controls {
@@ -254,14 +279,16 @@ fn node_loop<S: Sm>(
 ) {
     let me = env.id();
     let now_ticks = |at: StdInstant| -> Instant {
-        Instant::from_ticks((at.saturating_duration_since(start).as_nanos() / tick.as_nanos().max(1)) as u64)
+        Instant::from_ticks(
+            (at.saturating_duration_since(start).as_nanos() / tick.as_nanos().max(1)) as u64,
+        )
     };
     let mut fx: Effects<S::Msg, S::Output> = Effects::new();
     let mut deadlines: HashMap<TimerId, StdInstant> = HashMap::new();
 
     let apply = |fx: &mut Effects<S::Msg, S::Output>,
-                     deadlines: &mut HashMap<TimerId, StdInstant>,
-                     at: StdInstant| {
+                 deadlines: &mut HashMap<TimerId, StdInstant>,
+                 at: StdInstant| {
         let taken = fx.take();
         for s in taken.sends {
             let _ = router.send(Envelope {
@@ -320,7 +347,11 @@ fn node_loop<S: Sm>(
         match inbox.recv_timeout(wait) {
             Ok(Control::Deliver(envp)) => {
                 let at = StdInstant::now();
-                sm.on_message(&mut Ctx::new(&env, now_ticks(at), &mut fx), envp.from, envp.msg);
+                sm.on_message(
+                    &mut Ctx::new(&env, now_ticks(at), &mut fx),
+                    envp.from,
+                    envp.msg,
+                );
                 apply(&mut fx, &mut deadlines, at);
             }
             Ok(Control::Request(req)) => {

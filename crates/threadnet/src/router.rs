@@ -5,10 +5,8 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use lls_primitives::ProcessId;
+use lls_primitives::{Fate, FaultInjector, ProcessId};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A message in transit.
 pub(crate) struct Envelope<M> {
@@ -81,7 +79,12 @@ pub(crate) fn run_router<M: Send + 'static>(
     config: RouterConfig,
     stats: Arc<Mutex<TrafficStats>>,
 ) {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut faults = FaultInjector::new(
+        config.loss.clamp(0.0, 1.0),
+        config.min_delay,
+        config.max_delay,
+        config.seed,
+    );
     let mut heap: BinaryHeap<Delayed<M>> = BinaryHeap::new();
     let mut seq = 0u64;
     loop {
@@ -97,26 +100,21 @@ pub(crate) fn run_router<M: Send + 'static>(
             .unwrap_or(StdDuration::from_millis(50));
         match ingress.recv_timeout(timeout) {
             Ok(env) => {
+                let fate = faults.fate();
                 {
                     let mut s = stats.lock();
                     let i = env.from.as_usize();
                     s.sent[i] += 1;
                     s.last_send[i] = Some(s.started_at.elapsed());
-                    if config.loss > 0.0 && rng.gen_bool(config.loss.clamp(0.0, 1.0)) {
+                    if fate == Fate::Drop {
                         s.dropped[i] += 1;
                         continue;
                     }
                 }
-                let spread = config
-                    .max_delay
-                    .saturating_sub(config.min_delay)
-                    .as_nanos() as u64;
-                let extra = if spread == 0 {
-                    StdDuration::ZERO
-                } else {
-                    StdDuration::from_nanos(rng.gen_range(0..=spread))
+                let Fate::DeliverAfter(delay) = fate else {
+                    continue; // Drop already handled above.
                 };
-                let due = StdInstant::now() + config.min_delay + extra;
+                let due = StdInstant::now() + delay;
                 seq += 1;
                 heap.push(Delayed { due, seq, env });
             }
@@ -157,7 +155,9 @@ mod tests {
         heap.push(mk(30, 0));
         heap.push(mk(10, 1));
         heap.push(mk(20, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|d| d.env.msg).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop())
+            .map(|d| d.env.msg)
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -1,0 +1,227 @@
+//! Cluster lifecycle over real sockets: bind, spawn, drive, sever, stop,
+//! report. Mirrors `threadnet::Cluster` so experiments translate directly.
+
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use lls_primitives::wire::Wire;
+use lls_primitives::{Env, ProcessId, Sm};
+
+use crate::counters::LinkStats;
+use crate::link::BackoffConfig;
+use crate::node::{FaultConfig, NodeConfig, TimedOutput, WireNode};
+
+/// Configuration of a TCP cluster on localhost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireConfig {
+    /// Number of processes (nodes, each with its own listener and threads).
+    pub n: usize,
+    /// Wall-clock length of one virtual tick (scales η and timeouts).
+    pub tick: StdDuration,
+    /// Capacity of each bounded outbound queue (drop-oldest on overflow).
+    pub queue_capacity: usize,
+    /// Reconnect backoff policy.
+    pub backoff: BackoffConfig,
+    /// Optional socket-layer loss/delay injection.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for WireConfig {
+    /// 3 processes, 200 µs ticks, queues of 1024, default backoff, no
+    /// injected faults.
+    fn default() -> Self {
+        WireConfig {
+            n: 3,
+            tick: StdDuration::from_micros(200),
+            queue_capacity: 1024,
+            backoff: BackoffConfig::default(),
+            faults: None,
+        }
+    }
+}
+
+/// Everything a finished run reports. The shape matches
+/// `threadnet::Report`, extended with the per-link socket counters.
+#[derive(Debug, Clone)]
+pub struct ClusterReport<O> {
+    /// All outputs from every node, ordered by emission time.
+    pub outputs: Vec<TimedOutput<O>>,
+    /// Protocol-level sends per process (counted when the state machine
+    /// emits them, as at `threadnet`'s router ingress).
+    pub sent: Vec<u64>,
+    /// Wall-clock offset of each process's last protocol-level send.
+    pub last_send: Vec<Option<StdDuration>>,
+    /// Socket counters: `links[p][q]` is node `p`'s view of its link to
+    /// `q` (bytes/messages both ways, reconnects, drops, decode errors).
+    pub links: Vec<Vec<LinkStats>>,
+}
+
+impl<O> ClusterReport<O> {
+    /// The last output `p` emitted, if any.
+    pub fn final_output_of(&self, p: ProcessId) -> Option<&O> {
+        self.outputs
+            .iter()
+            .rev()
+            .find(|t| t.process == p)
+            .map(|t| &t.output)
+    }
+
+    /// Processes whose last send happened at or after `since` (from cluster
+    /// start) — the communication-efficiency oracle, as in `threadnet`.
+    pub fn senders_since(&self, since: StdDuration) -> Vec<ProcessId> {
+        self.last_send
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some_and(|t| t >= since))
+            .map(|(i, _)| ProcessId(i as u32))
+            .collect()
+    }
+
+    /// All of node `p`'s link counters merged into one total.
+    pub fn node_links_total(&self, p: ProcessId) -> LinkStats {
+        self.links[p.as_usize()]
+            .iter()
+            .fold(LinkStats::default(), |acc, s| acc.merge(*s))
+    }
+
+    /// Sum of every node's reconnect counters.
+    pub fn total_reconnects(&self) -> u64 {
+        self.links.iter().flatten().map(|s| s.reconnects).sum()
+    }
+
+    /// Sum of every node's decode-error counters.
+    pub fn total_decode_errors(&self) -> u64 {
+        self.links.iter().flatten().map(|s| s.decode_errors).sum()
+    }
+}
+
+/// A running cluster of `n` [`WireNode`]s joined by real TCP connections
+/// over localhost.
+///
+/// See the [crate example](crate).
+#[derive(Debug)]
+pub struct WireCluster<S: Sm> {
+    nodes: Vec<WireNode<S>>,
+    start: StdInstant,
+}
+
+impl<S> WireCluster<S>
+where
+    S: Sm + std::marker::Send + 'static,
+    S::Msg: Wire,
+{
+    /// Binds `config.n` listeners on `127.0.0.1` (OS-assigned ports), then
+    /// spawns one node per process, each running a state machine produced
+    /// by `make`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n < 2`, a listener cannot be bound, or
+    /// `config.tick` is zero.
+    pub fn spawn(config: WireConfig, mut make: impl FnMut(&Env) -> S) -> Self {
+        assert!(config.n >= 2, "the model requires n > 1 processes");
+        let n = config.n;
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind 127.0.0.1 listener"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("bound listener"))
+            .collect();
+        let start = StdInstant::now();
+        let nodes = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let me = ProcessId(i as u32);
+                let env = Env::new(me, n);
+                let sm = make(&env);
+                let node_config = NodeConfig {
+                    me,
+                    addrs: addrs.clone(),
+                    tick: config.tick,
+                    queue_capacity: config.queue_capacity,
+                    backoff: config.backoff,
+                    faults: config.faults,
+                };
+                WireNode::spawn_at(listener, node_config, sm, start)
+            })
+            .collect();
+        WireCluster { nodes, start }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The listen address of process `p`.
+    pub fn addr_of(&self, p: ProcessId) -> SocketAddr {
+        self.nodes[p.as_usize()].local_addr()
+    }
+
+    /// Delivers an external request to `p`.
+    pub fn request(&self, p: ProcessId, req: S::Request) {
+        self.nodes[p.as_usize()].request(req);
+    }
+
+    /// Force-closes every live TCP connection of node `p` (its writers and
+    /// its peers' writers redial with backoff). Returns how many died.
+    pub fn sever(&self, p: ProcessId) -> usize {
+        self.nodes[p.as_usize()].sever()
+    }
+
+    /// A live snapshot of `(sent, last_send)` per process, mirroring
+    /// `threadnet::Cluster::traffic_snapshot`.
+    pub fn traffic_snapshot(&self) -> (Vec<u64>, Vec<Option<StdDuration>>) {
+        let sent = self.nodes.iter().map(|nd| nd.traffic().sent()).collect();
+        let last = self
+            .nodes
+            .iter()
+            .map(|nd| nd.traffic().last_send())
+            .collect();
+        (sent, last)
+    }
+
+    /// A live snapshot of every node's per-link socket counters.
+    pub fn link_snapshot(&self) -> Vec<Vec<LinkStats>> {
+        self.nodes.iter().map(|nd| nd.link_stats()).collect()
+    }
+
+    /// Each node's most recent output, if any.
+    pub fn latest_outputs(&self) -> Vec<Option<S::Output>> {
+        self.nodes.iter().map(|nd| nd.latest_output()).collect()
+    }
+
+    /// Wall-clock elapsed since the cluster started.
+    pub fn elapsed(&self) -> StdDuration {
+        self.start.elapsed()
+    }
+
+    /// Stops every node, joins all threads, and returns the run report.
+    pub fn stop(self) -> ClusterReport<S::Output> {
+        // Halt all protocol threads before joining any node: otherwise the
+        // survivors would watch the first node fall silent and re-elect,
+        // polluting the report's final outputs.
+        for node in &self.nodes {
+            node.begin_stop();
+        }
+        let mut sent = Vec::with_capacity(self.nodes.len());
+        let mut last_send = Vec::with_capacity(self.nodes.len());
+        let mut links = Vec::with_capacity(self.nodes.len());
+        let mut outputs = Vec::new();
+        for node in self.nodes {
+            sent.push(node.traffic().sent());
+            last_send.push(node.traffic().last_send());
+            links.push(node.link_stats());
+            outputs.extend(node.stop());
+        }
+        outputs.sort_by_key(|t| t.at);
+        ClusterReport {
+            outputs,
+            sent,
+            last_send,
+            links,
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Real TCP transport substrate: the third runtime for the *same* sans-io
+//! state machines.
+//!
+//! The workspace's algorithms ([`CommEffOmega`], the consensus machines,
+//! the replicated KV store) are pure [`Sm`] state machines. `netsim` runs
+//! them on a deterministic discrete-event simulator and `threadnet` on an
+//! in-process thread mesh; this crate runs them over **real TCP sockets**
+//! with zero changes to the algorithm code:
+//!
+//! * every process is a [`WireNode`]: one listener, one reader thread per
+//!   inbound connection, one dialer/writer thread per peer, and one
+//!   protocol thread driving the state machine;
+//! * messages travel as versioned, CRC-checked frames (the shared
+//!   [`lls_primitives::wire`] codec) — corrupted frames are counted and
+//!   skipped, never panics;
+//! * each ordered pair of processes has one TCP connection, dialed by the
+//!   sender side; lost connections are redialed with jittered exponential
+//!   backoff ([`BackoffConfig`]);
+//! * outbound queues are bounded and evict their oldest frame on overflow,
+//!   so a dead peer costs messages (fair-lossy), never liveness;
+//! * loss and delay can be injected at the socket layer
+//!   ([`FaultConfig`], backed by the shared
+//!   [`FaultInjector`](lls_primitives::FaultInjector));
+//! * per-link counters (bytes/messages both ways, reconnects, queue drops,
+//!   decode failures) surface in a [`ClusterReport`] mirroring
+//!   `threadnet`'s.
+//!
+//! [`CommEffOmega`]: https://docs.rs/omega
+//! [`Sm`]: lls_primitives::Sm
+//!
+//! # Example
+//!
+//! Elect a leader over real sockets:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use wirenet::{WireCluster, WireConfig};
+//! # use lls_primitives::{Ctx, ProcessId, Sm, TimerId};
+//! # #[derive(Debug)] struct Noop;
+//! # impl Sm for Noop {
+//! #     type Msg = u64; type Output = ProcessId; type Request = ();
+//! #     fn on_start(&mut self, _ctx: &mut Ctx<'_, u64, ProcessId>) {}
+//! #     fn on_message(&mut self, _ctx: &mut Ctx<'_, u64, ProcessId>, _f: ProcessId, _m: u64) {}
+//! #     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64, ProcessId>, _t: TimerId) {}
+//! # }
+//!
+//! let cluster = WireCluster::spawn(WireConfig::default(), |_env| Noop);
+//! std::thread::sleep(Duration::from_millis(500));
+//! let report = cluster.stop();
+//! let leader = report.final_output_of(ProcessId(0));
+//! # let _ = leader;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod counters;
+mod link;
+mod node;
+
+pub use cluster::{ClusterReport, WireCluster, WireConfig};
+pub use counters::{LinkCounters, LinkStats, NodeTraffic};
+pub use link::BackoffConfig;
+pub use node::{FaultConfig, NodeConfig, TimedOutput, WireNode};

@@ -1,0 +1,236 @@
+//! Outbound peer links: one bounded queue plus one dialer/writer thread per
+//! remote peer.
+//!
+//! The protocol thread *never* blocks on the network: it enqueues encoded
+//! frames into a bounded deque that evicts its oldest entry on overflow
+//! (fair-lossy — a slow or dead peer costs messages, not liveness). The
+//! writer thread owns the TCP connection: it dials, retries with jittered
+//! exponential backoff, sends the `Hello` handshake frame, then drains the
+//! queue, applying the optional injected loss/delay at the socket layer.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration as StdDuration;
+
+use lls_primitives::{Fate, FaultInjector};
+
+use crate::counters::LinkCounters;
+use crate::node::ConnRegistry;
+
+/// Reconnect backoff policy: exponential with full jitter on the upper
+/// half (`sleep ∈ [delay/2, delay]`), doubling up to `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First retry delay.
+    pub initial: StdDuration,
+    /// Cap on the retry delay.
+    pub max: StdDuration,
+}
+
+impl Default for BackoffConfig {
+    /// 50 ms initial, 2 s cap.
+    fn default() -> Self {
+        BackoffConfig {
+            initial: StdDuration::from_millis(50),
+            max: StdDuration::from_secs(2),
+        }
+    }
+}
+
+/// The queue half of an outbound link, shared between the protocol thread
+/// (producer) and the writer thread (consumer).
+#[derive(Debug)]
+pub(crate) struct PeerLink {
+    addr: SocketAddr,
+    capacity: usize,
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    available: Condvar,
+}
+
+impl PeerLink {
+    pub(crate) fn new(addr: SocketAddr, capacity: usize) -> Self {
+        PeerLink {
+            addr,
+            capacity: capacity.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one encoded frame, evicting the oldest on overflow. Never
+    /// blocks.
+    pub(crate) fn enqueue(&self, frame: Vec<u8>, counters: &LinkCounters) {
+        let mut q = self.queue.lock().expect("link queue poisoned");
+        if q.len() >= self.capacity {
+            q.pop_front();
+            counters.add_queue_drop();
+        }
+        q.push_back(frame);
+        drop(q);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a frame is available or shutdown is requested.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Vec<u8>> {
+        let mut q = self.queue.lock().expect("link queue poisoned");
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(frame) = q.pop_front() {
+                return Some(frame);
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(q, StdDuration::from_millis(100))
+                .expect("link queue poisoned");
+            q = guard;
+        }
+    }
+
+    /// Wakes the writer so it can observe a shutdown request.
+    pub(crate) fn interrupt(&self) {
+        self.available.notify_one();
+    }
+}
+
+/// Runs the dialer/writer loop for one outbound link until shutdown.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_writer(
+    link: Arc<PeerLink>,
+    hello: Vec<u8>,
+    backoff: BackoffConfig,
+    mut faults: Option<FaultInjector>,
+    counters: Arc<LinkCounters>,
+    conns: Arc<ConnRegistry>,
+    shutdown: Arc<AtomicBool>,
+    jitter_seed: u64,
+) {
+    let mut jitter = FaultInjector::new(0.0, StdDuration::ZERO, StdDuration::ZERO, jitter_seed);
+    let mut delay = backoff.initial;
+    let mut had_connection = false;
+    'dial: while !shutdown.load(Ordering::Relaxed) {
+        let stream = match TcpStream::connect_timeout(&link.addr, StdDuration::from_secs(1)) {
+            Ok(s) => s,
+            Err(_) => {
+                // Jittered exponential backoff: sleep in [delay/2, delay],
+                // in small slices so shutdown stays responsive.
+                let sleep = jitter.sample_between(delay / 2, delay);
+                sleep_interruptibly(sleep, &shutdown);
+                delay = (delay * 2).min(backoff.max);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        if had_connection {
+            counters.add_reconnect();
+        }
+        had_connection = true;
+        delay = backoff.initial;
+        let conn_id = conns.register(&stream);
+        let broken = write_connected(&link, stream, &hello, &mut faults, &counters, &shutdown);
+        conns.deregister(conn_id);
+        if !broken {
+            // Clean shutdown, not a connection failure.
+            break 'dial;
+        }
+    }
+}
+
+/// Drains the queue onto one live connection. Returns `true` when the
+/// connection broke (caller should redial), `false` on shutdown.
+fn write_connected(
+    link: &PeerLink,
+    mut stream: TcpStream,
+    hello: &[u8],
+    faults: &mut Option<FaultInjector>,
+    counters: &LinkCounters,
+    shutdown: &AtomicBool,
+) -> bool {
+    if stream.write_all(hello).is_err() {
+        return true;
+    }
+    counters.add_sent(hello.len() as u64);
+    while let Some(frame) = link.pop(shutdown) {
+        if let Some(inj) = faults.as_mut() {
+            match inj.fate() {
+                Fate::Drop => {
+                    counters.add_injected_drop();
+                    continue;
+                }
+                Fate::DeliverAfter(d) if !d.is_zero() => {
+                    // Socket-layer delay: holds back this link only, which
+                    // is exactly a slow network path. The protocol thread is
+                    // unaffected — its sends keep landing in the queue.
+                    std::thread::sleep(d);
+                }
+                Fate::DeliverAfter(_) => {}
+            }
+        }
+        if stream.write_all(&frame).is_err() {
+            // The frame is lost with the connection: fair-lossy semantics.
+            return true;
+        }
+        counters.add_sent(frame.len() as u64);
+    }
+    false
+}
+
+/// Sleeps up to `total`, checking the shutdown flag every 50 ms.
+fn sleep_interruptibly(total: StdDuration, shutdown: &AtomicBool) {
+    let slice = StdDuration::from_millis(50);
+    let mut remaining = total;
+    while !remaining.is_zero() && !shutdown.load(Ordering::Relaxed) {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_link(cap: usize) -> PeerLink {
+        PeerLink::new("127.0.0.1:1".parse().expect("addr"), cap)
+    }
+
+    #[test]
+    fn queue_drops_oldest_on_overflow() {
+        let link = mk_link(2);
+        let counters = LinkCounters::default();
+        link.enqueue(vec![1], &counters);
+        link.enqueue(vec![2], &counters);
+        link.enqueue(vec![3], &counters);
+        assert_eq!(counters.snapshot().queue_drops, 1);
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(link.pop(&shutdown), Some(vec![2]), "oldest was evicted");
+        assert_eq!(link.pop(&shutdown), Some(vec![3]));
+    }
+
+    #[test]
+    fn pop_returns_none_on_shutdown() {
+        let link = mk_link(4);
+        let shutdown = AtomicBool::new(true);
+        assert_eq!(link.pop(&shutdown), None);
+    }
+
+    #[test]
+    fn enqueue_never_blocks_even_when_full() {
+        let link = mk_link(1);
+        let counters = LinkCounters::default();
+        for i in 0..100u8 {
+            link.enqueue(vec![i], &counters);
+        }
+        assert_eq!(counters.snapshot().queue_drops, 99);
+    }
+
+    #[test]
+    fn backoff_default_is_sane() {
+        let b = BackoffConfig::default();
+        assert!(b.initial <= b.max);
+    }
+}

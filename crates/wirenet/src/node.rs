@@ -1,0 +1,581 @@
+//! One wirenet node: a TCP listener plus reader threads (inbound), one
+//! dialer/writer thread per peer (outbound), and a protocol thread that
+//! drives the unchanged sans-io state machine.
+//!
+//! The protocol thread is identical in structure to `threadnet`'s node
+//! loop — timers with reset semantics, wall-clock → tick mapping — except
+//! that sends are encoded with the shared wire codec and handed to the
+//! outbound links instead of an in-process router.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use lls_primitives::wire::{decode_frame, encode_frame, Deframer, Wire};
+use lls_primitives::{Ctx, Effects, Env, FaultInjector, Instant, ProcessId, Sm, TimerCmd, TimerId};
+use parking_lot::Mutex;
+
+use crate::counters::{LinkCounters, LinkStats, NodeTraffic};
+use crate::link::{run_writer, BackoffConfig, PeerLink};
+
+/// Optional loss/delay injected at the socket layer, applied independently
+/// per outbound link (seeds are decorrelated per link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-frame drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Minimum injected delay before a frame hits the socket.
+    pub min_delay: StdDuration,
+    /// Maximum injected delay.
+    pub max_delay: StdDuration,
+    /// Base seed; each link derives its own stream from it.
+    pub seed: u64,
+}
+
+/// Configuration of one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This process's identity.
+    pub me: ProcessId,
+    /// Listen address of every process, indexed by [`ProcessId`];
+    /// `addrs[me]` is this node's own (already bound) address.
+    pub addrs: Vec<SocketAddr>,
+    /// Wall-clock length of one virtual tick (scales η and timeouts).
+    pub tick: StdDuration,
+    /// Capacity of each bounded outbound queue (drop-oldest on overflow).
+    pub queue_capacity: usize,
+    /// Reconnect backoff policy.
+    pub backoff: BackoffConfig,
+    /// Optional socket-layer loss/delay injection.
+    pub faults: Option<FaultConfig>,
+}
+
+/// One timestamped protocol output from the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOutput<O> {
+    /// Wall-clock offset from node (or cluster) start.
+    pub at: StdDuration,
+    /// The process that emitted the output.
+    pub process: ProcessId,
+    /// The output value.
+    pub output: O,
+}
+
+enum Control<M, R> {
+    Deliver { from: ProcessId, msg: M },
+    Request(R),
+    Stop,
+}
+
+/// Live TCP streams of this node, registered so they can be severed (for
+/// fault experiments) or shut down (for graceful stop) from outside the
+/// threads that own them.
+#[derive(Debug, Default)]
+pub(crate) struct ConnRegistry {
+    next: AtomicU64,
+    conns: StdMutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    /// Registers a clone of `stream`; returns a token for deregistration.
+    pub(crate) fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns
+                .lock()
+                .expect("conn registry poisoned")
+                .insert(id, clone);
+        }
+        id
+    }
+
+    pub(crate) fn deregister(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("conn registry poisoned")
+            .remove(&id);
+    }
+
+    /// Force-closes every live connection; returns how many were severed.
+    pub(crate) fn sever_all(&self) -> usize {
+        let conns: Vec<TcpStream> = {
+            let mut map = self.conns.lock().expect("conn registry poisoned");
+            map.drain().map(|(_, s)| s).collect()
+        };
+        let count = conns.len();
+        for s in &conns {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        count
+    }
+}
+
+/// A running node: the state machine `S` over real TCP.
+pub struct WireNode<S: Sm> {
+    me: ProcessId,
+    n: usize,
+    local_addr: SocketAddr,
+    control: Sender<Control<S::Msg, S::Request>>,
+    shutdown: Arc<AtomicBool>,
+    links: Vec<Option<Arc<PeerLink>>>,
+    counters: Arc<Vec<Arc<LinkCounters>>>,
+    traffic: Arc<NodeTraffic>,
+    outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
+    conns: Arc<ConnRegistry>,
+    handles: Vec<JoinHandle<()>>,
+    reader_handles: Arc<StdMutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<S: Sm> std::fmt::Debug for WireNode<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireNode")
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> WireNode<S>
+where
+    S: Sm + std::marker::Send + 'static,
+    S::Msg: Wire,
+{
+    /// Spawns a node on an already-bound listener (bind with port 0 to let
+    /// the OS pick a free port, then read `local_addr`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.me` is out of range, `config.addrs` has fewer than
+    /// two entries, or `config.tick` is zero.
+    pub fn spawn(listener: TcpListener, config: NodeConfig, sm: S) -> Self {
+        Self::spawn_at(listener, config, sm, StdInstant::now())
+    }
+
+    /// Like [`spawn`](WireNode::spawn) with an explicit start instant, so a
+    /// cluster can timestamp all nodes' outputs on one clock.
+    pub(crate) fn spawn_at(
+        listener: TcpListener,
+        config: NodeConfig,
+        sm: S,
+        start: StdInstant,
+    ) -> Self {
+        let n = config.addrs.len();
+        let me = config.me;
+        assert!(n >= 2, "the model requires n > 1 processes");
+        assert!(me.as_usize() < n, "me out of range");
+        assert!(!config.tick.is_zero(), "tick must be positive");
+        let local_addr = listener.local_addr().expect("bound listener");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnRegistry::default());
+        let counters: Arc<Vec<Arc<LinkCounters>>> =
+            Arc::new((0..n).map(|_| Arc::new(LinkCounters::default())).collect());
+        let traffic = Arc::new(NodeTraffic::default());
+        let outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>> = Arc::new(Mutex::new(Vec::new()));
+        let reader_handles: Arc<StdMutex<Vec<JoinHandle<()>>>> =
+            Arc::new(StdMutex::new(Vec::new()));
+        let (control_tx, control_rx) = bounded::<Control<S::Msg, S::Request>>(4096);
+
+        let mut handles = Vec::new();
+
+        // Outbound: one link + writer thread per remote peer.
+        let hello = encode_frame(&me);
+        let mut links: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(n);
+        for peer in 0..n {
+            if peer == me.as_usize() {
+                links.push(None);
+                continue;
+            }
+            let link = Arc::new(PeerLink::new(config.addrs[peer], config.queue_capacity));
+            let faults = config.faults.map(|f| {
+                FaultInjector::new(
+                    f.loss.clamp(0.0, 1.0),
+                    f.min_delay,
+                    f.max_delay,
+                    mix_seed(f.seed, me, peer as u32),
+                )
+            });
+            let jitter_seed = mix_seed(0x6A77_1EED, me, peer as u32);
+            handles.push(std::thread::spawn({
+                let link = Arc::clone(&link);
+                let hello = hello.clone();
+                let backoff = config.backoff;
+                let counters = Arc::clone(&counters[peer]);
+                let conns = Arc::clone(&conns);
+                let shutdown = Arc::clone(&shutdown);
+                move || {
+                    run_writer(
+                        link,
+                        hello,
+                        backoff,
+                        faults,
+                        counters,
+                        conns,
+                        shutdown,
+                        jitter_seed,
+                    )
+                }
+            }));
+            links.push(Some(link));
+        }
+
+        // Inbound: the acceptor spawns one reader thread per connection.
+        handles.push(std::thread::spawn({
+            let control = control_tx.clone();
+            let counters = Arc::clone(&counters);
+            let conns = Arc::clone(&conns);
+            let shutdown = Arc::clone(&shutdown);
+            let reader_handles = Arc::clone(&reader_handles);
+            move || {
+                run_acceptor::<S::Msg, S::Request>(
+                    listener,
+                    n,
+                    control,
+                    counters,
+                    conns,
+                    shutdown,
+                    reader_handles,
+                )
+            }
+        }));
+
+        // The protocol thread.
+        handles.push(std::thread::spawn({
+            let env = Env::new(me, n);
+            let links = links.clone();
+            let counters = Arc::clone(&counters);
+            let traffic = Arc::clone(&traffic);
+            let outputs = Arc::clone(&outputs);
+            let tick = config.tick;
+            move || {
+                protocol_loop(
+                    env, sm, control_rx, links, counters, traffic, outputs, tick, start,
+                )
+            }
+        }));
+
+        WireNode {
+            me,
+            n,
+            local_addr,
+            control: control_tx,
+            shutdown,
+            links,
+            counters,
+            traffic,
+            outputs,
+            conns,
+            handles,
+            reader_handles,
+        }
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The address this node listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Delivers an external request to the state machine.
+    pub fn request(&self, req: S::Request) {
+        let _ = self.control.send(Control::Request(req));
+    }
+
+    /// Force-closes every live TCP connection this node currently has
+    /// (inbound and outbound). Writers redial with backoff; peers see EOF
+    /// and their writers redial too. Returns how many connections died.
+    pub fn sever(&self) -> usize {
+        self.conns.sever_all()
+    }
+
+    /// Per-peer link counter snapshots, indexed by [`ProcessId`] (this
+    /// node's own slot stays zero).
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.counters.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Protocol-level send accounting (the communication-efficiency oracle).
+    pub fn traffic(&self) -> &NodeTraffic {
+        &self.traffic
+    }
+
+    /// A copy of all outputs emitted so far.
+    pub fn outputs_snapshot(&self) -> Vec<TimedOutput<S::Output>> {
+        self.outputs.lock().clone()
+    }
+
+    /// The most recent output, if any.
+    pub fn latest_output(&self) -> Option<S::Output> {
+        self.outputs.lock().last().map(|t| t.output.clone())
+    }
+
+    /// Signals every thread to stop without waiting for them. The protocol
+    /// thread emits no further outputs after processing the stop message.
+    /// Used by the cluster to halt all nodes *before* joining any of them —
+    /// joining one node at a time would leave the survivors running long
+    /// enough to notice the silence and re-elect.
+    pub fn begin_stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.control.send(Control::Stop);
+        for link in self.links.iter().flatten() {
+            link.interrupt();
+        }
+        // Unblock reader threads stuck in a read.
+        self.conns.sever_all();
+    }
+
+    /// Stops every thread, joins them, and returns all outputs.
+    pub fn stop(mut self) -> Vec<TimedOutput<S::Output>> {
+        self.begin_stop();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let readers: Vec<JoinHandle<()>> = {
+            let mut g = self.reader_handles.lock().expect("reader handles poisoned");
+            g.drain(..).collect()
+        };
+        for h in readers {
+            let _ = h.join();
+        }
+        self.outputs.lock().clone()
+    }
+}
+
+/// Decorrelates per-link RNG streams from one base seed.
+fn mix_seed(base: u64, me: ProcessId, peer: u32) -> u64 {
+    base ^ (u64::from(me.0) << 32) ^ (u64::from(peer) << 8) ^ 0x9E37_79B9
+}
+
+/// The accept loop: hands each inbound connection to a reader thread.
+fn run_acceptor<M, R>(
+    listener: TcpListener,
+    n: usize,
+    control: Sender<Control<M, R>>,
+    counters: Arc<Vec<Arc<LinkCounters>>>,
+    conns: Arc<ConnRegistry>,
+    shutdown: Arc<AtomicBool>,
+    reader_handles: Arc<StdMutex<Vec<JoinHandle<()>>>>,
+) where
+    M: Wire + Clone + std::fmt::Debug + std::marker::Send + 'static,
+    R: Clone + std::fmt::Debug + std::marker::Send + 'static,
+{
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let conn_id = conns.register(&stream);
+                let handle = std::thread::spawn({
+                    let control = control.clone();
+                    let counters = Arc::clone(&counters);
+                    let conns = Arc::clone(&conns);
+                    let shutdown = Arc::clone(&shutdown);
+                    move || run_reader(stream, n, control, counters, conns, conn_id, shutdown)
+                });
+                reader_handles
+                    .lock()
+                    .expect("reader handles poisoned")
+                    .push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(StdDuration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(StdDuration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads frames off one inbound connection. The first frame must be the
+/// `Hello` handshake carrying the sender's [`ProcessId`]; after that, every
+/// well-formed frame is decoded as an `M` and delivered. Frames failing
+/// checksum or body decode are counted and *skipped* — the length-prefix
+/// framing keeps the stream aligned. Only a corrupt length prefix (framing
+/// lost) or a bad handshake tears the connection down.
+fn run_reader<M, R>(
+    mut stream: TcpStream,
+    n: usize,
+    control: Sender<Control<M, R>>,
+    counters: Arc<Vec<Arc<LinkCounters>>>,
+    conns: Arc<ConnRegistry>,
+    conn_id: u64,
+    shutdown: Arc<AtomicBool>,
+) where
+    M: Wire,
+{
+    let _ = stream.set_read_timeout(Some(StdDuration::from_millis(200)));
+    let mut deframer = Deframer::new();
+    let mut from: Option<ProcessId> = None;
+    let mut buf = [0u8; 8192];
+    'conn: while !shutdown.load(Ordering::Relaxed) {
+        let nread = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(nread) => nread,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        deframer.extend(&buf[..nread]);
+        loop {
+            match deframer.next_frame() {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    // Account the length prefix too.
+                    let frame_bytes = (payload.len() + 4) as u64;
+                    match from {
+                        None => match decode_frame::<ProcessId>(&payload) {
+                            Ok(pid) if pid.as_usize() < n => from = Some(pid),
+                            // A peer that cannot even introduce itself is
+                            // not speaking this protocol: drop it.
+                            _ => break 'conn,
+                        },
+                        Some(f) => {
+                            let c = &counters[f.as_usize()];
+                            c.add_recv(frame_bytes);
+                            match decode_frame::<M>(&payload) {
+                                Ok(msg) => {
+                                    if control.send(Control::Deliver { from: f, msg }).is_err() {
+                                        break 'conn;
+                                    }
+                                }
+                                Err(_) => c.add_decode_error(),
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    // The length prefix itself is implausible: alignment is
+                    // gone and nothing downstream can be trusted.
+                    if let Some(f) = from {
+                        counters[f.as_usize()].add_decode_error();
+                    }
+                    break 'conn;
+                }
+            }
+        }
+    }
+    conns.deregister(conn_id);
+}
+
+/// The protocol thread: timers with reset semantics, inbox delivery,
+/// wall-clock → tick mapping, sends encoded onto outbound links.
+#[allow(clippy::too_many_arguments)]
+fn protocol_loop<S: Sm>(
+    env: Env,
+    mut sm: S,
+    inbox: Receiver<Control<S::Msg, S::Request>>,
+    links: Vec<Option<Arc<PeerLink>>>,
+    counters: Arc<Vec<Arc<LinkCounters>>>,
+    traffic: Arc<NodeTraffic>,
+    outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
+    tick: StdDuration,
+    start: StdInstant,
+) where
+    S::Msg: Wire,
+{
+    let me = env.id();
+    let now_ticks = |at: StdInstant| -> Instant {
+        Instant::from_ticks(
+            (at.saturating_duration_since(start).as_nanos() / tick.as_nanos().max(1)) as u64,
+        )
+    };
+    let mut fx: Effects<S::Msg, S::Output> = Effects::new();
+    let mut deadlines: HashMap<TimerId, StdInstant> = HashMap::new();
+
+    let apply = |fx: &mut Effects<S::Msg, S::Output>,
+                 deadlines: &mut HashMap<TimerId, StdInstant>,
+                 at: StdInstant| {
+        let taken = fx.take();
+        for s in taken.sends {
+            traffic.record_send(start);
+            let to = s.to.as_usize();
+            if let Some(link) = links.get(to).and_then(|l| l.as_ref()) {
+                link.enqueue(encode_frame(&s.msg), &counters[to]);
+            }
+        }
+        for cmd in taken.timers {
+            match cmd {
+                TimerCmd::Set { timer, after } => {
+                    let wall = tick
+                        .checked_mul(after.ticks().min(u32::MAX as u64) as u32)
+                        .unwrap_or(StdDuration::from_secs(3600));
+                    deadlines.insert(timer, at + wall);
+                }
+                TimerCmd::Cancel { timer } => {
+                    deadlines.remove(&timer);
+                }
+            }
+        }
+        if !taken.outputs.is_empty() {
+            let mut out = outputs.lock();
+            for o in taken.outputs {
+                out.push(TimedOutput {
+                    at: at.saturating_duration_since(start),
+                    process: me,
+                    output: o,
+                });
+            }
+        }
+    };
+
+    let at = StdInstant::now();
+    sm.on_start(&mut Ctx::new(&env, now_ticks(at), &mut fx));
+    apply(&mut fx, &mut deadlines, at);
+
+    loop {
+        let now = StdInstant::now();
+        let due: Vec<TimerId> = deadlines
+            .iter()
+            .filter(|(_, d)| **d <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in due {
+            deadlines.remove(&t);
+            sm.on_timer(&mut Ctx::new(&env, now_ticks(now), &mut fx), t);
+            apply(&mut fx, &mut deadlines, now);
+        }
+        let wait = deadlines
+            .values()
+            .min()
+            .map(|d| d.saturating_duration_since(StdInstant::now()))
+            .unwrap_or(StdDuration::from_millis(20));
+        match inbox.recv_timeout(wait) {
+            Ok(Control::Deliver { from, msg }) => {
+                let at = StdInstant::now();
+                sm.on_message(&mut Ctx::new(&env, now_ticks(at), &mut fx), from, msg);
+                apply(&mut fx, &mut deadlines, at);
+            }
+            Ok(Control::Request(req)) => {
+                let at = StdInstant::now();
+                sm.on_request(&mut Ctx::new(&env, now_ticks(at), &mut fx), req);
+                apply(&mut fx, &mut deadlines, at);
+            }
+            Ok(Control::Stop) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -51,7 +51,11 @@ fn main() {
 
     // Phase 3: keep committing under the new leader.
     for k in 5..8u64 {
-        sim.schedule_request(Instant::from_ticks(60_100 + 200 * (k - 5)), second_leader, k);
+        sim.schedule_request(
+            Instant::from_ticks(60_100 + 200 * (k - 5)),
+            second_leader,
+            k,
+        );
     }
     sim.run_until(Instant::from_ticks(120_000));
 

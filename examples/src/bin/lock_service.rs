@@ -56,7 +56,10 @@ fn main() {
     let mut failed = 0;
     let mut dups = 0;
     for e in sim.outputs().iter().filter(|e| e.process == leader) {
-        if let KvEvent::Applied { response, client, .. } = &e.output {
+        if let KvEvent::Applied {
+            response, client, ..
+        } = &e.output
+        {
             match response {
                 KvResponse::Applied { .. } => {
                     applied += 1;

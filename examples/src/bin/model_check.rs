@@ -16,7 +16,13 @@ fn main() {
         max_crashes: 0,
     })
     .check(
-        |env| Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64)),
+        |env| {
+            Consensus::new(
+                env,
+                ConsensusParams::default(),
+                Some(100 + env.id().0 as u64),
+            )
+        },
         |world| {
             let decisions: Vec<&u64> = world.live_nodes().filter_map(|sm| sm.decision()).collect();
             if decisions.windows(2).all(|w| w[0] == w[1]) {
@@ -49,7 +55,13 @@ fn main() {
         max_crashes: 0,
     })
     .check(
-        |env| Consensus::new(env, ConsensusParams::default(), Some(100 + env.id().0 as u64)),
+        |env| {
+            Consensus::new(
+                env,
+                ConsensusParams::default(),
+                Some(100 + env.id().0 as u64),
+            )
+        },
         |world| {
             if world.live_nodes().any(|sm| sm.decision().is_some()) {
                 Err("someone decided (as they should!)".to_owned())

@@ -27,7 +27,12 @@ fn main() {
 
     println!("=== leader-change timeline ===");
     for e in sim.outputs() {
-        println!("  t={:<8} {} now trusts {}", e.at.ticks(), e.process, e.output);
+        println!(
+            "  t={:<8} {} now trusts {}",
+            e.at.ticks(),
+            e.process,
+            e.output
+        );
     }
 
     println!("\n=== final state ===");

@@ -35,12 +35,30 @@ fn main() {
     let topology = Topology::system_s(n, source, SystemSParams::default());
 
     let workload = [
-        Put { key: "alice", value: 10 },
-        Put { key: "bob", value: 20 },
-        Put { key: "alice", value: 11 },
-        Put { key: "carol", value: 30 },
-        Put { key: "bob", value: 21 },
-        Put { key: "dave", value: 40 },
+        Put {
+            key: "alice",
+            value: 10,
+        },
+        Put {
+            key: "bob",
+            value: 20,
+        },
+        Put {
+            key: "alice",
+            value: 11,
+        },
+        Put {
+            key: "carol",
+            value: 30,
+        },
+        Put {
+            key: "bob",
+            value: 21,
+        },
+        Put {
+            key: "dave",
+            value: 40,
+        },
     ];
 
     let mut sim = SimBuilder::new(n)

@@ -1,0 +1,221 @@
+//! Offline shim for `criterion`: runs each benchmark `sample_size` times,
+//! reports mean/min wall-clock per iteration to stdout. No statistical
+//! analysis, no HTML reports, no command-line filtering.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("single", f);
+        group.finish();
+        self
+    }
+}
+
+/// Units for reporting relative throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters);
+            }
+        }
+        if samples.is_empty() {
+            println!("bench {}/{id}: no iterations", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!(", {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(", {:.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{id}: mean {mean:?}, min {min:?} over {} samples{rate}",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs and times `f` once per call (the shim does not batch).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` to run benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u32>()
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

@@ -1,0 +1,3 @@
+//! Numeric strategy helpers. Range strategies themselves are implemented
+//! directly on `std::ops::Range{,Inclusive}` in [`crate::strategy`]; this
+//! module exists so `proptest::num` paths resolve.

@@ -1,0 +1,41 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates order-preserving subsequences of `values` whose length falls
+/// in `size` (clamped to the source length).
+pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.values.len();
+        let hi = self.size.upper().min(n);
+        let lo = self.size.lower().min(hi);
+        let len = rng.rng.gen_range(lo..=hi);
+        // Partial Fisher–Yates over indices, then sort to preserve order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..len {
+            let j = rng.rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut chosen = idx[..len].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}

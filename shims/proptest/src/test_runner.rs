@@ -1,0 +1,123 @@
+//! Case execution: configuration, RNG, and the pass/fail/reject loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mirrors `proptest::test_runner::Config` far enough for
+/// `ProptestConfig { cases: N, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases tolerated before erroring.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor matching the real crate.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (assumption failure) with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the deterministic [`StdRng`] so the
+/// strategy layer has a single concrete type.
+#[derive(Debug)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// A generator for case `case` of a run with base seed `base`.
+    pub fn for_case(base: u64, case: u64) -> Self {
+        // Golden-ratio mixing keeps per-case streams well separated.
+        TestRng {
+            rng: StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+/// Fixed base seed: runs are reproducible across invocations and machines.
+/// Override with `PROPTEST_SEED=<n>` to explore a different sample.
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FF_EE00_D15E_A5E5)
+}
+
+/// Runs `config.cases` successful cases of `f`, panicking on the first
+/// falsified property. Rejected cases are retried with fresh input (up to
+/// `config.max_global_rejects` in total).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = base_seed();
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::for_case(base, case);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{name}': too many rejected cases ({rejected}); \
+                     weaken the prop_assume! preconditions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' falsified at case {case} \
+                     (base seed {base:#x}): {msg}"
+                );
+            }
+        }
+        case += 1;
+    }
+}

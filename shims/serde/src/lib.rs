@@ -1,0 +1,29 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only uses serde as a *capability marker* on message and
+//! config types (`#[derive(Serialize, Deserialize)]`); actual byte-level
+//! encoding is done by the hand-rolled wire codec in `lls-primitives::wire`.
+//! The traits here are therefore empty and blanket-implemented, and the
+//! derives (re-exported from the `serde_derive` shim) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives accept the usual input
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+//! The matching `serde` shim blanket-implements the traits, so deriving
+//! them is a no-op that keeps `#[derive(Serialize, Deserialize)]` valid.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_integration-90a7b1199add401c.d: crates/threadnet/tests/cluster_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_integration-90a7b1199add401c.rmeta: crates/threadnet/tests/cluster_integration.rs Cargo.toml
+
+crates/threadnet/tests/cluster_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

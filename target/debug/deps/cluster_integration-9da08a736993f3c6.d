@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_integration-9da08a736993f3c6.d: crates/threadnet/tests/cluster_integration.rs
+
+/root/repo/target/debug/deps/cluster_integration-9da08a736993f3c6: crates/threadnet/tests/cluster_integration.rs
+
+crates/threadnet/tests/cluster_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_integration-bcf0f96bab8464bb.d: crates/threadnet/tests/cluster_integration.rs
+
+/root/repo/target/debug/deps/cluster_integration-bcf0f96bab8464bb: crates/threadnet/tests/cluster_integration.rs
+
+crates/threadnet/tests/cluster_integration.rs:

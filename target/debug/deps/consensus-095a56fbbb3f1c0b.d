@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consensus-095a56fbbb3f1c0b.d: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+/root/repo/target/debug/deps/consensus-095a56fbbb3f1c0b: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/ballot.rs:
+crates/consensus/src/checker.rs:
+crates/consensus/src/msg.rs:
+crates/consensus/src/rotating.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/single.rs:

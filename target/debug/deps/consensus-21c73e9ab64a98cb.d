@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/consensus-21c73e9ab64a98cb.d: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus-21c73e9ab64a98cb.rmeta: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs Cargo.toml
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/ballot.rs:
+crates/consensus/src/checker.rs:
+crates/consensus/src/msg.rs:
+crates/consensus/src/rotating.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/single.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/consensus-d279d66c3d1b2d7a.d: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+/root/repo/target/debug/deps/libconsensus-d279d66c3d1b2d7a.rlib: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+/root/repo/target/debug/deps/libconsensus-d279d66c3d1b2d7a.rmeta: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/ballot.rs:
+crates/consensus/src/checker.rs:
+crates/consensus/src/msg.rs:
+crates/consensus/src/rotating.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/single.rs:

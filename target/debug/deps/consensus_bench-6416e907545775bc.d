@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consensus_bench-6416e907545775bc.d: crates/bench/benches/consensus_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus_bench-6416e907545775bc.rmeta: crates/bench/benches/consensus_bench.rs Cargo.toml
+
+crates/bench/benches/consensus_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consensus_integration-de9e0bd70b2e7313.d: crates/consensus/tests/consensus_integration.rs
+
+/root/repo/target/debug/deps/consensus_integration-de9e0bd70b2e7313: crates/consensus/tests/consensus_integration.rs
+
+crates/consensus/tests/consensus_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consensus_integration-f0665abebf78a22c.d: crates/consensus/tests/consensus_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus_integration-f0665abebf78a22c.rmeta: crates/consensus/tests/consensus_integration.rs Cargo.toml
+
+crates/consensus/tests/consensus_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consensus_properties-473ca2417f419da2.d: crates/consensus/tests/consensus_properties.rs
+
+/root/repo/target/debug/deps/consensus_properties-473ca2417f419da2: crates/consensus/tests/consensus_properties.rs
+
+crates/consensus/tests/consensus_properties.rs:

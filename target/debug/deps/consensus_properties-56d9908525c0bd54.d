@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consensus_properties-56d9908525c0bd54.d: crates/consensus/tests/consensus_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsensus_properties-56d9908525c0bd54.rmeta: crates/consensus/tests/consensus_properties.rs Cargo.toml
+
+crates/consensus/tests/consensus_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

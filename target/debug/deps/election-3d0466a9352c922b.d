@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/election-3d0466a9352c922b.d: crates/core/tests/election.rs crates/core/tests/util/mod.rs
+
+/root/repo/target/debug/deps/election-3d0466a9352c922b: crates/core/tests/election.rs crates/core/tests/util/mod.rs
+
+crates/core/tests/election.rs:
+crates/core/tests/util/mod.rs:

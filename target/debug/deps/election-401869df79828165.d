@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/election-401869df79828165.d: crates/core/tests/election.rs crates/core/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelection-401869df79828165.rmeta: crates/core/tests/election.rs crates/core/tests/util/mod.rs Cargo.toml
+
+crates/core/tests/election.rs:
+crates/core/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

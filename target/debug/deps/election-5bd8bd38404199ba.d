@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/election-5bd8bd38404199ba.d: crates/bench/benches/election.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelection-5bd8bd38404199ba.rmeta: crates/bench/benches/election.rs Cargo.toml
+
+crates/bench/benches/election.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/election_over_tcp-1f70a3c1e6e94cbe.d: crates/wirenet/tests/election_over_tcp.rs
+
+/root/repo/target/debug/deps/election_over_tcp-1f70a3c1e6e94cbe: crates/wirenet/tests/election_over_tcp.rs
+
+crates/wirenet/tests/election_over_tcp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/election_over_tcp-527f2b2656dabe18.d: crates/wirenet/tests/election_over_tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelection_over_tcp-527f2b2656dabe18.rmeta: crates/wirenet/tests/election_over_tcp.rs Cargo.toml
+
+crates/wirenet/tests/election_over_tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-0902165cae817b2e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-0902165cae817b2e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

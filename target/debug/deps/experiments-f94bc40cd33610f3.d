@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-f94bc40cd33610f3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-f94bc40cd33610f3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

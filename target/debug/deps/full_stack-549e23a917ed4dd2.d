@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-549e23a917ed4dd2.d: tests/tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-549e23a917ed4dd2: tests/tests/full_stack.rs
+
+tests/tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-692a5150f2563bf1.d: tests/tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-692a5150f2563bf1: tests/tests/full_stack.rs
+
+tests/tests/full_stack.rs:

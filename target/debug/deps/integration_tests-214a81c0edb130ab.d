@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-214a81c0edb130ab.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-214a81c0edb130ab.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-214a81c0edb130ab.rmeta: tests/lib.rs
+
+tests/lib.rs:

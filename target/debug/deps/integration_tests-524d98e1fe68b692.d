@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_tests-524d98e1fe68b692.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_tests-524d98e1fe68b692.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

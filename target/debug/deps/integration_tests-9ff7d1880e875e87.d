@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-9ff7d1880e875e87.d: tests/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-9ff7d1880e875e87: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-a4710d9e23bdc19f.d: tests/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-a4710d9e23bdc19f: tests/lib.rs
+
+tests/lib.rs:

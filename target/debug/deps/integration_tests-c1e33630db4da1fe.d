@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_tests-c1e33630db4da1fe.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_tests-c1e33630db4da1fe.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

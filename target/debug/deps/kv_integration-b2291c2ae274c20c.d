@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_integration-b2291c2ae274c20c.d: crates/kvstore/tests/kv_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_integration-b2291c2ae274c20c.rmeta: crates/kvstore/tests/kv_integration.rs Cargo.toml
+
+crates/kvstore/tests/kv_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

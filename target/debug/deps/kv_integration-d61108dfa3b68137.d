@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kv_integration-d61108dfa3b68137.d: crates/kvstore/tests/kv_integration.rs
+
+/root/repo/target/debug/deps/kv_integration-d61108dfa3b68137: crates/kvstore/tests/kv_integration.rs
+
+crates/kvstore/tests/kv_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_over_tcp-1ddbf2b4b42c1064.d: examples/src/bin/kv_over_tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_over_tcp-1ddbf2b4b42c1064.rmeta: examples/src/bin/kv_over_tcp.rs Cargo.toml
+
+examples/src/bin/kv_over_tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

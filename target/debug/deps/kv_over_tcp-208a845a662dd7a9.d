@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kv_over_tcp-208a845a662dd7a9.d: examples/src/bin/kv_over_tcp.rs
+
+/root/repo/target/debug/deps/kv_over_tcp-208a845a662dd7a9: examples/src/bin/kv_over_tcp.rs
+
+examples/src/bin/kv_over_tcp.rs:

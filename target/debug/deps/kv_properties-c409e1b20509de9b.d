@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_properties-c409e1b20509de9b.d: crates/kvstore/tests/kv_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_properties-c409e1b20509de9b.rmeta: crates/kvstore/tests/kv_properties.rs Cargo.toml
+
+crates/kvstore/tests/kv_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kv_properties-caa22aeeb859792c.d: crates/kvstore/tests/kv_properties.rs
+
+/root/repo/target/debug/deps/kv_properties-caa22aeeb859792c: crates/kvstore/tests/kv_properties.rs
+
+crates/kvstore/tests/kv_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kv_sessions-1040a5cf5fcb6d02.d: examples/src/bin/kv_sessions.rs
+
+/root/repo/target/debug/deps/kv_sessions-1040a5cf5fcb6d02: examples/src/bin/kv_sessions.rs
+
+examples/src/bin/kv_sessions.rs:

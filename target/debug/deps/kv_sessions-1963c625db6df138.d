@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kv_sessions-1963c625db6df138.d: examples/src/bin/kv_sessions.rs
+
+/root/repo/target/debug/deps/kv_sessions-1963c625db6df138: examples/src/bin/kv_sessions.rs
+
+examples/src/bin/kv_sessions.rs:

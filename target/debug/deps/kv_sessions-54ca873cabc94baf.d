@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_sessions-54ca873cabc94baf.d: examples/src/bin/kv_sessions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_sessions-54ca873cabc94baf.rmeta: examples/src/bin/kv_sessions.rs Cargo.toml
+
+examples/src/bin/kv_sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

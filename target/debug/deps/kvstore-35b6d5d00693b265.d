@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvstore-35b6d5d00693b265.d: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+/root/repo/target/debug/deps/kvstore-35b6d5d00693b265: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/client.rs:
+crates/kvstore/src/command.rs:
+crates/kvstore/src/replica.rs:
+crates/kvstore/src/state.rs:

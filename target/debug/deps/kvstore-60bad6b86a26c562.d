@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kvstore-60bad6b86a26c562.d: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+/root/repo/target/debug/deps/libkvstore-60bad6b86a26c562.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+/root/repo/target/debug/deps/libkvstore-60bad6b86a26c562.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/client.rs:
+crates/kvstore/src/command.rs:
+crates/kvstore/src/replica.rs:
+crates/kvstore/src/state.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kvstore-ed450b97f01a14c4.d: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvstore-ed450b97f01a14c4.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs Cargo.toml
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/client.rs:
+crates/kvstore/src/command.rs:
+crates/kvstore/src/replica.rs:
+crates/kvstore/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leader_failover-0b8fb37e806170df.d: examples/src/bin/leader_failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleader_failover-0b8fb37e806170df.rmeta: examples/src/bin/leader_failover.rs Cargo.toml
+
+examples/src/bin/leader_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leader_failover-cb4e63dfac660e71.d: examples/src/bin/leader_failover.rs
+
+/root/repo/target/debug/deps/leader_failover-cb4e63dfac660e71: examples/src/bin/leader_failover.rs
+
+examples/src/bin/leader_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leader_failover-d8b71e5573d10f9e.d: examples/src/bin/leader_failover.rs
+
+/root/repo/target/debug/deps/leader_failover-d8b71e5573d10f9e: examples/src/bin/leader_failover.rs
+
+examples/src/bin/leader_failover.rs:

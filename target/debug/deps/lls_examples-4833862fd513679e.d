@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lls_examples-4833862fd513679e.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblls_examples-4833862fd513679e.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lls_examples-64de6ecf243b9390.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/liblls_examples-64de6ecf243b9390.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/liblls_examples-64de6ecf243b9390.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

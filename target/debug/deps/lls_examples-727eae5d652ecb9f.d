@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lls_examples-727eae5d652ecb9f.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/liblls_examples-727eae5d652ecb9f.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/liblls_examples-727eae5d652ecb9f.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lls_examples-a06b84cd96153c81.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/lls_examples-a06b84cd96153c81: examples/src/lib.rs
+
+examples/src/lib.rs:

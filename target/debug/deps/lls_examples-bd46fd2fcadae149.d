@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lls_examples-bd46fd2fcadae149.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/lls_examples-bd46fd2fcadae149: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lls_primitives-3b70c15996d4f3d0.d: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+/root/repo/target/debug/deps/liblls_primitives-3b70c15996d4f3d0.rlib: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+/root/repo/target/debug/deps/liblls_primitives-3b70c15996d4f3d0.rmeta: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/fault.rs:
+crates/primitives/src/id.rs:
+crates/primitives/src/sm.rs:
+crates/primitives/src/time.rs:
+crates/primitives/src/wire.rs:

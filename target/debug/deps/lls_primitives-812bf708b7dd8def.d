@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lls_primitives-812bf708b7dd8def.d: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblls_primitives-812bf708b7dd8def.rmeta: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs Cargo.toml
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/fault.rs:
+crates/primitives/src/id.rs:
+crates/primitives/src/sm.rs:
+crates/primitives/src/time.rs:
+crates/primitives/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

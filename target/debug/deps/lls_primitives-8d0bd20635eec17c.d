@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lls_primitives-8d0bd20635eec17c.d: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+/root/repo/target/debug/deps/lls_primitives-8d0bd20635eec17c: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/fault.rs:
+crates/primitives/src/id.rs:
+crates/primitives/src/sm.rs:
+crates/primitives/src/time.rs:
+crates/primitives/src/wire.rs:

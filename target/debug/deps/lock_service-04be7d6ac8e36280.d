@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_service-04be7d6ac8e36280.d: examples/src/bin/lock_service.rs
+
+/root/repo/target/debug/deps/lock_service-04be7d6ac8e36280: examples/src/bin/lock_service.rs
+
+examples/src/bin/lock_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_service-5017af97f7bb2e56.d: examples/src/bin/lock_service.rs
+
+/root/repo/target/debug/deps/lock_service-5017af97f7bb2e56: examples/src/bin/lock_service.rs
+
+examples/src/bin/lock_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_service-8c55ade25734bf6d.d: examples/src/bin/lock_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_service-8c55ade25734bf6d.rmeta: examples/src/bin/lock_service.rs Cargo.toml
+
+examples/src/bin/lock_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

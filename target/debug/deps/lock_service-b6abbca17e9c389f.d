@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_service-b6abbca17e9c389f.d: examples/src/bin/lock_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_service-b6abbca17e9c389f.rmeta: examples/src/bin/lock_service.rs Cargo.toml
+
+examples/src/bin/lock_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

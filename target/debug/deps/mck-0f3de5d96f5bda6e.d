@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mck-0f3de5d96f5bda6e.d: crates/mck/src/lib.rs
+
+/root/repo/target/debug/deps/mck-0f3de5d96f5bda6e: crates/mck/src/lib.rs
+
+crates/mck/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mck-52341affc4842d90.d: crates/mck/src/lib.rs
+
+/root/repo/target/debug/deps/libmck-52341affc4842d90.rlib: crates/mck/src/lib.rs
+
+/root/repo/target/debug/deps/libmck-52341affc4842d90.rmeta: crates/mck/src/lib.rs
+
+crates/mck/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mck-c238a79bcbbda86b.d: crates/mck/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmck-c238a79bcbbda86b.rmeta: crates/mck/src/lib.rs Cargo.toml
+
+crates/mck/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-182348f83557c45d.d: examples/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-182348f83557c45d: examples/src/bin/model_check.rs
+
+examples/src/bin/model_check.rs:

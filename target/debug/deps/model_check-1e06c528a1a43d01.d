@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_check-1e06c528a1a43d01.d: examples/src/bin/model_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_check-1e06c528a1a43d01.rmeta: examples/src/bin/model_check.rs Cargo.toml
+
+examples/src/bin/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

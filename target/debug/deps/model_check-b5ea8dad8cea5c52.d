@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-b5ea8dad8cea5c52.d: examples/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-b5ea8dad8cea5c52: examples/src/bin/model_check.rs
+
+examples/src/bin/model_check.rs:

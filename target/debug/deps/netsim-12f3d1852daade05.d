@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netsim-12f3d1852daade05.d: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/netsim-12f3d1852daade05: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/delay.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/netsim-b931a3e017e5fed7.d: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-b931a3e017e5fed7.rmeta: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/delay.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netsim-c3fe7103353d2f45.d: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-c3fe7103353d2f45.rlib: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-c3fe7103353d2f45.rmeta: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/delay.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/omega-d37ad5950e7b34c8.d: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/all_to_all.rs crates/core/src/baseline/broadcast_source.rs crates/core/src/comm_efficient.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/qos.rs crates/core/src/rank.rs crates/core/src/relay.rs crates/core/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libomega-d37ad5950e7b34c8.rmeta: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/all_to_all.rs crates/core/src/baseline/broadcast_source.rs crates/core/src/comm_efficient.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/qos.rs crates/core/src/rank.rs crates/core/src/relay.rs crates/core/src/spec.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline/mod.rs:
+crates/core/src/baseline/all_to_all.rs:
+crates/core/src/baseline/broadcast_source.rs:
+crates/core/src/comm_efficient.rs:
+crates/core/src/msg.rs:
+crates/core/src/params.rs:
+crates/core/src/qos.rs:
+crates/core/src/rank.rs:
+crates/core/src/relay.rs:
+crates/core/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/omega_bench-01901648fcd1f3c2.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libomega_bench-01901648fcd1f3c2.rmeta: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/e_wire.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/omega_bench-1a7ef1a3ceeb56bf.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/omega_bench-1a7ef1a3ceeb56bf: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/table.rs:

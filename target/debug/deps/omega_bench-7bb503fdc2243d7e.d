@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/omega_bench-7bb503fdc2243d7e.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/omega_bench-7bb503fdc2243d7e: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/e_wire.rs:
+crates/bench/src/table.rs:

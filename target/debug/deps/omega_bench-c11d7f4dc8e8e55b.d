@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/omega_bench-c11d7f4dc8e8e55b.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libomega_bench-c11d7f4dc8e8e55b.rlib: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libomega_bench-c11d7f4dc8e8e55b.rmeta: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/e_wire.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/omega_bench-fd7b04579be532da.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libomega_bench-fd7b04579be532da.rlib: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libomega_bench-fd7b04579be532da.rmeta: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/table.rs:

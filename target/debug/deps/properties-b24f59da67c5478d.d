@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-b24f59da67c5478d.d: crates/core/tests/properties.rs crates/core/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b24f59da67c5478d.rmeta: crates/core/tests/properties.rs crates/core/tests/util/mod.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+crates/core/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-f82221c8a8fef059.d: crates/core/tests/properties.rs crates/core/tests/util/mod.rs
+
+/root/repo/target/debug/deps/properties-f82221c8a8fef059: crates/core/tests/properties.rs crates/core/tests/util/mod.rs
+
+crates/core/tests/properties.rs:
+crates/core/tests/util/mod.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-4c82be4f75f5f6bd.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs
+
+/root/repo/target/debug/deps/proptest-4c82be4f75f5f6bd: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/bool.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/num.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/sample.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/proptest-cd77179b7c00c524.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-cd77179b7c00c524.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/bool.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/num.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/sample.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

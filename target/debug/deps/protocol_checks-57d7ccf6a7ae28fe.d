@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_checks-57d7ccf6a7ae28fe.d: crates/mck/tests/protocol_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_checks-57d7ccf6a7ae28fe.rmeta: crates/mck/tests/protocol_checks.rs Cargo.toml
+
+crates/mck/tests/protocol_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_checks-6b3366b244a05a71.d: crates/mck/tests/protocol_checks.rs
+
+/root/repo/target/debug/deps/protocol_checks-6b3366b244a05a71: crates/mck/tests/protocol_checks.rs
+
+crates/mck/tests/protocol_checks.rs:

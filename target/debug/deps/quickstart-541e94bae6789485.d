@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-541e94bae6789485.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-541e94bae6789485: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

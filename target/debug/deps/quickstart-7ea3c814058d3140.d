@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-7ea3c814058d3140.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-7ea3c814058d3140: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/relay_and_blink-57aef205f3559b75.d: crates/core/tests/relay_and_blink.rs crates/core/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelay_and_blink-57aef205f3559b75.rmeta: crates/core/tests/relay_and_blink.rs crates/core/tests/util/mod.rs Cargo.toml
+
+crates/core/tests/relay_and_blink.rs:
+crates/core/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

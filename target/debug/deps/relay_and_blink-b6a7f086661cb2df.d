@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/relay_and_blink-b6a7f086661cb2df.d: crates/core/tests/relay_and_blink.rs crates/core/tests/util/mod.rs
+
+/root/repo/target/debug/deps/relay_and_blink-b6a7f086661cb2df: crates/core/tests/relay_and_blink.rs crates/core/tests/util/mod.rs
+
+crates/core/tests/relay_and_blink.rs:
+crates/core/tests/util/mod.rs:

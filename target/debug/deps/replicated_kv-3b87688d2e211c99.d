@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replicated_kv-3b87688d2e211c99.d: examples/src/bin/replicated_kv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplicated_kv-3b87688d2e211c99.rmeta: examples/src/bin/replicated_kv.rs Cargo.toml
+
+examples/src/bin/replicated_kv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

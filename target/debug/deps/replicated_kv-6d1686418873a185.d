@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_kv-6d1686418873a185.d: examples/src/bin/replicated_kv.rs
+
+/root/repo/target/debug/deps/replicated_kv-6d1686418873a185: examples/src/bin/replicated_kv.rs
+
+examples/src/bin/replicated_kv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_kv-b3c706e59e365201.d: examples/src/bin/replicated_kv.rs
+
+/root/repo/target/debug/deps/replicated_kv-b3c706e59e365201: examples/src/bin/replicated_kv.rs
+
+examples/src/bin/replicated_kv.rs:

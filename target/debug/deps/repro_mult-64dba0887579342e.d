@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro_mult-64dba0887579342e.d: crates/core/tests/repro_mult.rs crates/core/tests/util/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_mult-64dba0887579342e.rmeta: crates/core/tests/repro_mult.rs crates/core/tests/util/mod.rs Cargo.toml
+
+crates/core/tests/repro_mult.rs:
+crates/core/tests/util/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/repro_mult-6e53269b43febb19.d: crates/core/tests/repro_mult.rs crates/core/tests/util/mod.rs
+
+/root/repo/target/debug/deps/repro_mult-6e53269b43febb19: crates/core/tests/repro_mult.rs crates/core/tests/util/mod.rs
+
+crates/core/tests/repro_mult.rs:
+crates/core/tests/util/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rotating_integration-c16d62aa0e8bfc21.d: crates/consensus/tests/rotating_integration.rs
+
+/root/repo/target/debug/deps/rotating_integration-c16d62aa0e8bfc21: crates/consensus/tests/rotating_integration.rs
+
+crates/consensus/tests/rotating_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rotating_integration-f57482b1070c2fbd.d: crates/consensus/tests/rotating_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/librotating_integration-f57482b1070c2fbd.rmeta: crates/consensus/tests/rotating_integration.rs Cargo.toml
+
+crates/consensus/tests/rotating_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-4d44a8df42cb0871.d: crates/netsim/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-4d44a8df42cb0871: crates/netsim/tests/sim_properties.rs
+
+crates/netsim/tests/sim_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_properties-ec8ca44691c84da2.d: crates/netsim/tests/sim_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_properties-ec8ca44691c84da2.rmeta: crates/netsim/tests/sim_properties.rs Cargo.toml
+
+crates/netsim/tests/sim_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

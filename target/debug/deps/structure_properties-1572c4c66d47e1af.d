@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structure_properties-1572c4c66d47e1af.d: crates/consensus/tests/structure_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructure_properties-1572c4c66d47e1af.rmeta: crates/consensus/tests/structure_properties.rs Cargo.toml
+
+crates/consensus/tests/structure_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_properties-362244063d7dfcfd.d: crates/consensus/tests/structure_properties.rs
+
+/root/repo/target/debug/deps/structure_properties-362244063d7dfcfd: crates/consensus/tests/structure_properties.rs
+
+crates/consensus/tests/structure_properties.rs:

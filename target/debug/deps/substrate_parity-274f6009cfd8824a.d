@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_parity-274f6009cfd8824a.d: tests/tests/substrate_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_parity-274f6009cfd8824a.rmeta: tests/tests/substrate_parity.rs Cargo.toml
+
+tests/tests/substrate_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

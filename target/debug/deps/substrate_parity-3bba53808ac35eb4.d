@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_parity-3bba53808ac35eb4.d: tests/tests/substrate_parity.rs
+
+/root/repo/target/debug/deps/substrate_parity-3bba53808ac35eb4: tests/tests/substrate_parity.rs
+
+tests/tests/substrate_parity.rs:

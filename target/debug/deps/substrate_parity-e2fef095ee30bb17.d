@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_parity-e2fef095ee30bb17.d: tests/tests/substrate_parity.rs
+
+/root/repo/target/debug/deps/substrate_parity-e2fef095ee30bb17: tests/tests/substrate_parity.rs
+
+tests/tests/substrate_parity.rs:

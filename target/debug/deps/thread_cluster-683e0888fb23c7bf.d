@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_cluster-683e0888fb23c7bf.d: examples/src/bin/thread_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_cluster-683e0888fb23c7bf.rmeta: examples/src/bin/thread_cluster.rs Cargo.toml
+
+examples/src/bin/thread_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_cluster-7b35cbb27a19697e.d: examples/src/bin/thread_cluster.rs
+
+/root/repo/target/debug/deps/thread_cluster-7b35cbb27a19697e: examples/src/bin/thread_cluster.rs
+
+examples/src/bin/thread_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_cluster-e4e947e08550e901.d: examples/src/bin/thread_cluster.rs
+
+/root/repo/target/debug/deps/thread_cluster-e4e947e08550e901: examples/src/bin/thread_cluster.rs
+
+examples/src/bin/thread_cluster.rs:

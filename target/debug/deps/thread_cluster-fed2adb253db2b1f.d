@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_cluster-fed2adb253db2b1f.d: examples/src/bin/thread_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_cluster-fed2adb253db2b1f.rmeta: examples/src/bin/thread_cluster.rs Cargo.toml
+
+examples/src/bin/thread_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

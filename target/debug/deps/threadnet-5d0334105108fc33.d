@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/threadnet-5d0334105108fc33.d: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/debug/deps/threadnet-5d0334105108fc33: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+crates/threadnet/src/lib.rs:
+crates/threadnet/src/cluster.rs:
+crates/threadnet/src/router.rs:

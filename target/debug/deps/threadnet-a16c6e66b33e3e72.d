@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threadnet-a16c6e66b33e3e72.d: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/debug/deps/libthreadnet-a16c6e66b33e3e72.rlib: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/debug/deps/libthreadnet-a16c6e66b33e3e72.rmeta: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+crates/threadnet/src/lib.rs:
+crates/threadnet/src/cluster.rs:
+crates/threadnet/src/router.rs:

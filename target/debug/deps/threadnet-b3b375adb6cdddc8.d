@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threadnet-b3b375adb6cdddc8.d: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/debug/deps/libthreadnet-b3b375adb6cdddc8.rlib: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/debug/deps/libthreadnet-b3b375adb6cdddc8.rmeta: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+crates/threadnet/src/lib.rs:
+crates/threadnet/src/cluster.rs:
+crates/threadnet/src/router.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/threadnet-d99abd0f77e2ff16.d: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/debug/deps/threadnet-d99abd0f77e2ff16: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+crates/threadnet/src/lib.rs:
+crates/threadnet/src/cluster.rs:
+crates/threadnet/src/router.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_codec_properties-1e8bc5cb7793c3bd.d: tests/tests/wire_codec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_codec_properties-1e8bc5cb7793c3bd.rmeta: tests/tests/wire_codec_properties.rs Cargo.toml
+
+tests/tests/wire_codec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

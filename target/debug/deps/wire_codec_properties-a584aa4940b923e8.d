@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_codec_properties-a584aa4940b923e8.d: tests/tests/wire_codec_properties.rs
+
+/root/repo/target/debug/deps/wire_codec_properties-a584aa4940b923e8: tests/tests/wire_codec_properties.rs
+
+tests/tests/wire_codec_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wirenet-7e7d2e50c21c4b2b.d: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+/root/repo/target/debug/deps/wirenet-7e7d2e50c21c4b2b: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+crates/wirenet/src/lib.rs:
+crates/wirenet/src/cluster.rs:
+crates/wirenet/src/counters.rs:
+crates/wirenet/src/link.rs:
+crates/wirenet/src/node.rs:

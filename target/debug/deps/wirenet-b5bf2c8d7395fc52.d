@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wirenet-b5bf2c8d7395fc52.d: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwirenet-b5bf2c8d7395fc52.rmeta: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs Cargo.toml
+
+crates/wirenet/src/lib.rs:
+crates/wirenet/src/cluster.rs:
+crates/wirenet/src/counters.rs:
+crates/wirenet/src/link.rs:
+crates/wirenet/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wirenet-f954054a54347e05.d: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+/root/repo/target/debug/deps/libwirenet-f954054a54347e05.rlib: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+/root/repo/target/debug/deps/libwirenet-f954054a54347e05.rmeta: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+crates/wirenet/src/lib.rs:
+crates/wirenet/src/cluster.rs:
+crates/wirenet/src/counters.rs:
+crates/wirenet/src/link.rs:
+crates/wirenet/src/node.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/consensus-80777909e21adc92.d: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+/root/repo/target/release/deps/libconsensus-80777909e21adc92.rlib: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+/root/repo/target/release/deps/libconsensus-80777909e21adc92.rmeta: crates/consensus/src/lib.rs crates/consensus/src/ballot.rs crates/consensus/src/checker.rs crates/consensus/src/msg.rs crates/consensus/src/rotating.rs crates/consensus/src/rsm.rs crates/consensus/src/single.rs
+
+crates/consensus/src/lib.rs:
+crates/consensus/src/ballot.rs:
+crates/consensus/src/checker.rs:
+crates/consensus/src/msg.rs:
+crates/consensus/src/rotating.rs:
+crates/consensus/src/rsm.rs:
+crates/consensus/src/single.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1probe-9eb2952e592fc55a.d: crates/bench/src/bin/e1probe.rs
+
+/root/repo/target/release/deps/e1probe-9eb2952e592fc55a: crates/bench/src/bin/e1probe.rs
+
+crates/bench/src/bin/e1probe.rs:

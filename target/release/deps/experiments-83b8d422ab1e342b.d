@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-83b8d422ab1e342b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-83b8d422ab1e342b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c78097d78f543b64.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-c78097d78f543b64: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

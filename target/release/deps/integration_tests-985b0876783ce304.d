@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration_tests-985b0876783ce304.d: tests/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-985b0876783ce304.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-985b0876783ce304.rmeta: tests/lib.rs
+
+tests/lib.rs:

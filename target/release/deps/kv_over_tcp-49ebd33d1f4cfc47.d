@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kv_over_tcp-49ebd33d1f4cfc47.d: examples/src/bin/kv_over_tcp.rs
+
+/root/repo/target/release/deps/kv_over_tcp-49ebd33d1f4cfc47: examples/src/bin/kv_over_tcp.rs
+
+examples/src/bin/kv_over_tcp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kv_sessions-55381b9e5f155722.d: examples/src/bin/kv_sessions.rs
+
+/root/repo/target/release/deps/kv_sessions-55381b9e5f155722: examples/src/bin/kv_sessions.rs
+
+examples/src/bin/kv_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kv_sessions-fe46e9dc3de63587.d: examples/src/bin/kv_sessions.rs
+
+/root/repo/target/release/deps/kv_sessions-fe46e9dc3de63587: examples/src/bin/kv_sessions.rs
+
+examples/src/bin/kv_sessions.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kvstore-3962fd9a9920efdd.d: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+/root/repo/target/release/deps/libkvstore-3962fd9a9920efdd.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+/root/repo/target/release/deps/libkvstore-3962fd9a9920efdd.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/client.rs crates/kvstore/src/command.rs crates/kvstore/src/replica.rs crates/kvstore/src/state.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/client.rs:
+crates/kvstore/src/command.rs:
+crates/kvstore/src/replica.rs:
+crates/kvstore/src/state.rs:

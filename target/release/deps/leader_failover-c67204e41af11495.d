@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leader_failover-c67204e41af11495.d: examples/src/bin/leader_failover.rs
+
+/root/repo/target/release/deps/leader_failover-c67204e41af11495: examples/src/bin/leader_failover.rs
+
+examples/src/bin/leader_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leader_failover-dfe278afbf115b40.d: examples/src/bin/leader_failover.rs
+
+/root/repo/target/release/deps/leader_failover-dfe278afbf115b40: examples/src/bin/leader_failover.rs
+
+examples/src/bin/leader_failover.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lls_examples-cd03915b66824e3a.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/liblls_examples-cd03915b66824e3a.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/liblls_examples-cd03915b66824e3a.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

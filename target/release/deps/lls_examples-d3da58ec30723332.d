@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lls_examples-d3da58ec30723332.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/liblls_examples-d3da58ec30723332.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/liblls_examples-d3da58ec30723332.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

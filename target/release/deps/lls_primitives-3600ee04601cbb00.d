@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lls_primitives-3600ee04601cbb00.d: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+/root/repo/target/release/deps/liblls_primitives-3600ee04601cbb00.rlib: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+/root/repo/target/release/deps/liblls_primitives-3600ee04601cbb00.rmeta: crates/primitives/src/lib.rs crates/primitives/src/fault.rs crates/primitives/src/id.rs crates/primitives/src/sm.rs crates/primitives/src/time.rs crates/primitives/src/wire.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/fault.rs:
+crates/primitives/src/id.rs:
+crates/primitives/src/sm.rs:
+crates/primitives/src/time.rs:
+crates/primitives/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lock_service-7e42bcdbcf1b18d7.d: examples/src/bin/lock_service.rs
+
+/root/repo/target/release/deps/lock_service-7e42bcdbcf1b18d7: examples/src/bin/lock_service.rs
+
+examples/src/bin/lock_service.rs:

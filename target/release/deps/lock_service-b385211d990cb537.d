@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lock_service-b385211d990cb537.d: examples/src/bin/lock_service.rs
+
+/root/repo/target/release/deps/lock_service-b385211d990cb537: examples/src/bin/lock_service.rs
+
+examples/src/bin/lock_service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mck-05203eb91ee59494.d: crates/mck/src/lib.rs
+
+/root/repo/target/release/deps/libmck-05203eb91ee59494.rlib: crates/mck/src/lib.rs
+
+/root/repo/target/release/deps/libmck-05203eb91ee59494.rmeta: crates/mck/src/lib.rs
+
+crates/mck/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_check-00d80ec7e8f1b4c4.d: examples/src/bin/model_check.rs
+
+/root/repo/target/release/deps/model_check-00d80ec7e8f1b4c4: examples/src/bin/model_check.rs
+
+examples/src/bin/model_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_check-58a2d925a71b1e73.d: examples/src/bin/model_check.rs
+
+/root/repo/target/release/deps/model_check-58a2d925a71b1e73: examples/src/bin/model_check.rs
+
+examples/src/bin/model_check.rs:

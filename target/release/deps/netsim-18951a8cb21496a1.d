@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/netsim-18951a8cb21496a1.d: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-18951a8cb21496a1.rlib: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-18951a8cb21496a1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/delay.rs crates/netsim/src/event.rs crates/netsim/src/fault.rs crates/netsim/src/link.rs crates/netsim/src/sim.rs crates/netsim/src/stats.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/delay.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/fault.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:

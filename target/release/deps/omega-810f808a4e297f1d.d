@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/omega-810f808a4e297f1d.d: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/all_to_all.rs crates/core/src/baseline/broadcast_source.rs crates/core/src/comm_efficient.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/qos.rs crates/core/src/rank.rs crates/core/src/relay.rs crates/core/src/spec.rs
+
+/root/repo/target/release/deps/libomega-810f808a4e297f1d.rlib: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/all_to_all.rs crates/core/src/baseline/broadcast_source.rs crates/core/src/comm_efficient.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/qos.rs crates/core/src/rank.rs crates/core/src/relay.rs crates/core/src/spec.rs
+
+/root/repo/target/release/deps/libomega-810f808a4e297f1d.rmeta: crates/core/src/lib.rs crates/core/src/baseline/mod.rs crates/core/src/baseline/all_to_all.rs crates/core/src/baseline/broadcast_source.rs crates/core/src/comm_efficient.rs crates/core/src/msg.rs crates/core/src/params.rs crates/core/src/qos.rs crates/core/src/rank.rs crates/core/src/relay.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline/mod.rs:
+crates/core/src/baseline/all_to_all.rs:
+crates/core/src/baseline/broadcast_source.rs:
+crates/core/src/comm_efficient.rs:
+crates/core/src/msg.rs:
+crates/core/src/params.rs:
+crates/core/src/qos.rs:
+crates/core/src/rank.rs:
+crates/core/src/relay.rs:
+crates/core/src/spec.rs:

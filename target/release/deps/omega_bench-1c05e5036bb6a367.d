@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/omega_bench-1c05e5036bb6a367.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libomega_bench-1c05e5036bb6a367.rlib: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libomega_bench-1c05e5036bb6a367.rmeta: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/e_wire.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/e_wire.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/omega_bench-9ec02980574bd64f.d: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libomega_bench-9ec02980574bd64f.rlib: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libomega_bench-9ec02980574bd64f.rmeta: crates/bench/src/lib.rs crates/bench/src/e_consensus.rs crates/bench/src/e_omega.rs crates/bench/src/e_thread.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e_consensus.rs:
+crates/bench/src/e_omega.rs:
+crates/bench/src/e_thread.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/proptest-62b38138526daaf3.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs
+
+/root/repo/target/release/deps/libproptest-62b38138526daaf3.rlib: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs
+
+/root/repo/target/release/deps/libproptest-62b38138526daaf3.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs shims/proptest/src/arbitrary.rs shims/proptest/src/bool.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/sample.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/bool.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/num.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/sample.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-8a8dfaffbf92b413.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-8a8dfaffbf92b413: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

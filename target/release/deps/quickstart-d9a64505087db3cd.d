@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-d9a64505087db3cd.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-d9a64505087db3cd: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replicated_kv-2d4f38f7e18d0f17.d: examples/src/bin/replicated_kv.rs
+
+/root/repo/target/release/deps/replicated_kv-2d4f38f7e18d0f17: examples/src/bin/replicated_kv.rs
+
+examples/src/bin/replicated_kv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replicated_kv-82efb9ca022d2db5.d: examples/src/bin/replicated_kv.rs
+
+/root/repo/target/release/deps/replicated_kv-82efb9ca022d2db5: examples/src/bin/replicated_kv.rs
+
+examples/src/bin/replicated_kv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thread_cluster-a5ebccd89c7a8fa4.d: examples/src/bin/thread_cluster.rs
+
+/root/repo/target/release/deps/thread_cluster-a5ebccd89c7a8fa4: examples/src/bin/thread_cluster.rs
+
+examples/src/bin/thread_cluster.rs:

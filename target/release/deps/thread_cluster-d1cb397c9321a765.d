@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thread_cluster-d1cb397c9321a765.d: examples/src/bin/thread_cluster.rs
+
+/root/repo/target/release/deps/thread_cluster-d1cb397c9321a765: examples/src/bin/thread_cluster.rs
+
+examples/src/bin/thread_cluster.rs:

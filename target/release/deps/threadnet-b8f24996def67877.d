@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/threadnet-b8f24996def67877.d: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/release/deps/libthreadnet-b8f24996def67877.rlib: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+/root/repo/target/release/deps/libthreadnet-b8f24996def67877.rmeta: crates/threadnet/src/lib.rs crates/threadnet/src/cluster.rs crates/threadnet/src/router.rs
+
+crates/threadnet/src/lib.rs:
+crates/threadnet/src/cluster.rs:
+crates/threadnet/src/router.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wirenet-4d08acca68217a90.d: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+/root/repo/target/release/deps/libwirenet-4d08acca68217a90.rlib: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+/root/repo/target/release/deps/libwirenet-4d08acca68217a90.rmeta: crates/wirenet/src/lib.rs crates/wirenet/src/cluster.rs crates/wirenet/src/counters.rs crates/wirenet/src/link.rs crates/wirenet/src/node.rs
+
+crates/wirenet/src/lib.rs:
+crates/wirenet/src/cluster.rs:
+crates/wirenet/src/counters.rs:
+crates/wirenet/src/link.rs:
+crates/wirenet/src/node.rs:

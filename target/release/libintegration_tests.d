@@ -1,0 +1,1 @@
+/root/repo/target/release/libintegration_tests.rlib: /root/repo/tests/lib.rs

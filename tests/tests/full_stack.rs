@@ -43,9 +43,7 @@ fn omega_then_consensus_pipeline() {
     let mut csim = SimBuilder::new(n)
         .seed(1)
         .topology(topo)
-        .build_with(|env| {
-            Consensus::new(env, ConsensusParams::default(), Some(env.id().0 as u64))
-        });
+        .build_with(|env| Consensus::new(env, ConsensusParams::default(), Some(env.id().0 as u64)));
     csim.run_until(Instant::from_ticks(80_000));
     let ds: Vec<DecisionRecord<u64>> = csim
         .outputs()
@@ -142,9 +140,7 @@ fn stacked_protocol_still_quiesces_to_the_leader() {
     let mut sim = SimBuilder::new(n)
         .seed(5)
         .topology(topo)
-        .build_with(|env| {
-            Consensus::new(env, ConsensusParams::default(), Some(env.id().0 as u64))
-        });
+        .build_with(|env| Consensus::new(env, ConsensusParams::default(), Some(env.id().0 as u64)));
     sim.run_until(Instant::from_ticks(120_000));
     // Everybody decided…
     for p in (0..n as u32).map(ProcessId) {

@@ -3,7 +3,7 @@
 //! real-thread runtime — the property that makes simulator results
 //! transferable.
 
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use lls_primitives::{Instant, ProcessId};
 use netsim::{SimBuilder, Topology};
@@ -18,7 +18,10 @@ fn both_substrates_elect_p0_on_perfect_links() {
 
     // Simulator.
     let mut sim = SimBuilder::new(n)
-        .topology(Topology::all_timely(n, lls_primitives::Duration::from_ticks(1)))
+        .topology(Topology::all_timely(
+            n,
+            lls_primitives::Duration::from_ticks(1),
+        ))
         .build_with(|env| CommEffOmega::new(env, OmegaParams::default()));
     sim.run_until(Instant::from_ticks(10_000));
     for p in (0..n as u32).map(ProcessId) {
@@ -57,14 +60,19 @@ fn failover_shape_matches_across_substrates() {
 
     // Simulator run.
     let mut sim = SimBuilder::new(n)
-        .topology(Topology::all_timely(n, lls_primitives::Duration::from_ticks(1)))
+        .topology(Topology::all_timely(
+            n,
+            lls_primitives::Duration::from_ticks(1),
+        ))
         .crash_at(ProcessId(0), Instant::from_ticks(2_000))
         .build_with(|env| CommEffOmega::new(env, OmegaParams::default()));
     sim.run_until(Instant::from_ticks(20_000));
     let sim_final: Vec<ProcessId> = (1..n as u32)
         .map(|p| sim.node(ProcessId(p)).leader())
         .collect();
-    assert!(sim_final.iter().all(|&l| l == sim_final[0] && l != ProcessId(0)));
+    assert!(sim_final
+        .iter()
+        .all(|&l| l == sim_final[0] && l != ProcessId(0)));
 
     // Thread run.
     let cluster = Cluster::spawn(
@@ -105,25 +113,80 @@ fn replicated_log_commits_on_real_threads() {
     use consensus::{ConsensusParams, ReplicatedLog};
 
     let n = 3;
+    // A generous tick (suspicion timeout = 15 ms) keeps scheduler jitter on
+    // a loaded machine from churning the leadership mid-workload.
     let cluster = Cluster::spawn(
         NetConfig {
             n,
             loss: 0.05,
             min_delay: StdDuration::from_micros(50),
             max_delay: StdDuration::from_micros(400),
-            tick: StdDuration::from_micros(200),
+            tick: StdDuration::from_micros(500),
             seed: 5,
         },
         |env| ReplicatedLog::<u64>::new(env, ConsensusParams::default()),
     );
-    // Let the leader establish, then submit to p0 (lowest id; on a
-    // low-loss mesh the initial leader p0 keeps leadership).
-    std::thread::sleep(StdDuration::from_millis(300));
+    // Await a leader that is not merely unanimous but *stays* unanimous for
+    // a while: submitting during a momentary agreement risks the commands
+    // landing on a leader that is still running (or about to rerun) its
+    // prepare phase, and the workload cannot be resubmitted without
+    // breaking the exact-log assertion below.
+    let deadline = StdInstant::now() + StdDuration::from_secs(10);
+    let stable_for = StdDuration::from_millis(400);
+    let mut held_since: Option<(ProcessId, StdInstant)> = None;
+    let leader = loop {
+        let latest = cluster.latest_outputs();
+        let unanimous = latest.first().and_then(|o| match o {
+            Some(consensus::RsmEvent::Leader(l))
+                if latest
+                    .iter()
+                    .all(|o| matches!(o, Some(consensus::RsmEvent::Leader(x)) if x == l)) =>
+            {
+                Some(*l)
+            }
+            _ => None,
+        });
+        match (unanimous, held_since) {
+            (Some(l), Some((h, since))) if l == h => {
+                if since.elapsed() >= stable_for {
+                    break l;
+                }
+            }
+            (Some(l), _) => held_since = Some((l, StdInstant::now())),
+            (None, _) => held_since = None,
+        }
+        assert!(StdInstant::now() < deadline, "no stable leader on threads");
+        std::thread::sleep(StdDuration::from_millis(25));
+    };
     for k in 0..5u64 {
-        cluster.request(ProcessId(0), k);
+        cluster.request(leader, k);
         std::thread::sleep(StdDuration::from_millis(30));
     }
-    std::thread::sleep(StdDuration::from_millis(1_000));
+    // Wait until every replica has committed the final command. Scan the
+    // full output history, not just the newest output: a leader-change
+    // notification emitted after the commit must not mask completion.
+    let deadline = StdInstant::now() + StdDuration::from_secs(10);
+    loop {
+        let outputs = cluster.outputs_so_far();
+        let done = (0..n as u32).map(ProcessId).all(|p| {
+            outputs.iter().any(|t| {
+                t.process == p
+                    && matches!(
+                        t.output,
+                        consensus::RsmEvent::Committed { cmd: Some(4), .. }
+                    )
+            })
+        });
+        if done {
+            break;
+        }
+        assert!(
+            StdInstant::now() < deadline,
+            "replicas never committed the full workload: {:?}",
+            cluster.latest_outputs()
+        );
+        std::thread::sleep(StdDuration::from_millis(25));
+    }
     let report = cluster.stop();
     // Every replica committed the same prefix, in order.
     for p in (0..n as u32).map(ProcessId) {
