@@ -1,17 +1,18 @@
-//! CLI regenerating every experiment table/series (E1–E15).
+//! CLI regenerating every experiment table/series (E1–E16).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
 //!   cargo run -p omega-bench --release --bin experiments -- e3 e7
 //!   cargo run -p omega-bench --release --bin experiments -- --quick all
 
-use omega_bench::{e_consensus, e_omega, e_thread, e_wire};
+use omega_bench::{e_chaos, e_consensus, e_omega, e_thread, e_wire};
 
 struct Scale {
     seeds: u64,
     horizon: u64,
     long_horizon: u64,
     sizes: Vec<usize>,
+    quick: bool,
 }
 
 fn print_exp(id: &str, title: &str, body: String) {
@@ -96,7 +97,19 @@ fn run(id: &str, s: &Scale) {
             "TCP-socket validation: sender-set collapse over real connections",
             e_wire::e15_wirenet(5, 0.05, 10, 400).render(),
         ),
-        other => eprintln!("unknown experiment id: {other} (expected e1..e15 or all)"),
+        "e16" => {
+            let (seeds, sizes, wall) = if s.quick {
+                (2, vec![3usize], 1)
+            } else {
+                (4, vec![3usize, 5], 3)
+            };
+            print_exp(
+                id,
+                "crash-restart chaos campaign (claim: 0 checker violations on every substrate)",
+                e_chaos::e16_chaos(seeds, &sizes, wall).render(),
+            )
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e16 or all)"),
     }
 }
 
@@ -114,6 +127,7 @@ fn main() {
             horizon: 30_000,
             long_horizon: 60_000,
             sizes: vec![3, 5, 10],
+            quick: true,
         }
     } else {
         Scale {
@@ -121,12 +135,13 @@ fn main() {
             horizon: 60_000,
             long_horizon: 300_000,
             sizes: vec![3, 5, 10, 20, 40],
+            quick: false,
         }
     };
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15",
+            "e14", "e15", "e16",
         ] {
             run(id, &scale);
         }

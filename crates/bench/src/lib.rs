@@ -1,7 +1,7 @@
 //! Experiment harness for the limited-link-synchrony reproduction.
 //!
 //! PODC 2004 is a theory paper — its "evaluation" is a set of theorems and
-//! complexity claims. Each experiment here (E1–E15, indexed in `DESIGN.md`
+//! complexity claims. Each experiment here (E1–E16, indexed in `DESIGN.md`
 //! and reported in `EXPERIMENTS.md`) turns one claim into a measurement and
 //! regenerates the corresponding table or series:
 //!
@@ -22,12 +22,14 @@
 //! | E13 | QoS: detection time vs timeout after a leader crash |
 //! | E14 | Ω-gated consensus vs rotating-coordinator (◇S) baseline |
 //! | E15 | The communication-efficiency shape survives on real TCP sockets |
+//! | E16 | Crash–restart chaos: durable state keeps both checkers green on all substrates |
 //!
 //! Run everything with `cargo run -p omega-bench --release --bin experiments -- all`,
 //! or one experiment by id (`-- e3`).
 
 #![forbid(unsafe_code)]
 
+pub mod e_chaos;
 pub mod e_consensus;
 pub mod e_omega;
 pub mod e_thread;

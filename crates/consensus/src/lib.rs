@@ -54,12 +54,14 @@
 
 mod ballot;
 pub mod checker;
+pub mod durable;
 mod msg;
 mod rotating;
 mod rsm;
 mod single;
 
 pub use ballot::Ballot;
+pub use durable::{AcceptorRecord, RsmRecord};
 pub use msg::{classify_consensus_msg, classify_rsm_msg, ConsensusMsg, Entry, RsmMsg};
 pub use rotating::{classify_rot_msg, RotEvent, RotMsg, RotatingConsensus};
 pub use rsm::{ReplicatedLog, RsmEvent};

@@ -22,11 +22,14 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
-use lls_primitives::{Ctx, Effects, Env, ProcessId, Sm, TimerCmd, TimerId};
+use lls_primitives::{
+    Ctx, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId, Wire,
+};
 use omega::{CommEffOmega, OmegaMsg};
 use serde::{Deserialize, Serialize};
 
 use crate::ballot::Ballot;
+use crate::durable::RsmRecord;
 use crate::msg::{Entry, RsmMsg};
 use crate::single::{ConsensusParams, OMEGA_TIMER_BASE, RETRY_TIMER};
 
@@ -102,11 +105,14 @@ pub struct ReplicatedLog<V> {
     pending: VecDeque<V>,
     inflight: BTreeMap<u64, Inflight<V>>,
     decide_trackers: BTreeMap<u64, Vec<bool>>,
+    // Durability (see `crate::durable` for the safety arguments).
+    storage: Option<StorageHandle>,
+    wedged: bool,
 }
 
 impl<V> ReplicatedLog<V>
 where
-    V: Clone + Eq + fmt::Debug + Send + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
 {
     /// Creates a replica.
     ///
@@ -127,6 +133,91 @@ where
             pending: VecDeque::new(),
             inflight: BTreeMap::new(),
             decide_trackers: BTreeMap::new(),
+            storage: None,
+            wedged: false,
+        }
+    }
+
+    /// Creates a replica backed by a durable log, recovering the promised
+    /// ballot, accepted entries, chosen prefix and Ω counter a previous
+    /// incarnation persisted.
+    ///
+    /// Recovery runs synchronously before any stimulus (the "recovering
+    /// rejoin mode"). Recovered chosen slots are restored *without*
+    /// re-emitting their `Committed` outputs — the pre-crash incarnation
+    /// already emitted them; applications rebuilding state after a restart
+    /// read [`Self::chosen_log`] / [`Self::committed_commands`] instead. The
+    /// recovered Ω counter is bumped once so the restarted replica rejoins
+    /// as a follower. See [`crate::durable`] for the per-field safety
+    /// arguments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+    ) -> Result<Self, StorageError> {
+        let mut sm = ReplicatedLog::new(env, params);
+        let records: Vec<RsmRecord<V>> = storage.load_records()?;
+        let recovering = !records.is_empty();
+        let mut omega_counter = 0u64;
+        for rec in records {
+            match rec {
+                RsmRecord::OmegaCounter(c) => omega_counter = omega_counter.max(c),
+                RsmRecord::Promised(b) => sm.promised = sm.promised.max(b),
+                RsmRecord::Accepted { slot, b, entry } => {
+                    sm.promised = sm.promised.max(b);
+                    match sm.accepted.get(&slot) {
+                        Some((prev, _)) if *prev > b => {}
+                        _ => {
+                            sm.accepted.insert(slot, (b, entry));
+                        }
+                    }
+                }
+                RsmRecord::Chosen { slot, entry } => {
+                    sm.chosen.entry(slot).or_insert(entry);
+                }
+            }
+        }
+        sm.highest_seen = sm.promised;
+        // Quietly advance past the contiguous recovered prefix: those
+        // Committed events were already emitted by the previous incarnation.
+        while sm.chosen.contains_key(&sm.emitted_upto) {
+            sm.emitted_upto += 1;
+        }
+        let boot_counter = if recovering {
+            omega_counter.saturating_add(1)
+        } else {
+            0
+        };
+        storage.append_record(&RsmRecord::<V>::OmegaCounter(boot_counter))?;
+        sm.omega.restore_own_counter(boot_counter);
+        sm.storage = Some(storage);
+        Ok(sm)
+    }
+
+    /// Appends `rec` to the durable log, if one is attached; wedges the
+    /// machine on failure (a replica that cannot persist must fall silent).
+    fn persist(&mut self, rec: &RsmRecord<V>) -> bool {
+        if self.wedged {
+            return false;
+        }
+        match &self.storage {
+            None => true,
+            Some(store) => {
+                if store.append_record(rec).is_ok() {
+                    true
+                } else {
+                    self.wedged = true;
+                    false
+                }
+            }
         }
     }
 
@@ -186,9 +277,17 @@ where
         step: impl FnOnce(&mut CommEffOmega, &mut Ctx<'_, OmegaMsg, ProcessId>),
     ) {
         let mut fx: Effects<OmegaMsg, ProcessId> = Effects::new();
+        let counter_before = self.omega.own_counter();
         {
             let mut octx = Ctx::new(&self.env, ctx.now(), &mut fx);
             step(&mut self.omega, &mut octx);
+        }
+        // Write-ahead: the bumped counter must be durable before any message
+        // revealing it can leave (effects are drained after we return).
+        let counter_after = self.omega.own_counter();
+        if counter_after != counter_before && !self.persist(&RsmRecord::OmegaCounter(counter_after))
+        {
+            return;
         }
         for s in fx.sends {
             ctx.send(s.to, RsmMsg::Omega(s.msg));
@@ -222,6 +321,9 @@ where
 
     fn start_prepare(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
         let b = self.highest_seen.max(self.promised).next_for(self.me());
+        if !self.persist(&RsmRecord::Promised(b)) {
+            return;
+        }
         self.highest_seen = b;
         let from_slot = self.emitted_upto;
         // Self-promise, revealing our own accepted suffix.
@@ -306,6 +408,13 @@ where
             // propose_next which checked; unreachable otherwise.
             return;
         };
+        if !self.persist(&RsmRecord::Accepted {
+            slot,
+            b,
+            entry: entry.clone(),
+        }) {
+            return;
+        }
         // Self-accept.
         self.accepted.insert(slot, (b, entry.clone()));
         let mut acks = vec![false; self.env.n()];
@@ -331,6 +440,9 @@ where
         let entry = inf.entry.clone();
         self.inflight.remove(&slot);
         self.learn(ctx, slot, entry.clone());
+        if self.wedged {
+            return;
+        }
         self.track_decide(slot);
         self.broadcast_decide(ctx, slot, entry);
     }
@@ -351,7 +463,17 @@ where
     }
 
     fn learn(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
-        self.chosen.entry(slot).or_insert(entry);
+        if !self.chosen.contains_key(&slot) {
+            // Write-ahead: the choice must be durable before the Committed
+            // output (and any Decide broadcast) can be observed.
+            if !self.persist(&RsmRecord::Chosen {
+                slot,
+                entry: entry.clone(),
+            }) {
+                return;
+            }
+            self.chosen.insert(slot, entry);
+        }
         while let Some(e) = self.chosen.get(&self.emitted_upto) {
             ctx.output(RsmEvent::Committed {
                 slot: self.emitted_upto,
@@ -453,6 +575,11 @@ where
             RsmMsg::Prepare { b, from_slot } => {
                 self.highest_seen = self.highest_seen.max(b);
                 if b >= self.promised {
+                    // Write-ahead: the promise must be durable before the
+                    // Promise reply can leave.
+                    if !self.persist(&RsmRecord::Promised(b)) {
+                        return;
+                    }
                     self.promised = b;
                     let accepted: Vec<(u64, Ballot, Entry<V>)> = self
                         .accepted
@@ -516,6 +643,15 @@ where
             RsmMsg::Accept { b, slot, entry } => {
                 self.highest_seen = self.highest_seen.max(b);
                 if b >= self.promised {
+                    // Write-ahead: the vote must be durable before the
+                    // Accepted reply can leave.
+                    if !self.persist(&RsmRecord::Accepted {
+                        slot,
+                        b,
+                        entry: entry.clone(),
+                    }) {
+                        return;
+                    }
                     self.promised = b;
                     self.accepted.insert(slot, (b, entry));
                     ctx.send(from, RsmMsg::Accepted { b, slot });
@@ -569,13 +705,16 @@ where
 
 impl<V> Sm for ReplicatedLog<V>
 where
-    V: Clone + Eq + fmt::Debug + Send + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
 {
     type Msg = RsmMsg<V>;
     type Output = RsmEvent<V>;
     type Request = V;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>) {
+        if self.wedged {
+            return;
+        }
         ctx.set_timer(RETRY_TIMER, self.params.retry);
         self.drive_omega(ctx, |omega, octx| omega.on_start(octx));
     }
@@ -586,6 +725,9 @@ where
         from: ProcessId,
         msg: Self::Msg,
     ) {
+        if self.wedged {
+            return;
+        }
         match msg {
             RsmMsg::Omega(m) => {
                 self.drive_omega(ctx, |omega, octx| omega.on_message(octx, from, m));
@@ -595,6 +737,9 @@ where
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, timer: TimerId) {
+        if self.wedged {
+            return;
+        }
         if timer.0 >= OMEGA_TIMER_BASE {
             let inner = TimerId(timer.0 - OMEGA_TIMER_BASE);
             self.drive_omega(ctx, |omega, octx| omega.on_timer(octx, inner));
@@ -610,6 +755,9 @@ where
     /// immediately, otherwise it waits for leadership (clients of a real
     /// deployment would resubmit to the actual leader).
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: V) {
+        if self.wedged {
+            return;
+        }
         if matches!(self.state, LeaderState::Led { .. }) {
             self.propose_next(ctx, Entry::Cmd(req));
         } else {
@@ -957,5 +1105,116 @@ mod tests {
         h.deliver(1, RsmMsg::DecideAck { slot: 0 });
         h.deliver(2, RsmMsg::DecideAck { slot: 0 });
         assert!(!h.sm.decide_trackers.contains_key(&0));
+    }
+
+    #[test]
+    fn restart_from_wal_preserves_log_and_rejoins_quietly() {
+        use lls_primitives::StorageHandle;
+        let env = Env::new(ProcessId(1), 3);
+        let store = StorageHandle::in_memory();
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        {
+            let mut sm: Log =
+                ReplicatedLog::with_storage(&env, ConsensusParams::default(), store.clone())
+                    .unwrap();
+            let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+            sm.on_message(
+                &mut ctx,
+                ProcessId(0),
+                RsmMsg::Prepare {
+                    b: b(2, 0),
+                    from_slot: 0,
+                },
+            );
+            fx.take();
+            let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+            sm.on_message(
+                &mut ctx,
+                ProcessId(0),
+                RsmMsg::Accept {
+                    b: b(2, 0),
+                    slot: 1,
+                    entry: Entry::Cmd(8),
+                },
+            );
+            fx.take();
+            let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+            sm.on_message(
+                &mut ctx,
+                ProcessId(0),
+                RsmMsg::Decide {
+                    slot: 0,
+                    entry: Entry::Cmd(5),
+                },
+            );
+            let out = fx.take();
+            assert!(out.outputs.contains(&RsmEvent::Committed {
+                slot: 0,
+                cmd: Some(5)
+            }));
+            // Crash: the in-memory replica is dropped, only the WAL survives.
+        }
+        let mut sm2: Log =
+            ReplicatedLog::with_storage(&env, ConsensusParams::default(), store).unwrap();
+        assert_eq!(sm2.promised, b(2, 0), "promise must survive the crash");
+        assert_eq!(
+            sm2.chosen(0),
+            Some(&Entry::Cmd(5)),
+            "chosen slot must survive the crash"
+        );
+        assert_eq!(
+            sm2.committed_len(),
+            1,
+            "recovered prefix is advanced past without re-emitting"
+        );
+        assert_eq!(
+            sm2.omega().own_counter(),
+            1,
+            "incarnation bump: recovered counter 0 + 1"
+        );
+        // A higher-ballot Prepare reveals the pre-crash accepted suffix.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm2.on_message(
+            &mut ctx,
+            ProcessId(2),
+            RsmMsg::Prepare {
+                b: b(4, 2),
+                from_slot: 0,
+            },
+        );
+        let out = fx.take();
+        let revealed = out
+            .sends
+            .iter()
+            .find_map(|s| match &s.msg {
+                RsmMsg::Promise { accepted, .. } => Some(accepted.clone()),
+                _ => None,
+            })
+            .expect("restarted acceptor must promise the higher ballot");
+        assert!(
+            revealed.contains(&(1, b(2, 0), Entry::Cmd(8))),
+            "pre-crash accepted entry must be revealed: {revealed:?}"
+        );
+        // A later Decide for slot 1 commits only slot 1 — slot 0 is not
+        // re-emitted after recovery.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm2.on_message(
+            &mut ctx,
+            ProcessId(0),
+            RsmMsg::Decide {
+                slot: 1,
+                entry: Entry::Cmd(8),
+            },
+        );
+        let out = fx.take();
+        let committed: Vec<u64> = out
+            .outputs
+            .iter()
+            .filter_map(|o| match o {
+                RsmEvent::Committed { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, vec![1]);
     }
 }

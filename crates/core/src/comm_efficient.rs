@@ -39,7 +39,7 @@
 //! every run by the [`crate::spec`] checkers across the test suite and the
 //! experiment harness.
 
-use lls_primitives::{Ctx, Duration, Env, ProcessId, Sm, TimerId};
+use lls_primitives::{Ctx, Duration, Env, ProcessId, Sm, StorageError, StorageHandle, TimerId};
 
 use crate::msg::OmegaMsg;
 use crate::params::OmegaParams;
@@ -66,6 +66,15 @@ pub struct CommEffOmega {
     accusations_sent: u64,
     /// Diagnostics: how many valid accusations this process has absorbed.
     accusations_received: u64,
+    /// Durable log for the crash-critical state (the own accusation
+    /// counter); `None` runs crash-stop, with no persistence.
+    storage: Option<StorageHandle>,
+    /// Recovering rejoin mode: set on a restart from a non-empty log,
+    /// cleared by the first message received afterwards. While set, local
+    /// suspicions are recorded but no `ACCUSE` is *sent* — a freshly
+    /// restarted process has no evidence about anyone's timeliness (its own
+    /// links may still be reconnecting), so it must not demote incumbents.
+    recovering: bool,
 }
 
 impl CommEffOmega {
@@ -87,7 +96,95 @@ impl CommEffOmega {
             leader: ProcessId(0),
             accusations_sent: 0,
             accusations_received: 0,
+            storage: None,
+            recovering: false,
         }
+    }
+
+    /// Creates the state machine with a durable log, recovering persisted
+    /// state if the log is non-empty.
+    ///
+    /// # What is persisted, and why it is safe
+    ///
+    /// The only crash-critical field is the **own accusation counter**
+    /// `auth(me)` — which *is* the phase: an accusation is counted only when
+    /// its counter equals `auth(me)`, so persisting the counter also
+    /// persists the phase. It must never regress: peers adopt the largest
+    /// counter heard from us ([`RankTable::record_alive`]), so an amnesiac
+    /// restart at a smaller value would (a) let a battered candidate
+    /// re-claim leadership it already lost, breaking eventual agreement, and
+    /// (b) desynchronise the phase so future accusations never match and the
+    /// counter freezes while peers' view of it does not.
+    ///
+    /// # The recovering rejoin mode
+    ///
+    /// Recovery happens here, synchronously, *before* [`Sm::on_start`] — the
+    /// machine is never observable in a half-recovered state; that is the
+    /// "stay quiet until state is reloaded" rule. Additionally, a restart
+    /// from a non-empty log rejoins with the counter **incremented once**
+    /// (the crash-recovery literature's incarnation bump): an unstable
+    /// process ranks itself below any equally-accused stable process, so it
+    /// rejoins as a *follower*, defers to whoever was elected while it was
+    /// down, and cannot yo-yo leadership by power-cycling. A process that
+    /// crashes finitely often still has a finite counter, so Ω's
+    /// stabilisation argument is unaffected.
+    ///
+    /// Finally, a restarted process **does not send accusations** until it
+    /// has received its first post-recovery message. Right after a restart
+    /// its links may still be reconnecting, so leader-check timeouts convey
+    /// no evidence about the incumbent's timeliness; accusing on them would
+    /// bump healthy incumbents' counters up to the restarted process's own
+    /// and let it re-win the *(counter, id)* tie-break it was supposed to
+    /// have lost. Local suspicions are still recorded, so if *every* process
+    /// crashed, each one eventually promotes itself locally, heartbeats, and
+    /// the first delivered `ALIVE` ends everyone's quiet period — liveness
+    /// is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be made
+    /// durable — a process whose disk is broken must not participate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`OmegaParams::validate`].
+    pub fn with_storage(
+        env: &Env,
+        params: OmegaParams,
+        storage: StorageHandle,
+    ) -> Result<Self, StorageError> {
+        let mut sm = CommEffOmega::new(env, params);
+        let records: Vec<u64> = storage.load_records()?;
+        let boot_counter = match records.iter().max() {
+            Some(&persisted) => persisted.saturating_add(1),
+            None => 0,
+        };
+        // Write-ahead even for the boot record: if this append fails, the
+        // process never joins, so no peer can have heard the new counter.
+        storage.append_record(&boot_counter)?;
+        sm.restore_own_counter(boot_counter);
+        sm.storage = Some(storage);
+        Ok(sm)
+    }
+
+    /// Restores this process's own accusation counter from durable state.
+    ///
+    /// For embedding protocols (consensus persists its embedded Ω's counter
+    /// in its own log). Must be called before any stimulus is delivered.
+    ///
+    /// A non-zero counter means this is a restart (first boots start at 0),
+    /// so it also enters the recovering rejoin mode: no accusations are sent
+    /// until the first message arrives post-recovery.
+    pub fn restore_own_counter(&mut self, counter: u64) {
+        self.table.record_alive(self.me, counter);
+        self.leader = self.table.best();
+        self.recovering = counter > 0;
+    }
+
+    /// `true` while in the recovering rejoin mode (restarted, and no message
+    /// received yet).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// The process this instance currently trusts (the Ω output).
@@ -166,6 +263,9 @@ impl Sm for CommEffOmega {
         from: ProcessId,
         msg: OmegaMsg,
     ) {
+        // Any delivered message proves at least one link is live again: the
+        // recovering quiet period ends and normal monitoring resumes.
+        self.recovering = false;
         match msg {
             OmegaMsg::Alive { counter } => {
                 self.table.record_alive(from, counter);
@@ -178,6 +278,16 @@ impl Sm for CommEffOmega {
             OmegaMsg::Accuse { counter } => {
                 let valid = !self.params.dedup_accusations || counter == self.table.auth(self.me);
                 if valid {
+                    // Write-ahead: the bumped counter must be durable before
+                    // any ALIVE can carry it. If the append fails, the
+                    // accusation is dropped — equivalent to the message having
+                    // been lost, which the protocol already tolerates.
+                    if let Some(store) = &self.storage {
+                        let next = self.table.auth(self.me).saturating_add(1);
+                        if store.append_record(&next).is_err() {
+                            return;
+                        }
+                    }
                     self.accusations_received += 1;
                     self.table.bump_auth(self.me);
                     self.recompute_leader(ctx);
@@ -205,13 +315,15 @@ impl Sm for CommEffOmega {
                 let t = &mut self.timeouts[suspect.as_usize()];
                 *t = self.params.timeout_policy.bump(*t);
                 self.table.record_suspicion(suspect);
-                self.accusations_sent += 1;
-                ctx.send(
-                    suspect,
-                    OmegaMsg::Accuse {
-                        counter: self.table.auth(suspect),
-                    },
-                );
+                if !self.recovering {
+                    self.accusations_sent += 1;
+                    ctx.send(
+                        suspect,
+                        OmegaMsg::Accuse {
+                            counter: self.table.auth(suspect),
+                        },
+                    );
+                }
                 self.recompute_leader(ctx);
                 if self.leader == suspect {
                     // Still the best candidate despite the suspicion: keep
@@ -435,6 +547,88 @@ mod tests {
             .timers
             .iter()
             .any(|c| matches!(c, TimerCmd::Set { timer, .. } if *timer == HEARTBEAT_TIMER)));
+    }
+
+    #[test]
+    fn restart_recovers_counter_and_rejoins_as_follower() {
+        use lls_primitives::StorageHandle;
+        let env = Env::new(ProcessId(0), 2);
+        let store = StorageHandle::in_memory();
+        let mut fx = Effects::new();
+
+        // First boot: empty log, counter 0, p0 leads as usual.
+        let mut sm =
+            CommEffOmega::with_storage(&env, OmegaParams::default(), store.clone()).unwrap();
+        assert_eq!(sm.own_counter(), 0);
+        assert!(sm.is_leader());
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+        sm.on_message(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            ProcessId(1),
+            OmegaMsg::Accuse { counter: 0 },
+        );
+        fx.take();
+        assert_eq!(sm.own_counter(), 1);
+        drop(sm); // crash
+
+        // Restart: recovers counter 1, incarnation bump makes it 2, and the
+        // restarted process defers to p1 instead of re-claiming leadership.
+        let sm = CommEffOmega::with_storage(&env, OmegaParams::default(), store.clone()).unwrap();
+        assert_eq!(sm.own_counter(), 2);
+        assert!(!sm.is_leader());
+        assert_eq!(sm.leader(), ProcessId(1));
+
+        // The boot record itself is durable: yet another restart bumps again.
+        let sm = CommEffOmega::with_storage(&env, OmegaParams::default(), store).unwrap();
+        assert_eq!(sm.own_counter(), 3);
+    }
+
+    #[test]
+    fn recovering_process_stays_quiet_until_first_message() {
+        use lls_primitives::StorageHandle;
+        let env = Env::new(ProcessId(0), 3);
+        let store = StorageHandle::in_memory();
+        let mut fx = Effects::new();
+
+        // First boot + crash, so the next boot is a genuine restart.
+        let sm = CommEffOmega::with_storage(&env, OmegaParams::default(), store.clone()).unwrap();
+        assert!(!sm.is_recovering(), "first boot is not a recovery");
+        drop(sm);
+
+        let mut sm = CommEffOmega::with_storage(&env, OmegaParams::default(), store).unwrap();
+        assert!(sm.is_recovering());
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+
+        // Its links may still be down: leader-check expiries record the
+        // suspicion locally but must not accuse anyone.
+        sm.on_timer(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            LEADER_CHECK_TIMER,
+        );
+        let quiet = fx.take();
+        assert!(quiet.sends.is_empty(), "recovering node accused: {quiet:?}");
+        assert_eq!(sm.accusations_sent(), 0);
+        assert_eq!(sm.table().prov(ProcessId(1)), 1, "suspicion still recorded");
+
+        // The first delivered message ends the quiet period...
+        sm.on_message(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            ProcessId(1),
+            OmegaMsg::Alive { counter: 0 },
+        );
+        fx.take();
+        assert!(!sm.is_recovering());
+
+        // ...after which accusations flow normally again.
+        sm.on_timer(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            LEADER_CHECK_TIMER,
+        );
+        let fx2 = fx.take();
+        assert_eq!(fx2.sends.len(), 1);
+        assert_eq!(sm.accusations_sent(), 1);
     }
 
     #[test]

@@ -328,6 +328,47 @@ impl<S: Sm> Simulator<S> {
         self.nodes[p.as_usize()].alive = false;
     }
 
+    /// Kills `p` immediately, as a crash–*restart* fault: the process can
+    /// later come back via [`Simulator::restart`]. All pending timers are
+    /// invalidated (a rebooted process does not inherit its predecessor's
+    /// alarms); messages in flight to `p` are dropped at delivery time, like
+    /// any message to a dead process.
+    pub fn kill(&mut self, p: ProcessId) {
+        let node = &mut self.nodes[p.as_usize()];
+        node.alive = false;
+        // Invalidate every armed timer by bumping its generation.
+        for gen in node.timer_gens.values_mut() {
+            *gen += 1;
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.push(self.now, TraceKind::Crash(p));
+        }
+    }
+
+    /// Restarts a killed `p` with a fresh state machine `sm` — typically one
+    /// recovered from the same durable storage the pre-crash incarnation
+    /// wrote (e.g. `Consensus::with_storage`), which is what makes the
+    /// crash–restart fault model interesting. Runs `on_start` immediately at
+    /// the current virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is still alive.
+    pub fn restart(&mut self, p: ProcessId, sm: S) {
+        let node = &mut self.nodes[p.as_usize()];
+        assert!(!node.alive, "cannot restart {p}: it is alive");
+        node.sm = sm;
+        node.alive = true;
+        node.started = true;
+        if let Some(tr) = &mut self.trace {
+            tr.push(self.now, TraceKind::Restart(p));
+        }
+        let node = &mut self.nodes[p.as_usize()];
+        let mut ctx = Ctx::new(&node.env, self.now, &mut self.fx);
+        node.sm.on_start(&mut ctx);
+        self.drain(p);
+    }
+
     /// Schedules an external request for `p` at `t` (must be ≥ now).
     ///
     /// # Panics
@@ -766,6 +807,24 @@ mod tests {
         let mut quiet = beacon_sim(2).build_with(|_| Beacon { count: 0 });
         quiet.run_until(Instant::from_ticks(10));
         assert!(quiet.trace().is_none());
+    }
+
+    #[test]
+    fn kill_then_restart_resumes_with_fresh_state_and_no_stale_timers() {
+        let mut sim = beacon_sim(2).build_with(|_| Beacon { count: 0 });
+        sim.run_until(Instant::from_ticks(35));
+        assert_eq!(sim.node(ProcessId(0)).count, 3);
+        sim.kill(ProcessId(0));
+        assert!(!sim.is_alive(ProcessId(0)));
+        sim.run_until(Instant::from_ticks(100));
+        // Dead: no further ticks.
+        assert_eq!(sim.stats().sent_by(ProcessId(0)), 3);
+        sim.restart(ProcessId(0), Beacon { count: 0 });
+        assert!(sim.is_alive(ProcessId(0)));
+        sim.run_until(Instant::from_ticks(165));
+        // Restarted at t=100 with a fresh machine: ticks at 110..=160.
+        assert_eq!(sim.node(ProcessId(0)).count, 6);
+        assert_eq!(sim.stats().sent_by(ProcessId(0)), 9);
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum TraceKind {
         /// Which timer.
         timer: TimerId,
     },
+    /// A crashed process restarted with a fresh state machine.
+    Restart(ProcessId),
     /// The network schedule changed a link or the topology.
     NetChange,
 }
@@ -80,6 +82,7 @@ impl fmt::Display for TraceRecord {
             TraceKind::LinkDrop { from, to } => write!(f, "LINKDROP  {from} -> {to}"),
             TraceKind::DeadDrop { to } => write!(f, "DEADDROP  -> {to}"),
             TraceKind::TimerFire { p, timer } => write!(f, "TIMER     {p} {timer}"),
+            TraceKind::Restart(p) => write!(f, "RESTART   {p}"),
             TraceKind::NetChange => write!(f, "NETCHANGE"),
         }
     }

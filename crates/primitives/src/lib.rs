@@ -15,7 +15,11 @@
 //! * the [`wire`] codec — a versioned, checksummed binary framing shared by
 //!   every transport that serialises messages onto a byte stream,
 //! * the [`FaultInjector`] — the seeded loss/delay model both real-time
-//!   runtimes apply to messages in flight.
+//!   runtimes apply to messages in flight,
+//! * the [`storage`] module — durable per-process state ([`Storage`],
+//!   [`StorageHandle`], in-memory and file-WAL backends) through which
+//!   protocols persist crash-critical state so a killed process can restart
+//!   without violating promises made before the crash.
 //!
 //! # Why sans-io?
 //!
@@ -78,11 +82,13 @@
 pub mod fault;
 mod id;
 mod sm;
+pub mod storage;
 mod time;
 pub mod wire;
 
 pub use fault::{Fate, FaultInjector};
 pub use id::{Membership, ProcessId};
 pub use sm::{Ctx, Effects, Env, Send, Sm, TimerCmd, TimerId};
+pub use storage::{FileWal, MemStorage, Storage, StorageError, StorageHandle};
 pub use time::{Duration, Instant};
 pub use wire::{Wire, WireError};

@@ -1,0 +1,473 @@
+//! Durable per-process storage for crash–restart survival.
+//!
+//! The paper's model is crash-stop, but the follow-up crash-recovery work
+//! (Larrea/Martín/Soraluze, JSS 2011) makes precise what a process must
+//! persist so that a restart cannot un-say anything it said before the
+//! crash: the Ω accusation counter, and the consensus acceptor state
+//! (promised ballot, accepted ballot/value, decided prefix). This module
+//! provides the substrate-independent storage those protocols write through:
+//!
+//! * [`Storage`] — the minimal append/load contract: an ordered log of
+//!   opaque byte records;
+//! * [`MemStorage`] — an in-memory log that survives a *simulated* restart
+//!   (the handle outlives the state machine) but not the host process; the
+//!   deterministic backend used by `netsim` and `threadnet` campaigns;
+//! * [`FileWal`] — an append-only file WAL whose records are framed with the
+//!   [`wire`](crate::wire) codec (length prefix, protocol version, CRC-32).
+//!   Recovery scans from the front and truncates at the first torn or
+//!   corrupt frame, keeping the longest valid prefix;
+//! * [`StorageHandle`] — a cloneable, thread-safe handle shared between the
+//!   harness (which keeps it across kill/restart) and the state machine
+//!   incarnations (which write through it).
+//!
+//! # Write-ahead discipline
+//!
+//! State machines append a record *inside* the handler that mutates the
+//! crash-critical state, before the handler returns. Because every runtime
+//! in this workspace drains effects only after the handler returns, the
+//! record is durable before any message reflecting the new state can reach
+//! the network — the classic write-ahead rule.
+//!
+//! # Example
+//!
+//! ```
+//! use lls_primitives::storage::StorageHandle;
+//!
+//! let store = StorageHandle::in_memory();
+//! store.append(b"promise 3").unwrap();
+//! store.append(b"accept 3 v").unwrap();
+//! // ... the process is killed; a new incarnation reloads:
+//! let records = store.load().unwrap();
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[0], b"promise 3");
+//! ```
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::wire::{decode_frame, encode_frame, Wire, WireError, MAX_FRAME_LEN};
+
+/// Bytes of the little-endian length prefix in front of every WAL frame
+/// (same framing as the stream transports; see [`crate::wire::encode_frame`]).
+const LEN_PREFIX: usize = 4;
+
+/// Why a storage operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An I/O operation on the backing medium failed.
+    Io {
+        /// Which operation failed (`"open"`, `"append"`, `"load"`, ...).
+        op: &'static str,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail (path, OS message).
+        detail: String,
+    },
+    /// A record loaded from storage failed typed decoding. Distinct from
+    /// recovery-time frame corruption, which is silently truncated: a frame
+    /// with a *valid* checksum but an undecodable body means the caller is
+    /// reading the log with the wrong record type.
+    Decode(WireError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, kind, detail } => {
+                write!(f, "storage {op} failed ({kind:?}): {detail}")
+            }
+            StorageError::Decode(e) => write!(f, "stored record failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<WireError> for StorageError {
+    fn from(e: WireError) -> Self {
+        StorageError::Decode(e)
+    }
+}
+
+fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> StorageError {
+    StorageError::Io {
+        op,
+        kind: e.kind(),
+        detail: format!("{}: {e}", path.display()),
+    }
+}
+
+/// An ordered, durable log of opaque byte records.
+///
+/// `append` must make the record durable (to the backend's fault model)
+/// before returning; `load` returns every durable record in append order.
+pub trait Storage: Send + fmt::Debug {
+    /// Appends one record after all existing records.
+    fn append(&mut self, record: &[u8]) -> Result<(), StorageError>;
+
+    /// Returns all records in append order.
+    fn load(&mut self) -> Result<Vec<Vec<u8>>, StorageError>;
+}
+
+/// In-memory [`Storage`]: survives a simulated process restart (the handle
+/// outlives the state machine) but not the host process. Deterministic and
+/// infallible — the backend used by `netsim`/`threadnet` chaos campaigns.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    records: Vec<Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, record: &[u8]) -> Result<(), StorageError> {
+        self.records.push(record.to_vec());
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Vec<Vec<u8>>, StorageError> {
+        Ok(self.records.clone())
+    }
+}
+
+/// Append-only file WAL with CRC-checked, length-prefixed records.
+///
+/// Every record is wrapped in a [`wire`](crate::wire) frame:
+/// `len:u32 LE | version:u8 | body | crc32 LE`, where the body is the
+/// record's bytes. On open, the file is scanned from the front and
+/// truncated at the first frame that is torn (fewer bytes than the length
+/// prefix promises), has an invalid length, fails its checksum, or carries
+/// the wrong protocol version — everything from that point on is a casualty
+/// of the crash and is discarded, keeping the longest valid prefix.
+#[derive(Debug)]
+pub struct FileWal {
+    path: PathBuf,
+    file: File,
+}
+
+impl FileWal {
+    /// Opens (creating if absent) the WAL at `path` and runs recovery:
+    /// truncates any torn or corrupt tail so the file holds only valid
+    /// frames. An empty file recovers to an empty log.
+    pub fn open(path: impl Into<PathBuf>) -> Result<FileWal, StorageError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open", &path, &e))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| io_err("open", &path, &e))?;
+        let (_, valid_end) = scan(&buf);
+        if valid_end < buf.len() {
+            file.set_len(valid_end as u64)
+                .map_err(|e| io_err("open", &path, &e))?;
+        }
+        file.seek(SeekFrom::Start(valid_end as u64))
+            .map_err(|e| io_err("open", &path, &e))?;
+        Ok(FileWal { path, file })
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileWal {
+    fn append(&mut self, record: &[u8]) -> Result<(), StorageError> {
+        let frame = encode_frame(&record.to_vec());
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", &self.path, &e))?;
+        self.file
+            .flush()
+            .map_err(|e| io_err("append", &self.path, &e))?;
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Vec<Vec<u8>>, StorageError> {
+        let end = self
+            .file
+            .stream_position()
+            .map_err(|e| io_err("load", &self.path, &e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err("load", &self.path, &e))?;
+        let mut buf = Vec::new();
+        self.file
+            .read_to_end(&mut buf)
+            .map_err(|e| io_err("load", &self.path, &e))?;
+        self.file
+            .seek(SeekFrom::Start(end))
+            .map_err(|e| io_err("load", &self.path, &e))?;
+        let (records, _) = scan(&buf);
+        Ok(records)
+    }
+}
+
+/// Scans `buf` for consecutive valid frames; returns the decoded records and
+/// the byte offset just past the last valid frame (the longest valid
+/// prefix). Unlike a network stream — where a bad checksum on one frame is
+/// skippable because framing stays synchronised — a WAL is written
+/// sequentially, so the first invalid frame marks the crash point and
+/// nothing after it can be trusted.
+fn scan(buf: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= LEN_PREFIX {
+        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            break; // length prefix itself corrupt: framing is lost
+        }
+        if buf.len() - pos - LEN_PREFIX < len {
+            break; // torn tail: the final append did not complete
+        }
+        let payload = &buf[pos + LEN_PREFIX..pos + LEN_PREFIX + len];
+        match decode_frame::<Vec<u8>>(payload) {
+            Ok(record) => {
+                records.push(record);
+                pos += LEN_PREFIX + len;
+            }
+            Err(_) => break, // checksum/version failure: crash point found
+        }
+    }
+    (records, pos)
+}
+
+/// A cloneable, thread-safe handle to a [`Storage`] backend.
+///
+/// The harness creates one handle per process and keeps it across
+/// kill/restart; each state-machine incarnation receives a clone and writes
+/// through it, so a restarted incarnation reloads exactly what its
+/// predecessor persisted.
+#[derive(Debug, Clone)]
+pub struct StorageHandle {
+    inner: Arc<Mutex<dyn Storage>>,
+}
+
+impl StorageHandle {
+    /// Wraps any [`Storage`] backend in a shared handle.
+    pub fn new(backend: impl Storage + 'static) -> Self {
+        StorageHandle {
+            inner: Arc::new(Mutex::new(backend)),
+        }
+    }
+
+    /// A handle over a fresh [`MemStorage`].
+    pub fn in_memory() -> Self {
+        StorageHandle::new(MemStorage::new())
+    }
+
+    /// A handle over a [`FileWal`] at `path` (recovery runs on open).
+    pub fn file_wal(path: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        Ok(StorageHandle::new(FileWal::open(path)?))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, dyn Storage + 'static> {
+        // A poisoned mutex means another incarnation panicked mid-append; the
+        // backend's own recovery (frame checksums) handles partial state, so
+        // continuing is safe.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one opaque record.
+    pub fn append(&self, record: &[u8]) -> Result<(), StorageError> {
+        self.lock().append(record)
+    }
+
+    /// Returns all records in append order.
+    pub fn load(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        self.lock().load()
+    }
+
+    /// Appends a typed record, serialised with its [`Wire`] encoding.
+    pub fn append_record<R: Wire>(&self, record: &R) -> Result<(), StorageError> {
+        self.append(&record.to_bytes())
+    }
+
+    /// Loads and decodes all records as type `R`.
+    pub fn load_records<R: Wire>(&self) -> Result<Vec<R>, StorageError> {
+        self.load()?
+            .iter()
+            .map(|blob| R::from_bytes(blob).map_err(StorageError::from))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("lls-wal-{}-{tag}-{seq}.wal", std::process::id()))
+    }
+
+    struct TempWal {
+        path: PathBuf,
+    }
+
+    impl TempWal {
+        fn new(tag: &str) -> Self {
+            TempWal {
+                path: temp_path(tag),
+            }
+        }
+    }
+
+    impl Drop for TempWal {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    #[test]
+    fn mem_storage_round_trips() {
+        let store = StorageHandle::in_memory();
+        store.append(b"a").unwrap();
+        store.append(b"bb").unwrap();
+        assert_eq!(store.load().unwrap(), vec![b"a".to_vec(), b"bb".to_vec()]);
+    }
+
+    #[test]
+    fn handle_is_shared_across_clones() {
+        let store = StorageHandle::in_memory();
+        let incarnation_one = store.clone();
+        incarnation_one.append(b"promise").unwrap();
+        drop(incarnation_one); // the process "crashes"
+        let incarnation_two = store.clone();
+        assert_eq!(incarnation_two.load().unwrap(), vec![b"promise".to_vec()]);
+    }
+
+    #[test]
+    fn typed_records_round_trip() {
+        let store = StorageHandle::in_memory();
+        store.append_record(&7u64).unwrap();
+        store.append_record(&9u64).unwrap();
+        assert_eq!(store.load_records::<u64>().unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn typed_decode_mismatch_is_an_error() {
+        let store = StorageHandle::in_memory();
+        store.append_record(&String::from("not a bool")).unwrap();
+        assert!(matches!(
+            store.load_records::<bool>(),
+            Err(StorageError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn file_wal_round_trips_across_reopen() {
+        let tmp = TempWal::new("roundtrip");
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+        }
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(wal.load().unwrap(), vec![b"one".to_vec(), b"two".to_vec()]);
+        wal.append(b"three").unwrap();
+        assert_eq!(wal.load().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_file_recovers_to_empty_log() {
+        let tmp = TempWal::new("empty");
+        std::fs::write(&tmp.path, b"").unwrap();
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(wal.load().unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn truncated_tail_record_recovers_to_valid_prefix() {
+        let tmp = TempWal::new("torn");
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+            wal.append(b"third-will-be-torn").unwrap();
+        }
+        // Tear the final record: chop off its last 3 bytes (simulating a
+        // crash mid-append).
+        let len = std::fs::metadata(&tmp.path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&tmp.path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(
+            wal.load().unwrap(),
+            vec![b"first".to_vec(), b"second".to_vec()]
+        );
+        // Recovery truncated the torn bytes, so a new append lands cleanly.
+        wal.append(b"fourth").unwrap();
+        drop(wal);
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(wal.load().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn corrupted_crc_mid_log_truncates_from_crash_point() {
+        let tmp = TempWal::new("crc");
+        let second_start;
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append(b"good").unwrap();
+            second_start = std::fs::metadata(&tmp.path).unwrap().len();
+            wal.append(b"corrupt-me").unwrap();
+            wal.append(b"unreachable").unwrap();
+        }
+        // Flip one byte inside the second record's body: its CRC no longer
+        // matches, and everything from there on is untrusted.
+        let mut bytes = std::fs::read(&tmp.path).unwrap();
+        let flip_at = second_start as usize + LEN_PREFIX + 2;
+        bytes[flip_at] ^= 0xff;
+        std::fs::write(&tmp.path, &bytes).unwrap();
+
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(wal.load().unwrap(), vec![b"good".to_vec()]);
+        assert_eq!(
+            std::fs::metadata(&tmp.path).unwrap().len(),
+            second_start,
+            "recovery truncates at the first corrupt frame"
+        );
+    }
+
+    #[test]
+    fn garbage_length_prefix_truncates() {
+        let tmp = TempWal::new("garbage");
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append(b"keep").unwrap();
+        }
+        // Append garbage that claims an absurd frame length.
+        let mut bytes = std::fs::read(&tmp.path).unwrap();
+        let keep_len = bytes.len();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&tmp.path, &bytes).unwrap();
+
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(wal.load().unwrap(), vec![b"keep".to_vec()]);
+        assert_eq!(
+            std::fs::metadata(&tmp.path).unwrap().len() as usize,
+            keep_len
+        );
+    }
+}

@@ -42,10 +42,13 @@ impl Default for NetConfig {
     }
 }
 
-enum Control<M, R> {
-    Deliver(Envelope<M>),
-    Request(R),
+enum Control<S: Sm> {
+    Deliver(Envelope<S::Msg>),
+    Request(S::Request),
     Crash,
+    /// Bring a crashed process back with a fresh state machine (typically
+    /// recovered from the durable storage its predecessor wrote).
+    Restart(S),
     Stop,
 }
 
@@ -100,7 +103,7 @@ impl<O> Report<O> {
 /// See the [crate example](crate).
 pub struct Cluster<S: Sm> {
     n: usize,
-    controls: Vec<Sender<Control<S::Msg, S::Request>>>,
+    controls: Vec<Sender<Control<S>>>,
     handles: Vec<JoinHandle<()>>,
     router_handle: Option<JoinHandle<()>>,
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
@@ -140,7 +143,7 @@ impl<S: Sm + Send + 'static> Cluster<S> {
         let mut controls = Vec::with_capacity(n);
         let mut control_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<Control<S::Msg, S::Request>>(4096);
+            let (tx, rx) = bounded::<Control<S>>(4096);
             controls.push(tx);
             control_rxs.push(rx);
         }
@@ -203,6 +206,23 @@ impl<S: Sm + Send + 'static> Cluster<S> {
     /// it is dropped.
     pub fn crash(&self, p: ProcessId) {
         let _ = self.controls[p.as_usize()].send(Control::Crash);
+    }
+
+    /// Kills `p` as a crash–*restart* fault: the process stops reacting (all
+    /// timers disarmed, all traffic to it discarded) but can later come back
+    /// via [`Cluster::restart`]. From the network's point of view this is
+    /// indistinguishable from [`Cluster::crash`].
+    pub fn kill(&self, p: ProcessId) {
+        let _ = self.controls[p.as_usize()].send(Control::Crash);
+    }
+
+    /// Restarts a killed `p` with a fresh state machine `sm` — typically one
+    /// recovered from the same durable storage the pre-crash incarnation
+    /// wrote (e.g. `Consensus::with_storage`). The machine's `on_start` runs
+    /// on the node thread; if `p` was never killed, the restart request is
+    /// ignored.
+    pub fn restart(&self, p: ProcessId, sm: S) {
+        let _ = self.controls[p.as_usize()].send(Control::Restart(sm));
     }
 
     /// Delivers an external request to `p`.
@@ -271,7 +291,7 @@ impl<S: Sm + Send + 'static> Cluster<S> {
 fn node_loop<S: Sm>(
     env: Env,
     mut sm: S,
-    inbox: Receiver<Control<S::Msg, S::Request>>,
+    inbox: Receiver<Control<S>>,
     router: Sender<Envelope<S::Msg>>,
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
     tick: StdDuration,
@@ -326,26 +346,36 @@ fn node_loop<S: Sm>(
     sm.on_start(&mut Ctx::new(&env, now_ticks(at), &mut fx));
     apply(&mut fx, &mut deadlines, at);
 
+    // While dead (killed, awaiting restart) the thread stays parked on the
+    // inbox: timers are disarmed and all traffic is discarded, so from the
+    // outside the process is crashed — but it can still be revived.
+    let mut dead = false;
     loop {
-        // Fire all due timers first.
-        let now = StdInstant::now();
-        let due: Vec<TimerId> = deadlines
-            .iter()
-            .filter(|(_, d)| **d <= now)
-            .map(|(t, _)| *t)
-            .collect();
-        for t in due {
-            deadlines.remove(&t);
-            sm.on_timer(&mut Ctx::new(&env, now_ticks(now), &mut fx), t);
-            apply(&mut fx, &mut deadlines, now);
+        if !dead {
+            // Fire all due timers first.
+            let now = StdInstant::now();
+            let due: Vec<TimerId> = deadlines
+                .iter()
+                .filter(|(_, d)| **d <= now)
+                .map(|(t, _)| *t)
+                .collect();
+            for t in due {
+                deadlines.remove(&t);
+                sm.on_timer(&mut Ctx::new(&env, now_ticks(now), &mut fx), t);
+                apply(&mut fx, &mut deadlines, now);
+            }
         }
-        let wait = deadlines
-            .values()
-            .min()
-            .map(|d| d.saturating_duration_since(StdInstant::now()))
-            .unwrap_or(StdDuration::from_millis(20));
+        let wait = if dead {
+            StdDuration::from_millis(20)
+        } else {
+            deadlines
+                .values()
+                .min()
+                .map(|d| d.saturating_duration_since(StdInstant::now()))
+                .unwrap_or(StdDuration::from_millis(20))
+        };
         match inbox.recv_timeout(wait) {
-            Ok(Control::Deliver(envp)) => {
+            Ok(Control::Deliver(envp)) if !dead => {
                 let at = StdInstant::now();
                 sm.on_message(
                     &mut Ctx::new(&env, now_ticks(at), &mut fx),
@@ -354,12 +384,30 @@ fn node_loop<S: Sm>(
                 );
                 apply(&mut fx, &mut deadlines, at);
             }
-            Ok(Control::Request(req)) => {
+            Ok(Control::Request(req)) if !dead => {
                 let at = StdInstant::now();
                 sm.on_request(&mut Ctx::new(&env, now_ticks(at), &mut fx), req);
                 apply(&mut fx, &mut deadlines, at);
             }
-            Ok(Control::Crash) | Ok(Control::Stop) => return,
+            Ok(Control::Deliver(_)) | Ok(Control::Request(_)) => {
+                // Dead: discard, like the network dropping to a crashed node.
+            }
+            Ok(Control::Crash) => {
+                dead = true;
+                deadlines.clear();
+            }
+            Ok(Control::Restart(new_sm)) if dead => {
+                sm = new_sm;
+                dead = false;
+                deadlines.clear();
+                let at = StdInstant::now();
+                sm.on_start(&mut Ctx::new(&env, now_ticks(at), &mut fx));
+                apply(&mut fx, &mut deadlines, at);
+            }
+            Ok(Control::Restart(_)) => {
+                // Restarting a live process is ignored.
+            }
+            Ok(Control::Stop) => return,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }

@@ -9,7 +9,7 @@ use lls_primitives::{Env, ProcessId, Sm};
 
 use crate::counters::LinkStats;
 use crate::link::BackoffConfig;
-use crate::node::{FaultConfig, NodeConfig, TimedOutput, WireNode};
+use crate::node::{FaultConfig, NodeConfig, NodeError, TimedOutput, WireNode};
 
 /// Configuration of a TCP cluster on localhost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +54,9 @@ pub struct ClusterReport<O> {
     /// Socket counters: `links[p][q]` is node `p`'s view of its link to
     /// `q` (bytes/messages both ways, reconnects, drops, decode errors).
     pub links: Vec<Vec<LinkStats>>,
+    /// Typed plumbing failures collected over the run — thread panics
+    /// discovered at join time, listener failures during restarts.
+    pub errors: Vec<NodeError>,
 }
 
 impl<O> ClusterReport<O> {
@@ -101,8 +104,21 @@ impl<O> ClusterReport<O> {
 /// See the [crate example](crate).
 #[derive(Debug)]
 pub struct WireCluster<S: Sm> {
-    nodes: Vec<WireNode<S>>,
+    /// `None` marks a killed process (its slot can be revived by
+    /// [`WireCluster::restart`]).
+    nodes: Vec<Option<WireNode<S>>>,
+    /// The fixed listen address of every process — a restarted process
+    /// re-binds its original address so peers' redial loops find it.
+    addrs: Vec<SocketAddr>,
+    config: WireConfig,
     start: StdInstant,
+    /// Per-process state archived from killed incarnations, merged into
+    /// snapshots and the final report.
+    archived_outputs: Vec<Vec<TimedOutput<S::Output>>>,
+    archived_sent: Vec<u64>,
+    archived_last_send: Vec<Option<StdDuration>>,
+    archived_links: Vec<Vec<LinkStats>>,
+    errors: Vec<NodeError>,
 }
 
 impl<S> WireCluster<S>
@@ -117,17 +133,45 @@ where
     /// # Panics
     ///
     /// Panics if `config.n < 2`, a listener cannot be bound, or
-    /// `config.tick` is zero.
-    pub fn spawn(config: WireConfig, mut make: impl FnMut(&Env) -> S) -> Self {
+    /// `config.tick` is zero. Use [`WireCluster::try_spawn`] to handle
+    /// socket failures as errors.
+    pub fn spawn(config: WireConfig, make: impl FnMut(&Env) -> S) -> Self {
+        Self::try_spawn(config, make).expect("bind 127.0.0.1 listeners")
+    }
+
+    /// Like [`spawn`](WireCluster::spawn), but socket failures become typed
+    /// [`NodeError`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a listener cannot be bound or configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n < 2` or `config.tick` is zero (configuration
+    /// bugs, not runtime conditions).
+    pub fn try_spawn(
+        config: WireConfig,
+        mut make: impl FnMut(&Env) -> S,
+    ) -> Result<Self, NodeError> {
         assert!(config.n >= 2, "the model requires n > 1 processes");
         let n = config.n;
+        let any = SocketAddr::from((Ipv4Addr::LOCALHOST, 0));
         let listeners: Vec<TcpListener> = (0..n)
-            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind 127.0.0.1 listener"))
-            .collect();
+            .map(|_| {
+                TcpListener::bind(any).map_err(|e| NodeError::Bind {
+                    addr: any,
+                    kind: e.kind(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let addrs: Vec<SocketAddr> = listeners
             .iter()
-            .map(|l| l.local_addr().expect("bound listener"))
-            .collect();
+            .map(|l| {
+                l.local_addr()
+                    .map_err(|e| NodeError::Listener { kind: e.kind() })
+            })
+            .collect::<Result<_, _>>()?;
         let start = StdInstant::now();
         let nodes = listeners
             .into_iter()
@@ -144,10 +188,87 @@ where
                     backoff: config.backoff,
                     faults: config.faults,
                 };
-                WireNode::spawn_at(listener, node_config, sm, start)
+                WireNode::try_spawn_at(listener, node_config, sm, start).map(Some)
             })
-            .collect();
-        WireCluster { nodes, start }
+            .collect::<Result<_, _>>()?;
+        Ok(WireCluster {
+            nodes,
+            addrs,
+            config,
+            start,
+            archived_outputs: vec![Vec::new(); n],
+            archived_sent: vec![0; n],
+            archived_last_send: vec![None; n],
+            archived_links: vec![vec![LinkStats::default(); n]; n],
+            errors: Vec::new(),
+        })
+    }
+
+    /// Kills process `p`: tears down its listener and every live TCP
+    /// connection it has, and joins all its threads. Peers observe the dead
+    /// sockets, fall back to their redial/backoff loops, and keep knocking
+    /// until [`WireCluster::restart`] re-binds the same address. Outputs and
+    /// counters of the killed incarnation are archived into the final
+    /// report. No-op if `p` is already dead.
+    pub fn kill(&mut self, p: ProcessId) {
+        let Some(node) = self.nodes[p.as_usize()].take() else {
+            return;
+        };
+        self.merge_node_state(p, &node);
+        let (outputs, errors) = node.stop_collecting();
+        self.archived_outputs[p.as_usize()] = outputs;
+        self.errors.extend(errors);
+    }
+
+    /// Returns `true` if `p` is currently running.
+    pub fn is_alive(&self, p: ProcessId) -> bool {
+        self.nodes[p.as_usize()].is_some()
+    }
+
+    /// Restarts a killed `p` with a fresh state machine `sm` — typically one
+    /// recovered from the durable storage its predecessor wrote. Re-binds
+    /// the process's original listen address (retrying briefly while the OS
+    /// releases it), so the surviving peers' reconnect loops — which have
+    /// been redialling that address since the kill — find the new
+    /// incarnation from the *accepting* side.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NodeError::Bind`] if the address cannot be re-bound
+    /// within the retry budget, or [`NodeError::Listener`] if the fresh
+    /// listener cannot be configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is still alive.
+    pub fn restart(&mut self, p: ProcessId, sm: S) -> Result<(), NodeError> {
+        assert!(
+            self.nodes[p.as_usize()].is_none(),
+            "cannot restart {p}: it is alive"
+        );
+        let addr = self.addrs[p.as_usize()];
+        let listener = bind_with_retry(addr, StdDuration::from_secs(10))?;
+        let node_config = NodeConfig {
+            me: p,
+            addrs: self.addrs.clone(),
+            tick: self.config.tick,
+            queue_capacity: self.config.queue_capacity,
+            backoff: self.config.backoff,
+            faults: self.config.faults,
+        };
+        let node = WireNode::try_spawn_at(listener, node_config, sm, self.start)?;
+        self.nodes[p.as_usize()] = Some(node);
+        Ok(())
+    }
+
+    /// Folds a node's live counters into the per-process archives.
+    fn merge_node_state(&mut self, p: ProcessId, node: &WireNode<S>) {
+        let i = p.as_usize();
+        self.archived_sent[i] += node.traffic().sent();
+        self.archived_last_send[i] = self.archived_last_send[i].max(node.traffic().last_send());
+        for (q, stats) in node.link_stats().into_iter().enumerate() {
+            self.archived_links[i][q] = self.archived_links[i][q].merge(stats);
+        }
     }
 
     /// Number of processes.
@@ -155,42 +276,83 @@ where
         self.nodes.len()
     }
 
-    /// The listen address of process `p`.
+    /// The listen address of process `p` (fixed for the cluster's lifetime,
+    /// even while `p` is dead).
     pub fn addr_of(&self, p: ProcessId) -> SocketAddr {
-        self.nodes[p.as_usize()].local_addr()
+        self.addrs[p.as_usize()]
     }
 
-    /// Delivers an external request to `p`.
+    /// Delivers an external request to `p`. Dropped if `p` is dead, like a
+    /// request sent to a crashed server.
     pub fn request(&self, p: ProcessId, req: S::Request) {
-        self.nodes[p.as_usize()].request(req);
+        if let Some(node) = &self.nodes[p.as_usize()] {
+            node.request(req);
+        }
     }
 
     /// Force-closes every live TCP connection of node `p` (its writers and
-    /// its peers' writers redial with backoff). Returns how many died.
+    /// its peers' writers redial with backoff). Returns how many died; 0 if
+    /// `p` is dead.
     pub fn sever(&self, p: ProcessId) -> usize {
-        self.nodes[p.as_usize()].sever()
+        self.nodes[p.as_usize()].as_ref().map_or(0, |nd| nd.sever())
     }
 
     /// A live snapshot of `(sent, last_send)` per process, mirroring
-    /// `threadnet::Cluster::traffic_snapshot`.
+    /// `threadnet::Cluster::traffic_snapshot`. Counters of killed
+    /// incarnations are included.
     pub fn traffic_snapshot(&self) -> (Vec<u64>, Vec<Option<StdDuration>>) {
-        let sent = self.nodes.iter().map(|nd| nd.traffic().sent()).collect();
+        let sent = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| self.archived_sent[i] + nd.as_ref().map_or(0, |nd| nd.traffic().sent()))
+            .collect();
         let last = self
             .nodes
             .iter()
-            .map(|nd| nd.traffic().last_send())
+            .enumerate()
+            .map(|(i, nd)| {
+                self.archived_last_send[i].max(nd.as_ref().and_then(|nd| nd.traffic().last_send()))
+            })
             .collect();
         (sent, last)
     }
 
-    /// A live snapshot of every node's per-link socket counters.
+    /// A live snapshot of every node's per-link socket counters, killed
+    /// incarnations included.
     pub fn link_snapshot(&self) -> Vec<Vec<LinkStats>> {
-        self.nodes.iter().map(|nd| nd.link_stats()).collect()
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| self.merged_links(i, nd.as_ref()))
+            .collect()
     }
 
-    /// Each node's most recent output, if any.
+    fn merged_links(&self, i: usize, node: Option<&WireNode<S>>) -> Vec<LinkStats> {
+        match node {
+            Some(nd) => nd
+                .link_stats()
+                .into_iter()
+                .enumerate()
+                .map(|(q, s)| self.archived_links[i][q].merge(s))
+                .collect(),
+            None => self.archived_links[i].clone(),
+        }
+    }
+
+    /// Each node's most recent output, if any. For a dead (or just-restarted
+    /// and still quiet) process this is the last output of its most recent
+    /// incarnation.
     pub fn latest_outputs(&self) -> Vec<Option<S::Output>> {
-        self.nodes.iter().map(|nd| nd.latest_output()).collect()
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| {
+                nd.as_ref()
+                    .and_then(|nd| nd.latest_output())
+                    .or_else(|| self.archived_outputs[i].last().map(|t| t.output.clone()))
+            })
+            .collect()
     }
 
     /// Wall-clock elapsed since the cluster started.
@@ -198,23 +360,38 @@ where
         self.start.elapsed()
     }
 
-    /// Stops every node, joins all threads, and returns the run report.
-    pub fn stop(self) -> ClusterReport<S::Output> {
+    /// Stops every node, joins all threads, and returns the run report
+    /// (archived state of killed incarnations merged in).
+    pub fn stop(mut self) -> ClusterReport<S::Output> {
         // Halt all protocol threads before joining any node: otherwise the
         // survivors would watch the first node fall silent and re-elect,
         // polluting the report's final outputs.
-        for node in &self.nodes {
+        for node in self.nodes.iter().flatten() {
             node.begin_stop();
         }
-        let mut sent = Vec::with_capacity(self.nodes.len());
-        let mut last_send = Vec::with_capacity(self.nodes.len());
-        let mut links = Vec::with_capacity(self.nodes.len());
+        let n = self.nodes.len();
+        let mut sent = Vec::with_capacity(n);
+        let mut last_send = Vec::with_capacity(n);
+        let mut links = Vec::with_capacity(n);
         let mut outputs = Vec::new();
-        for node in self.nodes {
-            sent.push(node.traffic().sent());
-            last_send.push(node.traffic().last_send());
-            links.push(node.link_stats());
-            outputs.extend(node.stop());
+        let nodes = std::mem::take(&mut self.nodes);
+        for (i, node) in nodes.into_iter().enumerate() {
+            outputs.extend(std::mem::take(&mut self.archived_outputs[i]));
+            match node {
+                Some(node) => {
+                    sent.push(self.archived_sent[i] + node.traffic().sent());
+                    last_send.push(self.archived_last_send[i].max(node.traffic().last_send()));
+                    links.push(self.merged_links(i, Some(&node)));
+                    let (node_outputs, errors) = node.stop_collecting();
+                    outputs.extend(node_outputs);
+                    self.errors.extend(errors);
+                }
+                None => {
+                    sent.push(self.archived_sent[i]);
+                    last_send.push(self.archived_last_send[i]);
+                    links.push(self.archived_links[i].clone());
+                }
+            }
         }
         outputs.sort_by_key(|t| t.at);
         ClusterReport {
@@ -222,6 +399,29 @@ where
             sent,
             last_send,
             links,
+            errors: self.errors,
+        }
+    }
+}
+
+/// Binds `addr`, retrying while the OS finishes releasing it from a
+/// just-killed predecessor (usually immediate — severing the old sockets
+/// RSTs them past TIME_WAIT — but the retry keeps restarts robust on
+/// slower kernels).
+fn bind_with_retry(addr: SocketAddr, budget: StdDuration) -> Result<TcpListener, NodeError> {
+    let deadline = StdInstant::now() + budget;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => {
+                if StdInstant::now() >= deadline {
+                    return Err(NodeError::Bind {
+                        addr,
+                        kind: e.kind(),
+                    });
+                }
+                std::thread::sleep(StdDuration::from_millis(25));
+            }
         }
     }
 }

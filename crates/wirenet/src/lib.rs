@@ -62,4 +62,4 @@ mod node;
 pub use cluster::{ClusterReport, WireCluster, WireConfig};
 pub use counters::{LinkCounters, LinkStats, NodeTraffic};
 pub use link::BackoffConfig;
-pub use node::{FaultConfig, NodeConfig, TimedOutput, WireNode};
+pub use node::{FaultConfig, NodeConfig, NodeError, TimedOutput, WireNode};

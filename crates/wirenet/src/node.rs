@@ -23,6 +23,48 @@ use parking_lot::Mutex;
 use crate::counters::{LinkCounters, LinkStats, NodeTraffic};
 use crate::link::{run_writer, BackoffConfig, PeerLink};
 
+/// A typed failure of a node's socket plumbing, surfaced through the node
+/// and cluster APIs instead of panicking — restart logic has to distinguish
+/// "the port is still in TIME_WAIT" from "a thread died".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeError {
+    /// Binding a listener failed (e.g. the address is still held by a dying
+    /// predecessor).
+    Bind {
+        /// The address that could not be bound.
+        addr: SocketAddr,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// Configuring an already-bound listener failed (reading its local
+    /// address or switching it to non-blocking mode).
+    Listener {
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// A node thread panicked and was discovered at join time.
+    ThreadPanic {
+        /// The node whose thread died.
+        node: ProcessId,
+        /// Which thread: `"writer"`, `"acceptor"`, `"protocol"`, `"reader"`.
+        role: &'static str,
+    },
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Bind { addr, kind } => write!(f, "cannot bind {addr}: {kind}"),
+            NodeError::Listener { kind } => write!(f, "cannot configure listener: {kind}"),
+            NodeError::ThreadPanic { node, role } => {
+                write!(f, "{role} thread of node {node} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
 /// Optional loss/delay injected at the socket layer, applied independently
 /// per outbound link (seeds are decorrelated per link).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,7 +169,7 @@ pub struct WireNode<S: Sm> {
     traffic: Arc<NodeTraffic>,
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
     conns: Arc<ConnRegistry>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<(&'static str, JoinHandle<()>)>,
     reader_handles: Arc<StdMutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -152,28 +194,48 @@ where
     /// # Panics
     ///
     /// Panics if `config.me` is out of range, `config.addrs` has fewer than
-    /// two entries, or `config.tick` is zero.
+    /// two entries, `config.tick` is zero, or configuring the listener fails
+    /// (use [`WireNode::try_spawn`] to handle that case as an error).
     pub fn spawn(listener: TcpListener, config: NodeConfig, sm: S) -> Self {
-        Self::spawn_at(listener, config, sm, StdInstant::now())
+        Self::try_spawn(listener, config, sm).expect("configure listener")
     }
 
-    /// Like [`spawn`](WireNode::spawn) with an explicit start instant, so a
-    /// cluster can timestamp all nodes' outputs on one clock.
-    pub(crate) fn spawn_at(
+    /// Like [`spawn`](WireNode::spawn), but listener configuration failures
+    /// become [`NodeError::Listener`] instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener's local address cannot be read or it cannot be
+    /// switched to non-blocking mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.me` is out of range, `config.addrs` has fewer than
+    /// two entries, or `config.tick` is zero (configuration bugs, not
+    /// runtime conditions).
+    pub fn try_spawn(listener: TcpListener, config: NodeConfig, sm: S) -> Result<Self, NodeError> {
+        Self::try_spawn_at(listener, config, sm, StdInstant::now())
+    }
+
+    /// Like [`try_spawn`](WireNode::try_spawn) with an explicit start
+    /// instant, so a cluster can timestamp all nodes' outputs on one clock.
+    pub(crate) fn try_spawn_at(
         listener: TcpListener,
         config: NodeConfig,
         sm: S,
         start: StdInstant,
-    ) -> Self {
+    ) -> Result<Self, NodeError> {
         let n = config.addrs.len();
         let me = config.me;
         assert!(n >= 2, "the model requires n > 1 processes");
         assert!(me.as_usize() < n, "me out of range");
         assert!(!config.tick.is_zero(), "tick must be positive");
-        let local_addr = listener.local_addr().expect("bound listener");
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NodeError::Listener { kind: e.kind() })?;
         listener
             .set_nonblocking(true)
-            .expect("nonblocking listener");
+            .map_err(|e| NodeError::Listener { kind: e.kind() })?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnRegistry::default());
@@ -205,65 +267,74 @@ where
                 )
             });
             let jitter_seed = mix_seed(0x6A77_1EED, me, peer as u32);
-            handles.push(std::thread::spawn({
-                let link = Arc::clone(&link);
-                let hello = hello.clone();
-                let backoff = config.backoff;
-                let counters = Arc::clone(&counters[peer]);
-                let conns = Arc::clone(&conns);
-                let shutdown = Arc::clone(&shutdown);
-                move || {
-                    run_writer(
-                        link,
-                        hello,
-                        backoff,
-                        faults,
-                        counters,
-                        conns,
-                        shutdown,
-                        jitter_seed,
-                    )
-                }
-            }));
+            handles.push((
+                "writer",
+                std::thread::spawn({
+                    let link = Arc::clone(&link);
+                    let hello = hello.clone();
+                    let backoff = config.backoff;
+                    let counters = Arc::clone(&counters[peer]);
+                    let conns = Arc::clone(&conns);
+                    let shutdown = Arc::clone(&shutdown);
+                    move || {
+                        run_writer(
+                            link,
+                            hello,
+                            backoff,
+                            faults,
+                            counters,
+                            conns,
+                            shutdown,
+                            jitter_seed,
+                        )
+                    }
+                }),
+            ));
             links.push(Some(link));
         }
 
         // Inbound: the acceptor spawns one reader thread per connection.
-        handles.push(std::thread::spawn({
-            let control = control_tx.clone();
-            let counters = Arc::clone(&counters);
-            let conns = Arc::clone(&conns);
-            let shutdown = Arc::clone(&shutdown);
-            let reader_handles = Arc::clone(&reader_handles);
-            move || {
-                run_acceptor::<S::Msg, S::Request>(
-                    listener,
-                    n,
-                    control,
-                    counters,
-                    conns,
-                    shutdown,
-                    reader_handles,
-                )
-            }
-        }));
+        handles.push((
+            "acceptor",
+            std::thread::spawn({
+                let control = control_tx.clone();
+                let counters = Arc::clone(&counters);
+                let conns = Arc::clone(&conns);
+                let shutdown = Arc::clone(&shutdown);
+                let reader_handles = Arc::clone(&reader_handles);
+                move || {
+                    run_acceptor::<S::Msg, S::Request>(
+                        listener,
+                        n,
+                        control,
+                        counters,
+                        conns,
+                        shutdown,
+                        reader_handles,
+                    )
+                }
+            }),
+        ));
 
         // The protocol thread.
-        handles.push(std::thread::spawn({
-            let env = Env::new(me, n);
-            let links = links.clone();
-            let counters = Arc::clone(&counters);
-            let traffic = Arc::clone(&traffic);
-            let outputs = Arc::clone(&outputs);
-            let tick = config.tick;
-            move || {
-                protocol_loop(
-                    env, sm, control_rx, links, counters, traffic, outputs, tick, start,
-                )
-            }
-        }));
+        handles.push((
+            "protocol",
+            std::thread::spawn({
+                let env = Env::new(me, n);
+                let links = links.clone();
+                let counters = Arc::clone(&counters);
+                let traffic = Arc::clone(&traffic);
+                let outputs = Arc::clone(&outputs);
+                let tick = config.tick;
+                move || {
+                    protocol_loop(
+                        env, sm, control_rx, links, counters, traffic, outputs, tick, start,
+                    )
+                }
+            }),
+        ));
 
-        WireNode {
+        Ok(WireNode {
             me,
             n,
             local_addr,
@@ -276,7 +347,7 @@ where
             conns,
             handles,
             reader_handles,
-        }
+        })
     }
 
     /// This node's identity.
@@ -342,20 +413,43 @@ where
         self.conns.sever_all();
     }
 
-    /// Stops every thread, joins them, and returns all outputs.
-    pub fn stop(mut self) -> Vec<TimedOutput<S::Output>> {
+    /// Stops every thread, joins them, and returns all outputs, discarding
+    /// thread-panic reports (see [`WireNode::stop_collecting`]).
+    pub fn stop(self) -> Vec<TimedOutput<S::Output>> {
+        self.stop_collecting().0
+    }
+
+    /// Stops every thread, joins them, and returns all outputs plus a
+    /// [`NodeError::ThreadPanic`] for each thread that died abnormally —
+    /// silently swallowing a panicked protocol thread would let a broken
+    /// node masquerade as a merely quiet one.
+    pub fn stop_collecting(mut self) -> (Vec<TimedOutput<S::Output>>, Vec<NodeError>) {
         self.begin_stop();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        let mut errors = Vec::new();
+        for (role, h) in self.handles.drain(..) {
+            if h.join().is_err() {
+                errors.push(NodeError::ThreadPanic {
+                    node: self.me,
+                    role,
+                });
+            }
         }
         let readers: Vec<JoinHandle<()>> = {
-            let mut g = self.reader_handles.lock().expect("reader handles poisoned");
+            let mut g = self
+                .reader_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             g.drain(..).collect()
         };
         for h in readers {
-            let _ = h.join();
+            if h.join().is_err() {
+                errors.push(NodeError::ThreadPanic {
+                    node: self.me,
+                    role: "reader",
+                });
+            }
         }
-        self.outputs.lock().clone()
+        (self.outputs.lock().clone(), errors)
     }
 }
 

@@ -10,18 +10,42 @@
 use std::collections::BTreeMap;
 
 use consensus::{ConsensusParams, ReplicatedLog, RsmEvent};
+use lls_primitives::wire::{Wire, WireError, WireReader};
 use lls_primitives::{Instant, ProcessId};
 use netsim::{SimBuilder, SystemSParams, Topology};
 
 /// A client command: put `key = value`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Put {
-    key: &'static str,
+    key: String,
     value: u64,
 }
 
+impl Put {
+    fn new(key: &str, value: u64) -> Self {
+        Put {
+            key: key.to_string(),
+            value,
+        }
+    }
+}
+
+impl Wire for Put {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.value.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Put {
+            key: String::decode(r)?,
+            value: u64::decode(r)?,
+        })
+    }
+}
+
 /// Applies a committed command stream to an in-memory store.
-fn materialize(cmds: impl Iterator<Item = Put>) -> BTreeMap<&'static str, u64> {
+fn materialize(cmds: impl Iterator<Item = Put>) -> BTreeMap<String, u64> {
     let mut store = BTreeMap::new();
     for cmd in cmds {
         store.insert(cmd.key, cmd.value);
@@ -35,30 +59,12 @@ fn main() {
     let topology = Topology::system_s(n, source, SystemSParams::default());
 
     let workload = [
-        Put {
-            key: "alice",
-            value: 10,
-        },
-        Put {
-            key: "bob",
-            value: 20,
-        },
-        Put {
-            key: "alice",
-            value: 11,
-        },
-        Put {
-            key: "carol",
-            value: 30,
-        },
-        Put {
-            key: "bob",
-            value: 21,
-        },
-        Put {
-            key: "dave",
-            value: 40,
-        },
+        Put::new("alice", 10),
+        Put::new("bob", 20),
+        Put::new("alice", 11),
+        Put::new("carol", 30),
+        Put::new("bob", 21),
+        Put::new("dave", 40),
     ];
 
     let mut sim = SimBuilder::new(n)

@@ -1,0 +1,143 @@
+//! Property: an acceptor killed at an arbitrary point of a ballot storm and
+//! restarted from its WAL never votes contrary to its pre-crash promises.
+//!
+//! The acceptor (a non-proposing `Consensus` instance) absorbs a random
+//! prefix of `Prepare`/`Accept` messages with random ballots, crashes
+//! (dropped), and is rebuilt from the same [`StorageHandle`]. Afterwards:
+//!
+//! 1. its promised ballot is at least the pre-crash one (monotone across
+//!    the crash);
+//! 2. any `Prepare`/`Accept` below the pre-crash promise is `Nack`ed —
+//!    restarting must not re-open a closed ballot;
+//! 3. a higher `Prepare` reveals exactly the highest-ballot value the
+//!    acceptor had acknowledged with `Accepted` before the crash — an
+//!    accepted value can survive or be superseded, never silently vanish.
+
+use consensus::{Ballot, Consensus, ConsensusMsg, ConsensusParams};
+use lls_primitives::{Ctx, Effects, Env, Instant, ProcessId, Sm, StorageHandle};
+use proptest::prelude::*;
+
+type Msg = ConsensusMsg<u64>;
+
+/// One scripted stimulus for the acceptor.
+#[derive(Debug, Clone)]
+enum Stim {
+    Prepare { b: Ballot },
+    Accept { b: Ballot, v: u64 },
+}
+
+fn ballot() -> impl Strategy<Value = Ballot> {
+    // Rounds stay small so collisions (equal and re-used ballots) are
+    // frequent; leaders are the two peers of the 3-process system.
+    (0u64..12, prop_oneof![Just(0u32), Just(2u32)])
+        .prop_map(|(round, p)| Ballot::new(round, ProcessId(p)))
+}
+
+fn stim() -> impl Strategy<Value = Stim> {
+    prop_oneof![
+        ballot().prop_map(|b| Stim::Prepare { b }),
+        (ballot(), 0u64..100).prop_map(|(b, v)| Stim::Accept { b, v }),
+    ]
+}
+
+/// Delivers `msg` from `from` and returns the effects.
+fn deliver(
+    env: &Env,
+    sm: &mut Consensus<u64>,
+    fx: &mut Effects<Msg, consensus::ConsensusEvent<u64>>,
+    from: ProcessId,
+    msg: Msg,
+) -> Effects<Msg, consensus::ConsensusEvent<u64>> {
+    let mut ctx = Ctx::new(env, Instant::ZERO, fx);
+    sm.on_message(&mut ctx, from, msg);
+    fx.take()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn restarted_acceptor_never_contradicts_its_past(
+        script in proptest::collection::vec(stim(), 1..24),
+        crash_at in any::<usize>(),
+    ) {
+        let n = 3;
+        let me = ProcessId(1); // pure acceptor: proposes nothing
+        let env = Env::new(me, n);
+        let store = StorageHandle::in_memory();
+        let params = ConsensusParams::default();
+        let mut fx = Effects::new();
+
+        let mut sm = Consensus::<u64>::with_storage(&env, params, None, store.clone())
+            .expect("fresh in-memory store");
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+
+        // Drive a random prefix of the script, tracking what the acceptor
+        // acknowledged: the crash point hits anywhere in the storm.
+        let cut = crash_at % (script.len() + 1);
+        let mut acked: Option<(Ballot, u64)> = None;
+        for s in &script[..cut] {
+            match *s {
+                Stim::Prepare { b } => {
+                    deliver(&env, &mut sm, &mut fx, b.leader(), Msg::Prepare { b });
+                }
+                Stim::Accept { b, v } => {
+                    let out = deliver(&env, &mut sm, &mut fx, b.leader(), Msg::Accept { b, v });
+                    let accepted = out
+                        .sends
+                        .iter()
+                        .any(|s| matches!(s.msg, Msg::Accepted { b: ab } if ab == b));
+                    if accepted && acked.as_ref().is_none_or(|(ab, _)| b >= *ab) {
+                        acked = Some((b, v));
+                    }
+                }
+            }
+        }
+        let promised_before = sm.promised();
+        drop(sm); // crash
+
+        let mut sm = Consensus::<u64>::with_storage(&env, params, None, store)
+            .expect("recover from WAL");
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+
+        // (1) The promise is monotone across the crash.
+        prop_assert!(
+            sm.promised() >= promised_before,
+            "promise regressed over restart: {:?} -> {:?}",
+            promised_before,
+            sm.promised()
+        );
+
+        // (2) Ballots below the pre-crash promise stay closed.
+        if promised_before > Ballot::ZERO && promised_before.round() > 0 {
+            let low = Ballot::new(promised_before.round() - 1, ProcessId(0));
+            let out = deliver(&env, &mut sm, &mut fx, ProcessId(0), Msg::Prepare { b: low });
+            prop_assert!(
+                !out.sends.iter().any(|s| matches!(s.msg, Msg::Promise { .. })),
+                "restarted acceptor re-promised a stale ballot {low:?}: {out:?}"
+            );
+            let out = deliver(
+                &env, &mut sm, &mut fx, ProcessId(0), Msg::Accept { b: low, v: 999 },
+            );
+            prop_assert!(
+                !out.sends.iter().any(|s| matches!(s.msg, Msg::Accepted { .. })),
+                "restarted acceptor voted for a stale ballot {low:?}: {out:?}"
+            );
+        }
+
+        // (3) A higher Prepare reveals exactly the pre-crash accepted pair.
+        let high = Ballot::new(1_000, ProcessId(0));
+        let out = deliver(&env, &mut sm, &mut fx, ProcessId(0), Msg::Prepare { b: high });
+        let revealed = out.sends.iter().find_map(|s| match &s.msg {
+            Msg::Promise { accepted, .. } => Some(*accepted),
+            _ => None,
+        });
+        prop_assert_eq!(
+            revealed,
+            Some(acked),
+            "recovery lost or invented an accepted value"
+        );
+    }
+}
