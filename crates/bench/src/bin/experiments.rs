@@ -1,11 +1,18 @@
-//! CLI regenerating every experiment table/series (E1–E16).
+//! CLI regenerating every experiment table/series (E1–E17).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
 //!   cargo run -p omega-bench --release --bin experiments -- e3 e7
 //!   cargo run -p omega-bench --release --bin experiments -- --quick all
+//!
+//! Alongside each table the CLI writes a machine-readable summary to
+//! `BENCH_E<N>.json` in the current directory (experiment id, title, the
+//! scenario scale, and the table; E17 additionally embeds the full metrics
+//! registry snapshots).
 
-use omega_bench::{e_chaos, e_consensus, e_omega, e_thread, e_wire};
+use omega_bench::json::{self, JsonValue};
+use omega_bench::table::Table;
+use omega_bench::{e_chaos, e_consensus, e_obs, e_omega, e_thread, e_wire};
 
 struct Scale {
     seeds: u64,
@@ -15,9 +22,38 @@ struct Scale {
     quick: bool,
 }
 
-fn print_exp(id: &str, title: &str, body: String) {
+impl Scale {
+    fn scenario_json(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("seeds", JsonValue::U64(self.seeds)),
+            ("horizon", JsonValue::U64(self.horizon)),
+            ("long_horizon", JsonValue::U64(self.long_horizon)),
+            (
+                "sizes",
+                JsonValue::Arr(
+                    self.sizes
+                        .iter()
+                        .map(|&n| JsonValue::U64(n as u64))
+                        .collect(),
+                ),
+            ),
+            ("quick", JsonValue::Bool(self.quick)),
+        ]
+    }
+}
+
+fn write_json(id: &str, value: &JsonValue) {
+    match json::write_bench_json(id, value) {
+        Ok(path) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("failed to write BENCH json for {id}: {e}"),
+    }
+}
+
+fn print_exp(id: &str, title: &str, s: &Scale, table: Table) {
     println!("\n=== {} — {} ===", id.to_uppercase(), title);
-    println!("{body}");
+    println!("{}", table.render());
+    let summary = json::experiment_summary(id, title, s.scenario_json(), &table);
+    write_json(id, &summary);
 }
 
 fn run(id: &str, s: &Scale) {
@@ -25,77 +61,92 @@ fn run(id: &str, s: &Scale) {
         "e1" => print_exp(
             id,
             "Ω convergence in system S (claim: 100%)",
-            e_omega::e1_convergence(&s.sizes, s.seeds, s.horizon).render(),
+            s,
+            e_omega::e1_convergence(&s.sizes, s.seeds, s.horizon),
         ),
         "e2" => print_exp(
             id,
             "sender-set collapse over time (claim: →1 for comm-eff, stays n for baseline)",
-            e_omega::e2_sender_series(10, 3, 20_000, 1_000).render(),
+            s,
+            e_omega::e2_sender_series(10, 3, 20_000, 1_000),
         ),
         "e3" => print_exp(
             id,
             "steady-state message complexity (claim: Θ(n) vs Θ(n²))",
-            e_omega::e3_message_complexity(&s.sizes, s.horizon).render(),
+            s,
+            e_omega::e3_message_complexity(&s.sizes, s.horizon),
         ),
         "e4" => print_exp(
             id,
             "robustness: stabilization vs mesh loss × GST",
-            e_omega::e4_robustness(10, s.seeds.min(5), s.horizon).render(),
+            s,
+            e_omega::e4_robustness(10, s.seeds.min(5), s.horizon),
         ),
         "e5" => print_exp(
             id,
             "counter boundedness over a long run (claim: finite accusations)",
-            e_omega::e5_counter_stability(5, 17, s.long_horizon).render(),
+            s,
+            e_omega::e5_counter_stability(5, 17, s.long_horizon),
         ),
         "e6" => print_exp(
             id,
             "consensus safety & liveness in S_maj (claim: 0 violations, all decide)",
-            e_consensus::e6_consensus(s.seeds.min(8), s.long_horizon).render(),
+            s,
+            e_consensus::e6_consensus(s.seeds.min(8), s.long_horizon),
         ),
         "e7" => print_exp(
             id,
             "consensus steady state (claim: no re-prepare, ~4(n-1) msgs/cmd, leader-centric)",
-            e_consensus::e7_steady_state(5, 100.min(s.horizon / 200), 10_000).render(),
+            s,
+            e_consensus::e7_steady_state(5, 100.min(s.horizon / 200), 10_000),
         ),
         "e8" => print_exp(
             id,
             "synchrony crossover: #♦-sources needed (claim: 1 suffices for comm-eff)",
-            e_omega::e8_crossover(6, s.seeds.min(6), s.horizon).render(),
+            s,
+            e_omega::e8_crossover(6, s.seeds.min(6), s.horizon),
         ),
         "e9" => print_exp(
             id,
             "ablation: accusation dedup × timeout policy",
-            e_omega::e9_ablation(5, s.seeds.min(6), s.horizon).render(),
+            s,
+            e_omega::e9_ablation(5, s.seeds.min(6), s.horizon),
         ),
         "e10" => print_exp(
             id,
             "thread-runtime validation (wall clock)",
-            e_thread::e10_threadnet(6, 0.05, 10, 400).render(),
+            s,
+            e_thread::e10_threadnet(6, 0.05, 10, 400),
         ),
         "e11" => print_exp(
             id,
             "message relaying: Ω under eventually timely *paths* (star topology)",
-            e_omega::e11_relay(5, s.seeds.min(6), s.horizon).render(),
+            s,
+            e_omega::e11_relay(5, s.seeds.min(6), s.horizon),
         ),
         "e12" => print_exp(
             id,
             "deterministic blink adversary vs timeout policies (claim: adaptation is necessary)",
-            e_omega::e12_blink(4, s.seeds.min(6), s.horizon).render(),
+            s,
+            e_omega::e12_blink(4, s.seeds.min(6), s.horizon),
         ),
         "e13" => print_exp(
             id,
             "failure-detector QoS: detection time vs timeout (crash the leader)",
-            e_omega::e13_qos(5, s.seeds.min(8), s.horizon).render(),
+            s,
+            e_omega::e13_qos(5, s.seeds.min(8), s.horizon),
         ),
         "e14" => print_exp(
             id,
             "Ω-gated consensus vs rotating coordinator (◇S) on the same adversary",
-            e_consensus::e14_vs_rotating(5, s.seeds.min(8), s.long_horizon).render(),
+            s,
+            e_consensus::e14_vs_rotating(5, s.seeds.min(8), s.long_horizon),
         ),
         "e15" => print_exp(
             id,
             "TCP-socket validation: sender-set collapse over real connections",
-            e_wire::e15_wirenet(5, 0.05, 10, 400).render(),
+            s,
+            e_wire::e15_wirenet(5, 0.05, 10, 400),
         ),
         "e16" => {
             let (seeds, sizes, wall) = if s.quick {
@@ -106,10 +157,20 @@ fn run(id: &str, s: &Scale) {
             print_exp(
                 id,
                 "crash-restart chaos campaign (claim: 0 checker violations on every substrate)",
-                e_chaos::e16_chaos(seeds, &sizes, wall).render(),
+                s,
+                e_chaos::e16_chaos(seeds, &sizes, wall),
             )
         }
-        other => eprintln!("unknown experiment id: {other} (expected e1..e16 or all)"),
+        "e17" => {
+            let (n, horizon) = if s.quick { (4, 20_000) } else { (5, 40_000) };
+            let title =
+                "election QoS + live steady-state efficiency via the probe/metrics pipeline";
+            let (table, summary) = e_obs::e17_observability(n, horizon, 11);
+            println!("\n=== {} — {} ===", id.to_uppercase(), title);
+            println!("{}", table.render());
+            write_json(id, &summary);
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e17 or all)"),
     }
 }
 
@@ -141,7 +202,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16",
+            "e14", "e15", "e16", "e17",
         ] {
             run(id, &scale);
         }

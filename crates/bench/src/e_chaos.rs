@@ -17,11 +17,17 @@
 //! All schedules derive from the scenario seed (splitmix64), so a campaign
 //! is reproducible run-to-run on the simulator and statistically stable on
 //! the wall-clock substrates.
+//!
+//! Every scenario's machines carry a [`lls_obs::RecordingProbe`] into a per-node
+//! flight recorder; when a checker trips, the campaign prints the relevant
+//! nodes' recorders to stderr — the post-mortem is produced at the moment
+//! of the violation, not reconstructed afterwards.
 
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use consensus::checker::{check_consensus_safety, DecisionRecord};
 use consensus::{Consensus, ConsensusEvent, ConsensusParams};
+use lls_obs::{NodeRecorders, Probe};
 use lls_primitives::{Env, Instant, ProcessId, StorageHandle};
 use netsim::{SimBuilder, Simulator, SystemSParams, Topology};
 use omega::spec::{stabilization, LeaderRecord};
@@ -50,7 +56,18 @@ struct Tally {
     successes: usize,
 }
 
-fn omega_records(sim: &Simulator<CommEffOmega>) -> Vec<LeaderRecord> {
+/// The post-mortem artifact: the flight-recorder contents of the nodes
+/// implicated in a checker violation, oldest event first. E16 prints this
+/// to stderr the moment a checker trips.
+fn violation_dump(context: &str, recorders: &NodeRecorders, nodes: &[ProcessId]) -> String {
+    let mut out = format!("CHECKER VIOLATION ({context}) — flight-recorder post-mortem:\n");
+    for &p in nodes {
+        out.push_str(&recorders.dump(p));
+    }
+    out
+}
+
+fn omega_records<P: Probe>(sim: &Simulator<CommEffOmega<P>>) -> Vec<LeaderRecord> {
     sim.outputs()
         .iter()
         .map(|e| LeaderRecord {
@@ -61,7 +78,7 @@ fn omega_records(sim: &Simulator<CommEffOmega>) -> Vec<LeaderRecord> {
         .collect()
 }
 
-fn consensus_decisions(sim: &Simulator<Consensus<u64>>) -> Vec<DecisionRecord<u64>> {
+fn consensus_decisions<P: Probe>(sim: &Simulator<Consensus<u64, P>>) -> Vec<DecisionRecord<u64>> {
     sim.outputs()
         .iter()
         .filter_map(|e| match &e.output {
@@ -106,11 +123,13 @@ fn netsim_omega_scenario(n: usize, seed: u64, tally: &mut Tally) {
             .set_topology_at(Instant::from_ticks(5_000), base.clone());
     }
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
+    let recorders = NodeRecorders::new(n, 256);
     let mut sim = builder.build_with(|env| {
-        CommEffOmega::with_storage(
+        CommEffOmega::with_storage_and_probe(
             env,
             OmegaParams::default(),
             stores[env.id().as_usize()].clone(),
+            recorders.probe_for(env.id()),
         )
         .expect("fresh in-memory store")
     });
@@ -131,12 +150,21 @@ fn netsim_omega_scenario(n: usize, seed: u64, tally: &mut Tally) {
         if stabilization(&omega_records(&sim), &alive_set(&sim, n)).is_none() {
             tally.violations += 1;
             stabilized = false;
+            eprintln!(
+                "{}",
+                violation_dump(
+                    "netsim/omega post-kill stabilization",
+                    &recorders,
+                    &[victim]
+                )
+            );
         }
         let env = Env::new(victim, n);
-        let recovered = CommEffOmega::with_storage(
+        let recovered = CommEffOmega::with_storage_and_probe(
             &env,
             OmegaParams::default(),
             stores[victim.as_usize()].clone(),
+            recorders.probe_for(victim),
         )
         .expect("recover from the victim's log");
         sim.restart(victim, recovered);
@@ -147,6 +175,14 @@ fn netsim_omega_scenario(n: usize, seed: u64, tally: &mut Tally) {
         if stabilization(&omega_records(&sim), &alive_set(&sim, n)).is_none() {
             tally.violations += 1;
             stabilized = false;
+            eprintln!(
+                "{}",
+                violation_dump(
+                    "netsim/omega post-restart stabilization",
+                    &recorders,
+                    &[victim]
+                )
+            );
         }
     }
     if stabilized {
@@ -170,17 +206,19 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
         },
     );
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
+    let recorders = NodeRecorders::new(n, 256);
     let params = ConsensusParams::default();
     let proposals: Vec<u64> = (0..n as u64).map(|p| 100 + p).collect();
     let mut sim = SimBuilder::new(n)
         .seed(seed)
         .topology(topo)
         .build_with(|env| {
-            Consensus::with_storage(
+            Consensus::with_storage_and_probe(
                 env,
                 params,
                 Some(100 + env.id().0 as u64),
                 stores[env.id().as_usize()].clone(),
+                recorders.probe_for(env.id()),
             )
             .expect("fresh in-memory store")
         });
@@ -205,13 +243,18 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
         if check_consensus_safety(&consensus_decisions(&sim), &proposals).is_err() {
             tally.violations += 1;
             safe = false;
+            eprintln!(
+                "{}",
+                violation_dump("netsim/consensus post-kill safety", &recorders, &[victim])
+            );
         }
         let env = Env::new(victim, n);
-        let recovered = Consensus::with_storage(
+        let recovered = Consensus::with_storage_and_probe(
             &env,
             params,
             Some(100 + victim.0 as u64),
             stores[victim.as_usize()].clone(),
+            recorders.probe_for(victim),
         )
         .expect("recover from the victim's log");
         sim.restart(victim, recovered);
@@ -221,6 +264,14 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
         if check_consensus_safety(&consensus_decisions(&sim), &proposals).is_err() {
             tally.violations += 1;
             safe = false;
+            eprintln!(
+                "{}",
+                violation_dump(
+                    "netsim/consensus post-restart safety",
+                    &recorders,
+                    &[victim]
+                )
+            );
         }
     }
     // Liveness across the chaos: every process (restarted ones included)
@@ -234,7 +285,7 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
 
 /// Polls `latest` until the members' outputs are unanimous and stay so for
 /// 150 ms, or `timeout` elapses.
-fn await_unanimity(
+pub(crate) fn await_unanimity(
     latest: impl Fn() -> Vec<Option<ProcessId>>,
     members: &[ProcessId],
     timeout: StdDuration,
@@ -268,6 +319,7 @@ fn await_unanimity(
 /// and delay).
 fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
+    let recorders = NodeRecorders::new(n, 256);
     let config = NetConfig {
         n,
         loss: 0.02,
@@ -277,10 +329,11 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         seed,
     };
     let cluster = Cluster::spawn(config, |env| {
-        CommEffOmega::with_storage(
+        CommEffOmega::with_storage_and_probe(
             env,
             OmegaParams::default(),
             stores[env.id().as_usize()].clone(),
+            recorders.probe_for(env.id()),
         )
         .expect("fresh in-memory store")
     });
@@ -294,6 +347,10 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     if leader.is_none() {
         tally.violations += 1;
         ok = false;
+        eprintln!(
+            "{}",
+            violation_dump("threadnet initial unanimity", &recorders, &all)
+        );
     }
     let victim = leader.unwrap_or(ProcessId(0));
     cluster.kill(victim);
@@ -303,12 +360,17 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     if await_unanimity(|| cluster.latest_outputs(), &survivors, timeout).is_none() {
         tally.violations += 1;
         ok = false;
+        eprintln!(
+            "{}",
+            violation_dump("threadnet post-kill unanimity", &recorders, &[victim])
+        );
     }
     let env = Env::new(victim, n);
-    let recovered = CommEffOmega::with_storage(
+    let recovered = CommEffOmega::with_storage_and_probe(
         &env,
         OmegaParams::default(),
         stores[victim.as_usize()].clone(),
+        recorders.probe_for(victim),
     )
     .expect("recover from the victim's log");
     cluster.restart(victim, recovered);
@@ -316,6 +378,10 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     if await_unanimity(|| cluster.latest_outputs(), &all, timeout).is_none() {
         tally.violations += 1;
         ok = false;
+        eprintln!(
+            "{}",
+            violation_dump("threadnet post-restart unanimity", &recorders, &[victim])
+        );
     }
     cluster.stop();
     if ok {
@@ -328,6 +394,7 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
 /// is exercised from the accepting side.
 fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
+    let recorders = NodeRecorders::new(n, 256);
     let config = WireConfig {
         n,
         tick: StdDuration::from_millis(1),
@@ -341,10 +408,11 @@ fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         }),
     };
     let mut cluster = WireCluster::spawn(config, |env| {
-        CommEffOmega::with_storage(
+        CommEffOmega::with_storage_and_probe(
             env,
             OmegaParams::default(),
             stores[env.id().as_usize()].clone(),
+            recorders.probe_for(env.id()),
         )
         .expect("fresh in-memory store")
     });
@@ -358,6 +426,10 @@ fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     if leader.is_none() {
         tally.violations += 1;
         ok = false;
+        eprintln!(
+            "{}",
+            violation_dump("wirenet initial unanimity", &recorders, &all)
+        );
     }
     let victim = leader.unwrap_or(ProcessId(0));
     cluster.kill(victim);
@@ -367,22 +439,35 @@ fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     if await_unanimity(|| cluster.latest_outputs(), &survivors, timeout).is_none() {
         tally.violations += 1;
         ok = false;
+        eprintln!(
+            "{}",
+            violation_dump("wirenet post-kill unanimity", &recorders, &[victim])
+        );
     }
     let env = Env::new(victim, n);
-    let recovered = CommEffOmega::with_storage(
+    let recovered = CommEffOmega::with_storage_and_probe(
         &env,
         OmegaParams::default(),
         stores[victim.as_usize()].clone(),
+        recorders.probe_for(victim),
     )
     .expect("recover from the victim's log");
     if cluster.restart(victim, recovered).is_err() {
         tally.violations += 1;
         ok = false;
+        eprintln!(
+            "{}",
+            violation_dump("wirenet restart rebind", &recorders, &[victim])
+        );
     } else {
         tally.checks += 1;
         if await_unanimity(|| cluster.latest_outputs(), &all, timeout).is_none() {
             tally.violations += 1;
             ok = false;
+            eprintln!(
+                "{}",
+                violation_dump("wirenet post-restart unanimity", &recorders, &[victim])
+            );
         }
     }
     cluster.stop();
@@ -471,6 +556,47 @@ pub fn e16_chaos(seeds_per_config: u64, sizes: &[usize], wall_seeds: u64) -> Tab
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The acceptance path for the flight recorder: force the same
+    /// violation E16's Ω checker would report — kill the leader and run the
+    /// stabilization check immediately, long before the survivors can have
+    /// re-elected — and check the post-mortem dump carries the offending
+    /// node's recent probe events.
+    #[test]
+    fn induced_violation_dumps_the_victims_probe_events() {
+        let n = 3;
+        let recorders = NodeRecorders::new(n, 64);
+        // Source at p1: every node starts trusting p0, so stabilizing on the
+        // ♦-source forces at least one LeaderChange into every ring.
+        let topo = Topology::system_s(
+            n,
+            ProcessId(1),
+            SystemSParams {
+                mesh_loss: 0.05,
+                gst: 200,
+                ..SystemSParams::default()
+            },
+        );
+        let mut sim = SimBuilder::new(n).seed(7).topology(topo).build_with(|env| {
+            CommEffOmega::new_with_probe(env, OmegaParams::default(), recorders.probe_for(env.id()))
+        });
+        sim.run_until(Instant::from_ticks(8_000));
+        let victim = sim.node(ProcessId(0)).leader();
+        sim.kill(victim);
+        sim.run_until(Instant::from_ticks(8_010));
+        assert!(
+            stabilization(&omega_records(&sim), &alive_set(&sim, n)).is_none(),
+            "ten ticks after the leader died the survivors cannot have re-stabilized"
+        );
+        let dump = violation_dump("induced", &recorders, &[victim]);
+        assert!(dump.contains("CHECKER VIOLATION (induced)"));
+        assert!(dump.contains(&format!("--- node {victim} ---")));
+        assert!(
+            dump.contains("LEADER"),
+            "the victim's ring should retain its leader-change events:\n{dump}"
+        );
+        assert!(dump.contains("events retained of"));
+    }
 
     #[test]
     fn e16_reduced_campaign_has_no_violations() {

@@ -1,0 +1,193 @@
+//! Machine-readable experiment summaries: `BENCH_E*.json`.
+//!
+//! Every experiment the CLI runs writes a JSON summary next to the human
+//! table, so plots and regression tooling can consume results without
+//! scraping aligned-column text. The writer is hand-rolled (the workspace
+//! deliberately has no serde): a tiny value tree plus an escaper, enough
+//! for flat summaries and for embedding the observability registry's own
+//! [`lls_obs::Registry::snapshot_json`] output verbatim.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use crate::table::Table;
+
+/// A JSON value tree. Construct with the helper constructors, render with
+/// `Display` (or [`JsonValue::render`]).
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (rendered with `{:.6}`; NaN/infinite map to `null`).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// Pre-rendered JSON spliced in verbatim — used to embed
+    /// `Registry::snapshot_json()` without re-parsing it.
+    Raw(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::U64(v) => write!(f, "{v}"),
+            JsonValue::F64(v) if v.is_finite() => write!(f, "{v:.6}"),
+            JsonValue::F64(_) => f.write_str("null"),
+            JsonValue::Str(s) => escape(s, f),
+            JsonValue::Raw(s) => f.write_str(s),
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A [`Table`] as JSON: `{"header": [...], "rows": [[...], ...]}`.
+pub fn table_json(table: &Table) -> JsonValue {
+    JsonValue::obj(vec![
+        (
+            "header",
+            JsonValue::Arr(table.header().iter().map(JsonValue::str).collect()),
+        ),
+        (
+            "rows",
+            JsonValue::Arr(
+                table
+                    .rows()
+                    .iter()
+                    .map(|r| JsonValue::Arr(r.iter().map(JsonValue::str).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The generic per-experiment summary the CLI writes: experiment id, title,
+/// the scenario scale it ran at, and the rendered table.
+pub fn experiment_summary(
+    id: &str,
+    title: &str,
+    scenario: Vec<(&str, JsonValue)>,
+    table: &Table,
+) -> JsonValue {
+    JsonValue::obj(vec![
+        ("experiment", JsonValue::str(id)),
+        ("title", JsonValue::str(title)),
+        ("scenario", JsonValue::obj(scenario)),
+        ("table", table_json(table)),
+    ])
+}
+
+/// Writes `value` to `BENCH_<ID>.json` (id upper-cased) in the current
+/// directory and returns the path.
+///
+/// # Errors
+///
+/// Fails if the file cannot be created or written.
+pub fn write_bench_json(id: &str, value: &JsonValue) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{}.json", id.to_uppercase()));
+    fs::write(&path, format!("{value}\n"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        let v = JsonValue::obj(vec![
+            ("a", JsonValue::U64(3)),
+            ("b", JsonValue::str("he said \"hi\"\n")),
+            ("c", JsonValue::Bool(true)),
+            ("d", JsonValue::Null),
+            ("e", JsonValue::F64(0.5)),
+            ("f", JsonValue::F64(f64::NAN)),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\"a\":3,\"b\":\"he said \\\"hi\\\"\\n\",\"c\":true,\"d\":null,\"e\":0.500000,\"f\":null}"
+        );
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let v = JsonValue::obj(vec![("metrics", JsonValue::Raw("{\"x\":1}".into()))]);
+        assert_eq!(v.render(), "{\"metrics\":{\"x\":1}}");
+    }
+
+    #[test]
+    fn table_round_trips_to_json() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.row(vec!["3", "ok"]);
+        let j = table_json(&t).render();
+        assert_eq!(
+            j,
+            "{\"header\":[\"n\",\"value\"],\"rows\":[[\"3\",\"ok\"]]}"
+        );
+    }
+}

@@ -23,17 +23,21 @@
 //! | E14 | Ω-gated consensus vs rotating-coordinator (◇S) baseline |
 //! | E15 | The communication-efficiency shape survives on real TCP sockets |
 //! | E16 | Crash–restart chaos: durable state keeps both checkers green on all substrates |
+//! | E17 | Steady-state efficiency live-checked through the probe/metrics pipeline |
 //!
 //! Run everything with `cargo run -p omega-bench --release --bin experiments -- all`,
-//! or one experiment by id (`-- e3`).
+//! or one experiment by id (`-- e3`). Alongside each human table the CLI
+//! writes a machine-readable `BENCH_E*.json` summary (see [`json`]).
 
 #![forbid(unsafe_code)]
 
 pub mod e_chaos;
 pub mod e_consensus;
+pub mod e_obs;
 pub mod e_omega;
 pub mod e_thread;
 pub mod e_wire;
+pub mod json;
 pub mod table;
 
 /// Quantile helper used by several experiments (nearest-rank).

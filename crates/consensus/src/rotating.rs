@@ -28,6 +28,7 @@
 
 use std::fmt;
 
+use lls_obs::{NoopProbe, Probe, ProbeEvent};
 use lls_primitives::{Ctx, Duration, Env, ProcessId, Sm, TimerId};
 use serde::{Deserialize, Serialize};
 
@@ -129,7 +130,7 @@ struct CoordState<V> {
 /// }
 /// ```
 #[derive(Debug, Clone)]
-pub struct RotatingConsensus<V> {
+pub struct RotatingConsensus<V, P: Probe = NoopProbe> {
     env: Env,
     params: ConsensusParams,
     r: u64,
@@ -143,6 +144,8 @@ pub struct RotatingConsensus<V> {
     retransmit_decide: bool,
     /// Diagnostics: how many rounds this process has entered.
     rounds_entered: u64,
+    /// Observability sink; `NoopProbe` by default (zero cost).
+    probe: P,
 }
 
 /// Observable events of a [`RotatingConsensus`] run.
@@ -160,6 +163,17 @@ where
 {
     /// Creates the machine with this process's initial proposal.
     pub fn new(env: &Env, params: ConsensusParams, proposal: V) -> Self {
+        RotatingConsensus::new_with_probe(env, params, proposal, NoopProbe)
+    }
+}
+
+impl<V, P> RotatingConsensus<V, P>
+where
+    V: Clone + Eq + fmt::Debug + Send + 'static,
+    P: Probe,
+{
+    /// Like [`RotatingConsensus::new`], with an observability probe.
+    pub fn new_with_probe(env: &Env, params: ConsensusParams, proposal: V, probe: P) -> Self {
         RotatingConsensus {
             env: *env,
             params,
@@ -173,6 +187,7 @@ where
             decide_acks: vec![false; env.n()],
             retransmit_decide: false,
             rounds_entered: 0,
+            probe,
         }
     }
 
@@ -213,6 +228,12 @@ where
         self.r = r;
         self.rounds_entered += 1;
         self.phase = Phase::WaitingPropose;
+        self.probe.emit(ProbeEvent::PhaseEnter {
+            node: self.me(),
+            at: ctx.now(),
+            label: "round",
+            number: r,
+        });
         ctx.output(RotEvent::Round(r));
         let c = self.coordinator(r);
         if c == self.me() {
@@ -290,6 +311,11 @@ where
     fn decide(&mut self, ctx: &mut Ctx<'_, RotMsg<V>, RotEvent<V>>, v: V) {
         if self.decided.is_none() {
             self.decided = Some(v.clone());
+            self.probe.emit(ProbeEvent::Decide {
+                node: self.me(),
+                at: ctx.now(),
+                slot: 0,
+            });
             ctx.output(RotEvent::Decided(v.clone()));
         }
         self.retransmit_decide = true;
@@ -346,9 +372,10 @@ where
     }
 }
 
-impl<V> Sm for RotatingConsensus<V>
+impl<V, P> Sm for RotatingConsensus<V, P>
 where
     V: Clone + Eq + fmt::Debug + Send + 'static,
+    P: Probe,
 {
     type Msg = RotMsg<V>;
     type Output = RotEvent<V>;
@@ -409,6 +436,11 @@ where
             RotMsg::Decide { v } => {
                 if self.decided.is_none() {
                     self.decided = Some(v.clone());
+                    self.probe.emit(ProbeEvent::Decide {
+                        node: self.me(),
+                        at: ctx.now(),
+                        slot: 0,
+                    });
                     ctx.output(RotEvent::Decided(v));
                     ctx.cancel_timer(SUSPECT_TIMER);
                 }
@@ -435,6 +467,12 @@ where
                 // move to the next round.
                 let c = self.coordinator(self.r);
                 self.suspect_timeout = self.params.omega.timeout_policy.bump(self.suspect_timeout);
+                self.probe.emit(ProbeEvent::TimeoutAdapt {
+                    node: self.me(),
+                    at: ctx.now(),
+                    suspect: c,
+                    timeout: self.suspect_timeout,
+                });
                 if c != self.me() {
                     ctx.send(c, RotMsg::Nack { r: self.r });
                 }

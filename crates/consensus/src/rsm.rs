@@ -22,8 +22,9 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use lls_obs::{NoopProbe, Probe, ProbeEvent};
 use lls_primitives::{
-    Ctx, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId, Wire,
+    Ctx, Effects, Env, Instant, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId, Wire,
 };
 use omega::{CommEffOmega, OmegaMsg};
 use serde::{Deserialize, Serialize};
@@ -89,10 +90,10 @@ struct Inflight<V> {
 /// assert_eq!(committed, vec![7, 8]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ReplicatedLog<V> {
+pub struct ReplicatedLog<V, P: Probe = NoopProbe> {
     env: Env,
     params: ConsensusParams,
-    omega: CommEffOmega,
+    omega: CommEffOmega<P>,
     // Acceptor state.
     promised: Ballot,
     accepted: BTreeMap<u64, (Ballot, Entry<V>)>,
@@ -108,6 +109,8 @@ pub struct ReplicatedLog<V> {
     // Durability (see `crate::durable` for the safety arguments).
     storage: Option<StorageHandle>,
     wedged: bool,
+    /// Observability sink; `NoopProbe` by default (zero cost).
+    probe: P,
 }
 
 impl<V> ReplicatedLog<V>
@@ -120,22 +123,7 @@ where
     ///
     /// Panics if the Ω parameters are invalid.
     pub fn new(env: &Env, params: ConsensusParams) -> Self {
-        ReplicatedLog {
-            env: *env,
-            params,
-            omega: CommEffOmega::new(env, params.omega),
-            promised: Ballot::ZERO,
-            accepted: BTreeMap::new(),
-            chosen: BTreeMap::new(),
-            emitted_upto: 0,
-            state: LeaderState::Follower,
-            highest_seen: Ballot::ZERO,
-            pending: VecDeque::new(),
-            inflight: BTreeMap::new(),
-            decide_trackers: BTreeMap::new(),
-            storage: None,
-            wedged: false,
-        }
+        ReplicatedLog::new_with_probe(env, params, NoopProbe)
     }
 
     /// Creates a replica backed by a durable log, recovering the promised
@@ -163,8 +151,62 @@ where
         params: ConsensusParams,
         storage: StorageHandle,
     ) -> Result<Self, StorageError> {
-        let mut sm = ReplicatedLog::new(env, params);
+        ReplicatedLog::with_storage_and_probe(env, params, storage, NoopProbe)
+    }
+}
+
+impl<V, P> ReplicatedLog<V, P>
+where
+    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    P: Probe,
+{
+    /// Like [`ReplicatedLog::new`], with an observability probe (shared
+    /// with the embedded Ω detector, so one sink sees both layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn new_with_probe(env: &Env, params: ConsensusParams, probe: P) -> Self {
+        ReplicatedLog {
+            env: *env,
+            params,
+            omega: CommEffOmega::new_with_probe(env, params.omega, probe.clone()),
+            promised: Ballot::ZERO,
+            accepted: BTreeMap::new(),
+            chosen: BTreeMap::new(),
+            emitted_upto: 0,
+            state: LeaderState::Follower,
+            highest_seen: Ballot::ZERO,
+            pending: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            decide_trackers: BTreeMap::new(),
+            storage: None,
+            wedged: false,
+            probe,
+        }
+    }
+
+    /// Like [`ReplicatedLog::with_storage`], with an observability probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage_and_probe(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let mut sm = ReplicatedLog::new_with_probe(env, params, probe);
         let records: Vec<RsmRecord<V>> = storage.load_records()?;
+        sm.probe.emit(ProbeEvent::WalRecover {
+            node: env.id(),
+            records: records.len() as u64,
+        });
         let recovering = !records.is_empty();
         let mut omega_counter = 0u64;
         for rec in records {
@@ -212,8 +254,14 @@ where
             None => true,
             Some(store) => {
                 if store.append_record(rec).is_ok() {
+                    self.probe.emit(ProbeEvent::WalAppend {
+                        node: self.env.id(),
+                    });
                     true
                 } else {
+                    self.probe.emit(ProbeEvent::WalWedge {
+                        node: self.env.id(),
+                    });
                     self.wedged = true;
                     false
                 }
@@ -222,7 +270,7 @@ where
     }
 
     /// The embedded Ω detector (for instrumentation).
-    pub fn omega(&self) -> &CommEffOmega {
+    pub fn omega(&self) -> &CommEffOmega<P> {
         &self.omega
     }
 
@@ -274,7 +322,7 @@ where
     fn drive_omega(
         &mut self,
         ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
-        step: impl FnOnce(&mut CommEffOmega, &mut Ctx<'_, OmegaMsg, ProcessId>),
+        step: impl FnOnce(&mut CommEffOmega<P>, &mut Ctx<'_, OmegaMsg, ProcessId>),
     ) {
         let mut fx: Effects<OmegaMsg, ProcessId> = Effects::new();
         let counter_before = self.omega.own_counter();
@@ -309,12 +357,20 @@ where
                     self.start_prepare(ctx);
                 }
             } else {
-                self.abdicate();
+                self.abdicate(ctx.now());
             }
         }
     }
 
-    fn abdicate(&mut self) {
+    fn abdicate(&mut self, now: Instant) {
+        if let LeaderState::Preparing { b, .. } | LeaderState::Led { b, .. } = &self.state {
+            self.probe.emit(ProbeEvent::PhaseEnter {
+                node: self.me(),
+                at: now,
+                label: "follower",
+                number: b.round(),
+            });
+        }
         self.state = LeaderState::Follower;
         self.inflight.clear();
     }
@@ -341,6 +397,12 @@ where
             promised_by,
             gathered,
         };
+        self.probe.emit(ProbeEvent::PhaseEnter {
+            node: self.me(),
+            at: ctx.now(),
+            label: "prepare",
+            number: b.round(),
+        });
         ctx.broadcast(RsmMsg::Prepare { b, from_slot });
         self.try_assume_leadership(ctx);
     }
@@ -372,6 +434,12 @@ where
             b,
             next_slot: horizon,
         };
+        self.probe.emit(ProbeEvent::PhaseEnter {
+            node: self.me(),
+            at: ctx.now(),
+            label: "led",
+            number: b.round(),
+        });
         for slot in from_slot..horizon {
             if let Some(entry) = self.chosen.get(&slot).cloned() {
                 // Already chosen here: (re)announce so laggards catch up.
@@ -473,6 +541,11 @@ where
                 return;
             }
             self.chosen.insert(slot, entry);
+            self.probe.emit(ProbeEvent::Decide {
+                node: self.me(),
+                at: ctx.now(),
+                slot,
+            });
         }
         while let Some(e) = self.chosen.get(&self.emitted_upto) {
             ctx.output(RsmEvent::Committed {
@@ -516,7 +589,7 @@ where
         }
         if !self.omega.is_leader() {
             if !matches!(self.state, LeaderState::Follower) {
-                self.abdicate();
+                self.abdicate(ctx.now());
             }
             return;
         }
@@ -684,7 +757,7 @@ where
                     LeaderState::Follower => false,
                 };
                 if ours {
-                    self.abdicate();
+                    self.abdicate(ctx.now());
                 }
             }
             RsmMsg::Decide { slot, entry } => {
@@ -703,9 +776,10 @@ where
     }
 }
 
-impl<V> Sm for ReplicatedLog<V>
+impl<V, P> Sm for ReplicatedLog<V, P>
 where
     V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    P: Probe,
 {
     type Msg = RsmMsg<V>;
     type Output = RsmEvent<V>;

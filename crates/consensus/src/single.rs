@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use lls_obs::{NoopProbe, Probe, ProbeEvent};
 use lls_primitives::{
     Ctx, Duration, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId,
     Wire,
@@ -80,11 +81,14 @@ enum Role<V> {
 /// learner in one process).
 ///
 /// See the [crate-level example](crate).
+///
+/// The `P` parameter is an observability [`Probe`] shared with the embedded
+/// Ω detector; the default [`NoopProbe`] costs nothing.
 #[derive(Debug, Clone)]
-pub struct Consensus<V> {
+pub struct Consensus<V, P: Probe = NoopProbe> {
     env: Env,
     params: ConsensusParams,
-    omega: CommEffOmega,
+    omega: CommEffOmega<P>,
     proposal: Option<V>,
     decided: Option<V>,
     // Acceptor state.
@@ -99,6 +103,8 @@ pub struct Consensus<V> {
     // Durability (see `crate::durable` for the safety arguments).
     storage: Option<StorageHandle>,
     wedged: bool,
+    /// Observability sink; `NoopProbe` by default (zero cost).
+    probe: P,
 }
 
 impl<V> Consensus<V>
@@ -112,21 +118,7 @@ where
     ///
     /// Panics if the Ω parameters are invalid.
     pub fn new(env: &Env, params: ConsensusParams, proposal: Option<V>) -> Self {
-        Consensus {
-            env: *env,
-            params,
-            omega: CommEffOmega::new(env, params.omega),
-            proposal,
-            decided: None,
-            promised: Ballot::ZERO,
-            accepted: None,
-            role: Role::Idle,
-            highest_seen: Ballot::ZERO,
-            decide_acks: vec![false; env.n()],
-            retransmit_decide: false,
-            storage: None,
-            wedged: false,
-        }
+        Consensus::new_with_probe(env, params, proposal, NoopProbe)
     }
 
     /// Creates a consensus instance backed by a durable log, recovering any
@@ -154,8 +146,67 @@ where
         proposal: Option<V>,
         storage: StorageHandle,
     ) -> Result<Self, StorageError> {
-        let mut sm = Consensus::new(env, params, proposal);
+        Consensus::with_storage_and_probe(env, params, proposal, storage, NoopProbe)
+    }
+}
+
+impl<V, P> Consensus<V, P>
+where
+    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    P: Probe,
+{
+    /// Like [`Consensus::new`], with an observability probe (shared with
+    /// the embedded Ω detector, so one sink sees both layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn new_with_probe(
+        env: &Env,
+        params: ConsensusParams,
+        proposal: Option<V>,
+        probe: P,
+    ) -> Self {
+        Consensus {
+            env: *env,
+            params,
+            omega: CommEffOmega::new_with_probe(env, params.omega, probe.clone()),
+            proposal,
+            decided: None,
+            promised: Ballot::ZERO,
+            accepted: None,
+            role: Role::Idle,
+            highest_seen: Ballot::ZERO,
+            decide_acks: vec![false; env.n()],
+            retransmit_decide: false,
+            storage: None,
+            wedged: false,
+            probe,
+        }
+    }
+
+    /// Like [`Consensus::with_storage`], with an observability probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage_and_probe(
+        env: &Env,
+        params: ConsensusParams,
+        proposal: Option<V>,
+        storage: StorageHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let mut sm = Consensus::new_with_probe(env, params, proposal, probe);
         let records: Vec<AcceptorRecord<V>> = storage.load_records()?;
+        sm.probe.emit(ProbeEvent::WalRecover {
+            node: env.id(),
+            records: records.len() as u64,
+        });
         let recovering = !records.is_empty();
         let mut omega_counter = 0u64;
         for rec in records {
@@ -198,8 +249,14 @@ where
             None => true,
             Some(store) => {
                 if store.append_record(rec).is_ok() {
+                    self.probe.emit(ProbeEvent::WalAppend {
+                        node: self.env.id(),
+                    });
                     true
                 } else {
+                    self.probe.emit(ProbeEvent::WalWedge {
+                        node: self.env.id(),
+                    });
                     self.wedged = true;
                     false
                 }
@@ -213,7 +270,7 @@ where
     }
 
     /// The embedded Ω detector (for instrumentation).
-    pub fn omega(&self) -> &CommEffOmega {
+    pub fn omega(&self) -> &CommEffOmega<P> {
         &self.omega
     }
 
@@ -242,7 +299,7 @@ where
     fn drive_omega(
         &mut self,
         ctx: &mut Ctx<'_, ConsensusMsg<V>, ConsensusEvent<V>>,
-        step: impl FnOnce(&mut CommEffOmega, &mut Ctx<'_, OmegaMsg, ProcessId>),
+        step: impl FnOnce(&mut CommEffOmega<P>, &mut Ctx<'_, OmegaMsg, ProcessId>),
     ) {
         let mut fx: Effects<OmegaMsg, ProcessId> = Effects::new();
         let counter_before = self.omega.own_counter();
@@ -306,6 +363,12 @@ where
         self.promised = b;
         promises[self.me().as_usize()] = Some(self.accepted.clone());
         self.role = Role::Preparing { b, promises };
+        self.probe.emit(ProbeEvent::PhaseEnter {
+            node: self.env.id(),
+            at: ctx.now(),
+            label: "prepare",
+            number: b.round(),
+        });
         ctx.broadcast(ConsensusMsg::Prepare { b });
         self.try_finish_prepare(ctx);
     }
@@ -349,6 +412,12 @@ where
             v: v.clone(),
             acks,
         };
+        self.probe.emit(ProbeEvent::PhaseEnter {
+            node: self.env.id(),
+            at: ctx.now(),
+            label: "accept",
+            number: b.round(),
+        });
         ctx.broadcast(ConsensusMsg::Accept { b, v });
         self.try_finish_accept(ctx);
     }
@@ -380,6 +449,11 @@ where
                 return;
             }
             self.decided = Some(v.clone());
+            self.probe.emit(ProbeEvent::Decide {
+                node: self.env.id(),
+                at: ctx.now(),
+                slot: 0,
+            });
             ctx.output(ConsensusEvent::Decided(v));
         }
     }
@@ -530,9 +604,10 @@ where
     }
 }
 
-impl<V> Sm for Consensus<V>
+impl<V, P> Sm for Consensus<V, P>
 where
     V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    P: Probe,
 {
     type Msg = ConsensusMsg<V>;
     type Output = ConsensusEvent<V>;

@@ -39,6 +39,7 @@
 //! every run by the [`crate::spec`] checkers across the test suite and the
 //! experiment harness.
 
+use lls_obs::{NoopProbe, Probe, ProbeEvent};
 use lls_primitives::{Ctx, Duration, Env, ProcessId, Sm, StorageError, StorageHandle, TimerId};
 
 use crate::msg::OmegaMsg;
@@ -55,8 +56,12 @@ pub const LEADER_CHECK_TIMER: TimerId = TimerId(1);
 /// See the module-level documentation at the top of
 /// `crates/core/src/comm_efficient.rs` for the full mechanism, and the
 /// [crate docs](crate) for a runnable example.
+///
+/// The `P` parameter is an observability [`Probe`]; the default
+/// [`NoopProbe`] monomorphizes every emission away, so uninstrumented
+/// machines pay nothing.
 #[derive(Debug, Clone)]
-pub struct CommEffOmega {
+pub struct CommEffOmega<P: Probe = NoopProbe> {
     me: ProcessId,
     params: OmegaParams,
     table: RankTable,
@@ -75,6 +80,8 @@ pub struct CommEffOmega {
     /// restarted process has no evidence about anyone's timeliness (its own
     /// links may still be reconnecting), so it must not demote incumbents.
     recovering: bool,
+    /// Observability sink; `NoopProbe` by default (zero cost).
+    probe: P,
 }
 
 impl CommEffOmega {
@@ -84,21 +91,7 @@ impl CommEffOmega {
     ///
     /// Panics if `params` fail [`OmegaParams::validate`].
     pub fn new(env: &Env, params: OmegaParams) -> Self {
-        if let Err(e) = params.validate() {
-            panic!("invalid OmegaParams: {e}");
-        }
-        let n = env.n();
-        CommEffOmega {
-            me: env.id(),
-            params,
-            table: RankTable::new(n),
-            timeouts: vec![params.initial_timeout; n],
-            leader: ProcessId(0),
-            accusations_sent: 0,
-            accusations_received: 0,
-            storage: None,
-            recovering: false,
-        }
+        CommEffOmega::new_with_probe(env, params, NoopProbe)
     }
 
     /// Creates the state machine with a durable log, recovering persisted
@@ -153,7 +146,53 @@ impl CommEffOmega {
         params: OmegaParams,
         storage: StorageHandle,
     ) -> Result<Self, StorageError> {
-        let mut sm = CommEffOmega::new(env, params);
+        CommEffOmega::with_storage_and_probe(env, params, storage, NoopProbe)
+    }
+}
+
+impl<P: Probe> CommEffOmega<P> {
+    /// Like [`CommEffOmega::new`], with an observability probe that will
+    /// receive every protocol event this machine emits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`OmegaParams::validate`].
+    pub fn new_with_probe(env: &Env, params: OmegaParams, probe: P) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid OmegaParams: {e}");
+        }
+        let n = env.n();
+        CommEffOmega {
+            me: env.id(),
+            params,
+            table: RankTable::new(n),
+            timeouts: vec![params.initial_timeout; n],
+            leader: ProcessId(0),
+            accusations_sent: 0,
+            accusations_received: 0,
+            storage: None,
+            recovering: false,
+            probe,
+        }
+    }
+
+    /// Like [`CommEffOmega::with_storage`], with an observability probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be made
+    /// durable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`OmegaParams::validate`].
+    pub fn with_storage_and_probe(
+        env: &Env,
+        params: OmegaParams,
+        storage: StorageHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let mut sm = CommEffOmega::new_with_probe(env, params, probe);
         let records: Vec<u64> = storage.load_records()?;
         let boot_counter = match records.iter().max() {
             Some(&persisted) => persisted.saturating_add(1),
@@ -162,6 +201,10 @@ impl CommEffOmega {
         // Write-ahead even for the boot record: if this append fails, the
         // process never joins, so no peer can have heard the new counter.
         storage.append_record(&boot_counter)?;
+        sm.probe.emit(ProbeEvent::WalRecover {
+            node: sm.me,
+            records: records.len() as u64,
+        });
         sm.restore_own_counter(boot_counter);
         sm.storage = Some(storage);
         Ok(sm)
@@ -179,6 +222,12 @@ impl CommEffOmega {
         self.table.record_alive(self.me, counter);
         self.leader = self.table.best();
         self.recovering = counter > 0;
+        if self.recovering {
+            self.probe.emit(ProbeEvent::IncarnationBump {
+                node: self.me,
+                counter,
+            });
+        }
     }
 
     /// `true` while in the recovering rejoin mode (restarted, and no message
@@ -233,6 +282,11 @@ impl CommEffOmega {
         let best = self.table.best();
         if best != self.leader {
             self.leader = best;
+            self.probe.emit(ProbeEvent::LeaderChange {
+                node: self.me,
+                at: ctx.now(),
+                leader: best,
+            });
             ctx.output(best);
             if best == self.me {
                 ctx.cancel_timer(LEADER_CHECK_TIMER);
@@ -243,7 +297,7 @@ impl CommEffOmega {
     }
 }
 
-impl Sm for CommEffOmega {
+impl<P: Probe> Sm for CommEffOmega<P> {
     type Msg = OmegaMsg;
     type Output = ProcessId;
     type Request = ();
@@ -287,9 +341,15 @@ impl Sm for CommEffOmega {
                         if store.append_record(&next).is_err() {
                             return;
                         }
+                        self.probe.emit(ProbeEvent::WalAppend { node: self.me });
                     }
                     self.accusations_received += 1;
                     self.table.bump_auth(self.me);
+                    self.probe.emit(ProbeEvent::AccusationAbsorbed {
+                        node: self.me,
+                        at: ctx.now(),
+                        new_counter: self.table.auth(self.me),
+                    });
                     self.recompute_leader(ctx);
                 }
             }
@@ -314,9 +374,22 @@ impl Sm for CommEffOmega {
                 // are finite.
                 let t = &mut self.timeouts[suspect.as_usize()];
                 *t = self.params.timeout_policy.bump(*t);
+                let grown = *t;
+                self.probe.emit(ProbeEvent::TimeoutAdapt {
+                    node: self.me,
+                    at: ctx.now(),
+                    suspect,
+                    timeout: grown,
+                });
                 self.table.record_suspicion(suspect);
                 if !self.recovering {
                     self.accusations_sent += 1;
+                    self.probe.emit(ProbeEvent::AccusationSent {
+                        node: self.me,
+                        at: ctx.now(),
+                        suspect,
+                        phase: self.table.auth(suspect),
+                    });
                     ctx.send(
                         suspect,
                         OmegaMsg::Accuse {

@@ -1,5 +1,6 @@
 //! The replica: a [`ReplicatedLog`] of tagged commands feeding a [`KvState`].
 
+use lls_obs::{NoopProbe, Probe};
 use lls_primitives::{Ctx, Env, ProcessId, Sm, TimerId};
 use serde::{Deserialize, Serialize};
 
@@ -34,8 +35,8 @@ pub enum KvEvent {
 /// in slot order — no-op filler slots are skipped silently. See the
 /// [crate example](crate).
 #[derive(Debug, Clone)]
-pub struct KvReplica {
-    log: ReplicatedLog<Tagged<KvCmd>>,
+pub struct KvReplica<P: Probe = NoopProbe> {
+    log: ReplicatedLog<Tagged<KvCmd>, P>,
     state: KvState,
 }
 
@@ -46,8 +47,20 @@ impl KvReplica {
     ///
     /// Panics if the Ω parameters inside `params` are invalid.
     pub fn new(env: &Env, params: ConsensusParams) -> Self {
+        KvReplica::new_with_probe(env, params, NoopProbe)
+    }
+}
+
+impl<P: Probe> KvReplica<P> {
+    /// Like [`KvReplica::new`], with an observability probe threaded down
+    /// through the replicated log into the embedded Ω detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn new_with_probe(env: &Env, params: ConsensusParams, probe: P) -> Self {
         KvReplica {
-            log: ReplicatedLog::new(env, params),
+            log: ReplicatedLog::new_with_probe(env, params, probe),
             state: KvState::new(),
         }
     }
@@ -58,12 +71,12 @@ impl KvReplica {
     }
 
     /// The underlying replicated log (for instrumentation).
-    pub fn log(&self) -> &ReplicatedLog<Tagged<KvCmd>> {
+    pub fn log(&self) -> &ReplicatedLog<Tagged<KvCmd>, P> {
         &self.log
     }
 
     /// The underlying Ω detector (for leader discovery).
-    pub fn omega(&self) -> &CommEffOmega {
+    pub fn omega(&self) -> &CommEffOmega<P> {
         self.log.omega()
     }
 
@@ -96,7 +109,7 @@ impl KvReplica {
         &mut self,
         ctx: &mut Ctx<'_, <Self as Sm>::Msg, KvEvent>,
         step: impl FnOnce(
-            &mut ReplicatedLog<Tagged<KvCmd>>,
+            &mut ReplicatedLog<Tagged<KvCmd>, P>,
             &mut Ctx<'_, <Self as Sm>::Msg, RsmEvent<Tagged<KvCmd>>>,
         ),
     ) {
@@ -119,7 +132,7 @@ impl KvReplica {
     }
 }
 
-impl Sm for KvReplica {
+impl<P: Probe> Sm for KvReplica<P> {
     type Msg = consensus::RsmMsg<Tagged<KvCmd>>;
     type Output = KvEvent;
     type Request = Tagged<KvCmd>;

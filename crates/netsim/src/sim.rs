@@ -40,6 +40,7 @@ pub struct SimBuilder<S: Sm> {
     net_changes: Vec<(Instant, NetChange)>,
     window: Duration,
     classifier: fn(&S::Msg) -> &'static str,
+    output_classifier: fn(&S::Output) -> &'static str,
     trace_capacity: Option<usize>,
 }
 
@@ -62,6 +63,10 @@ fn default_classifier<M>(_: &M) -> &'static str {
     "msg"
 }
 
+fn default_output_classifier<O>(_: &O) -> &'static str {
+    "output"
+}
+
 impl<S: Sm> SimBuilder<S> {
     /// Starts configuring a system of `n` processes.
     ///
@@ -82,6 +87,7 @@ impl<S: Sm> SimBuilder<S> {
             net_changes: Vec::new(),
             window: Duration::from_ticks(100),
             classifier: default_classifier::<S::Msg>,
+            output_classifier: default_output_classifier::<S::Output>,
             trace_capacity: None,
         }
     }
@@ -188,6 +194,14 @@ impl<S: Sm> SimBuilder<S> {
         self
     }
 
+    /// Installs an output classifier: protocol outputs are recorded in the
+    /// trace as [`TraceKind::Output`] under the label this returns
+    /// (`"output"` if never set).
+    pub fn classify_output(mut self, f: fn(&S::Output) -> &'static str) -> Self {
+        self.output_classifier = f;
+        self
+    }
+
     /// Builds the simulator, constructing each process's state machine with
     /// `make` (called with that process's [`Env`], in id order).
     pub fn build_with(self, mut make: impl FnMut(&Env) -> S) -> Simulator<S> {
@@ -241,6 +255,7 @@ impl<S: Sm> SimBuilder<S> {
             stats: Stats::new(self.n, self.window),
             outputs: Vec::new(),
             classifier: self.classifier,
+            output_classifier: self.output_classifier,
             fx: Effects::new(),
             trace: self.trace_capacity.map(Trace::new),
         }
@@ -266,6 +281,7 @@ pub struct Simulator<S: Sm> {
     stats: Stats,
     outputs: Vec<OutputEvent<S::Output>>,
     classifier: fn(&S::Msg) -> &'static str,
+    output_classifier: fn(&S::Output) -> &'static str,
     fx: Effects<S::Msg, S::Output>,
     trace: Option<Trace>,
 }
@@ -564,6 +580,15 @@ impl<S: Sm> Simulator<S> {
             }
         }
         for output in fx.outputs {
+            if let Some(tr) = &mut self.trace {
+                tr.push(
+                    self.now,
+                    TraceKind::Output {
+                        p,
+                        label: (self.output_classifier)(&output),
+                    },
+                );
+            }
             self.outputs.push(OutputEvent {
                 at: self.now,
                 process: p,

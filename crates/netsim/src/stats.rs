@@ -13,6 +13,7 @@
 
 use std::collections::BTreeMap;
 
+use lls_obs::Registry;
 use lls_primitives::{Duration, Instant, ProcessId};
 
 /// Aggregates for one fixed-length window of the run.
@@ -191,6 +192,35 @@ impl Stats {
     /// classifier; a single `"msg"` bucket if none was set).
     pub fn kind_counts(&self) -> &BTreeMap<&'static str, u64> {
         &self.kind_counts
+    }
+
+    /// Exports the run's accounting into an observability [`Registry`],
+    /// unifying substrate traffic with the protocol probes' counters:
+    /// per-process `netsim_sent_total{p}` / `netsim_delivered_total{p}`,
+    /// aggregate drop counters, and per-kind `netsim_msgs_total{kind}`.
+    ///
+    /// Counters are monotone: exporting the same `Stats` twice doubles
+    /// them, so export once per run (or into a fresh registry).
+    pub fn export(&self, registry: &Registry) {
+        for p in 0..self.n {
+            registry
+                .counter(&format!("netsim_sent_total_p{p}"))
+                .add(self.sent[p]);
+            registry
+                .counter(&format!("netsim_delivered_total_p{p}"))
+                .add(self.delivered[p]);
+        }
+        registry
+            .counter("netsim_link_drops_total")
+            .add(self.dropped_link.iter().sum());
+        registry
+            .counter("netsim_dead_drops_total")
+            .add(self.dropped_dead.iter().sum());
+        for (kind, count) in &self.kind_counts {
+            registry
+                .counter(&format!("netsim_msgs_total_{kind}"))
+                .add(*count);
+        }
     }
 }
 

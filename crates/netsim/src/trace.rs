@@ -58,6 +58,13 @@ pub enum TraceKind {
     Restart(ProcessId),
     /// The network schedule changed a link or the topology.
     NetChange,
+    /// A process emitted a protocol output (recorded by classifier label).
+    Output {
+        /// Emitter.
+        p: ProcessId,
+        /// Classifier label of the output value.
+        label: &'static str,
+    },
 }
 
 /// One timestamped trace record.
@@ -84,6 +91,7 @@ impl fmt::Display for TraceRecord {
             TraceKind::TimerFire { p, timer } => write!(f, "TIMER     {p} {timer}"),
             TraceKind::Restart(p) => write!(f, "RESTART   {p}"),
             TraceKind::NetChange => write!(f, "NETCHANGE"),
+            TraceKind::Output { p, label } => write!(f, "OUTPUT    {p} [{label}]"),
         }
     }
 }

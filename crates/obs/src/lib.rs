@@ -1,0 +1,51 @@
+//! Flight-recorder observability for the limited-link-synchrony protocols.
+//!
+//! The paper's headline claims are *observational*: after stabilization
+//! only the leader's n−1 links carry traffic, accusation counters stop
+//! climbing, and elections settle inside a bounded window. This crate turns
+//! those claims into live signals, with three pieces:
+//!
+//! * **[`Probe`]** — a typed event sink every protocol state machine
+//!   accepts as a type parameter (defaulting to [`NoopProbe`], which
+//!   monomorphizes to nothing). Machines emit [`ProbeEvent`]s at exactly
+//!   the paper-meaningful transitions: leader changes, accusations sent and
+//!   absorbed, incarnation bumps, timeout adaptations, ballot phase
+//!   transitions, decisions, and WAL append/recover/wedge.
+//! * **[`Registry`]** — a lock-light metrics registry (atomic
+//!   [`Counter`]s, [`Gauge`]s, fixed-bucket log-scale [`Histogram`]s) with
+//!   Prometheus text exposition and a JSON snapshot. Substrate accounting
+//!   (`netsim` stats, `threadnet` reports, `wirenet` socket counters)
+//!   exports into the same table, so one scrape shows protocol events next
+//!   to wire traffic.
+//! * **[`FlightRecorder`]** — a bounded per-node ring of recent events,
+//!   fed by [`RecordingProbe`] and bundled per-cluster by
+//!   [`NodeRecorders`]. When a checker trips, the ring *is* the
+//!   post-mortem: the last things each node did before the property broke.
+//!
+//! # Example
+//!
+//! ```
+//! use lls_obs::{NodeRecorders, Probe, ProbeEvent};
+//! use lls_primitives::{Instant, ProcessId};
+//!
+//! let bundle = NodeRecorders::new(3, 64);
+//! let probe = bundle.probe_for(ProcessId(0));
+//! probe.emit(ProbeEvent::LeaderChange {
+//!     node: ProcessId(0),
+//!     at: Instant::from_ticks(42),
+//!     leader: ProcessId(2),
+//! });
+//! assert_eq!(bundle.registry().counter_value("probe_leader_change_total"), 1);
+//! println!("{}", bundle.dump(ProcessId(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod metrics;
+pub mod probe;
+pub mod recorder;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use probe::{NoopProbe, Probe, ProbeEvent};
+pub use recorder::{FlightRecorder, NodeRecorders, RecordedEvent, RecordingProbe};

@@ -1,0 +1,433 @@
+//! Lock-light metrics: atomic counters, gauges, and fixed-bucket log-scale
+//! histograms behind one [`Registry`].
+//!
+//! The hot path (bumping a counter, recording a latency) is a relaxed
+//! atomic operation on a pre-registered handle — no lock, no allocation.
+//! The only mutex in the module guards the name→metric map, taken at
+//! registration and exposition time only. The registry renders to both
+//! Prometheus text exposition and a JSON snapshot, so the same numbers feed
+//! scrapes, `BENCH_E*.json` artifacts, and in-test assertions.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `i` counts values `v` with
+/// `2^(i-1) < v ≤ 2^i` (bucket 0 counts `v ≤ 1`), covering the full `u64`
+/// range in 64 fixed log-scale buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. Cheap to clone (shared handle).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value. Cheap to clone (shared handle).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the log-scale bucket that counts `v`: the position of its
+/// highest set bit, so bucket `i` has upper bound `2^i` (bucket 0 holds
+/// 0 and 1).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((63 - (v - 1).leading_zeros() + 1) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Upper (inclusive) bound of bucket `i`.
+#[inline]
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A fixed-bucket log-scale histogram for latency-like values. Recording is
+/// two relaxed atomic adds; no lock, no allocation. Cheap to clone (shared
+/// handle).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64; HISTOGRAM_BUCKETS]>,
+    count: Arc<AtomicU64>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: Arc::new(AtomicU64::new(0)),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` holds values in `(2^(i-1), 2^i]`
+    /// (bucket 0 holds 0 and 1).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow is acceptable for
+    /// reporting).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Element-wise sum with another snapshot.
+    pub fn merge(self, other: HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0.0 ≤ q ≤
+    /// 1.0`), or `None` when empty. Log-bucketed, so this is the value's
+    /// power-of-two ceiling — the resolution latency reporting needs.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean of recorded values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// One registered metric (the registry's internal table entry).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The unified metrics registry: one name → metric table shared by every
+/// producer (probes, substrate stat exports, experiments).
+///
+/// Metric names must match `[a-z_][a-z0-9_]*` by convention (Prometheus
+/// exposition); this is not enforced, just rendered as-is.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} is a {}, not a counter", kind_of(&other)),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} is a {}, not a gauge", kind_of(&other)),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} is a {}, not a histogram", kind_of(&other)),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut table = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        table.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// Current value of the counter named `name` (0 if absent) — the
+    /// convenient form for steady-state delta assertions.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let table = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match table.get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format
+    /// (counters as `# TYPE x counter`, histograms with cumulative
+    /// `_bucket{le=...}` lines).
+    pub fn render_prometheus(&self) -> String {
+        let table = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, metric) in table.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (i, &c) in snap.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            bucket_bound(i)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        snap.count, snap.sum, snap.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as one JSON object: counters and gauges as
+    /// numbers, histograms as `{count, sum, buckets: [[le, n], ...]}`.
+    /// Hand-rolled (names are identifier-like, values numeric — nothing
+    /// needs escaping).
+    pub fn snapshot_json(&self) -> String {
+        let table = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut parts = Vec::new();
+        for (name, metric) in table.iter() {
+            match metric {
+                Metric::Counter(c) => parts.push(format!("\"{name}\": {}", c.get())),
+                Metric::Gauge(g) => parts.push(format!("\"{name}\": {}", g.get())),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let buckets: Vec<String> = snap
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| format!("[{}, {c}]", bucket_bound(i)))
+                        .collect();
+                    parts.push(format!(
+                        "\"{name}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                        snap.count,
+                        snap.sum,
+                        buckets.join(", ")
+                    ));
+                }
+            }
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+fn kind_of(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 holds 0 and 1; bucket i holds (2^(i-1), 2^i].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(9), 4);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every value lands in the bucket whose bound is its po2 ceiling.
+        for v in [0u64, 1, 2, 3, 7, 16, 100, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_bound(i), "v={v} above bound of bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "v={v} fits a lower bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 4, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1107);
+        assert_eq!(s.quantile(0.0), Some(1));
+        // p50 = 3rd of 5 values = 4 → bound 4.
+        assert_eq!(s.quantile(0.5), Some(4));
+        // p100 = 1000 → next power of two, 1024.
+        assert_eq!(s.quantile(1.0), Some(1024));
+        assert_eq!(s.mean(), Some(1107.0 / 5.0));
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(3);
+        a.record(900);
+        b.record(3);
+        let m = a.snapshot().merge(b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 906);
+        assert_eq!(m.buckets[bucket_index(3)], 2);
+        assert_eq!(m.buckets[bucket_index(900)], 1);
+    }
+
+    #[test]
+    fn registry_shares_handles_and_renders() {
+        let r = Registry::new();
+        let c1 = r.counter("elections_total");
+        let c2 = r.counter("elections_total");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(r.counter_value("elections_total"), 3);
+        let g = r.gauge("current_leader");
+        g.set(4);
+        r.histogram("latency_ticks").record(5);
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE elections_total counter"));
+        assert!(prom.contains("elections_total 3"));
+        assert!(prom.contains("current_leader 4"));
+        assert!(prom.contains("latency_ticks_bucket{le=\"8\"} 1"));
+        assert!(prom.contains("latency_ticks_count 1"));
+        let json = r.snapshot_json();
+        assert!(json.contains("\"elections_total\": 3"));
+        assert!(json.contains("\"latency_ticks\": {\"count\": 1, \"sum\": 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

@@ -1,0 +1,313 @@
+//! Typed protocol probes.
+//!
+//! Every protocol state machine in the workspace (`CommEffOmega`, the
+//! consensus machines, the replicated KV store) accepts a [`Probe`] type
+//! parameter defaulting to [`NoopProbe`]. At the points where the *paper's*
+//! state changes — a leader change, an accusation, an incarnation bump, a
+//! ballot phase transition, a decision, a WAL append — the machine calls
+//! [`Probe::emit`] with a [`ProbeEvent`]. With the default `NoopProbe` the
+//! call monomorphizes to an empty inline function and the protocol code is
+//! exactly as fast as before; with a recording probe the events land in a
+//! flight recorder and a metrics registry (see [`crate::recorder`]).
+
+use lls_primitives::{Duration, Instant, ProcessId};
+use std::fmt;
+
+/// One structured protocol event, tagged with the emitting process.
+///
+/// Events emitted from message/timer handlers carry the virtual time `at`
+/// (the handler's `ctx.now()`); events emitted from construction or
+/// persistence paths — which run outside any handler and have no clock —
+/// omit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// The process's `leader()` output changed.
+    LeaderChange {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the change.
+        at: Instant,
+        /// The newly trusted leader.
+        leader: ProcessId,
+    },
+    /// The process timed out on its leader and sent an `ACCUSE` to it.
+    AccusationSent {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the accusation.
+        at: Instant,
+        /// The accused (current leader candidate).
+        suspect: ProcessId,
+        /// The phase the accusation is tagged with (the suspect's counter
+        /// as known here — what makes accusations idempotent per phase).
+        phase: u64,
+    },
+    /// The process absorbed a valid accusation against itself and bumped
+    /// its own accusation counter.
+    AccusationAbsorbed {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the bump.
+        at: Instant,
+        /// The counter value after the bump.
+        new_counter: u64,
+    },
+    /// A restarted process rejoined with its persisted counter bumped once
+    /// (the crash–restart incarnation bump; no clock exists yet).
+    IncarnationBump {
+        /// Emitting process.
+        node: ProcessId,
+        /// The counter the new incarnation boots with.
+        counter: u64,
+    },
+    /// A premature suspicion grew the timeout for a suspect.
+    TimeoutAdapt {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the adaptation.
+        at: Instant,
+        /// Whose timeout grew.
+        suspect: ProcessId,
+        /// The new timeout value.
+        timeout: Duration,
+    },
+    /// A consensus machine entered a protocol phase (ballot phase
+    /// transition, leadership assumption, round entry).
+    PhaseEnter {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the transition.
+        at: Instant,
+        /// Which phase: `"prepare"`, `"accept"`, `"led"`, `"follower"`,
+        /// `"round"`.
+        label: &'static str,
+        /// The ballot (or round) number driving the transition.
+        number: u64,
+    },
+    /// A value was decided (slot 0 for single-shot consensus; the log slot
+    /// for the replicated machines).
+    Decide {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the decision.
+        at: Instant,
+        /// Which slot decided.
+        slot: u64,
+    },
+    /// One record was appended to the write-ahead log (no clock: persistence
+    /// runs inside the mutating handler, timing belongs to the handler's
+    /// own events).
+    WalAppend {
+        /// Emitting process.
+        node: ProcessId,
+    },
+    /// A fresh incarnation replayed its write-ahead log on construction.
+    WalRecover {
+        /// Emitting process.
+        node: ProcessId,
+        /// How many records the recovery scan yielded.
+        records: u64,
+    },
+    /// A WAL append failed and the machine wedged itself (broken disk =
+    /// crashed process).
+    WalWedge {
+        /// Emitting process.
+        node: ProcessId,
+    },
+}
+
+impl ProbeEvent {
+    /// The emitting process.
+    pub fn node(&self) -> ProcessId {
+        match *self {
+            ProbeEvent::LeaderChange { node, .. }
+            | ProbeEvent::AccusationSent { node, .. }
+            | ProbeEvent::AccusationAbsorbed { node, .. }
+            | ProbeEvent::IncarnationBump { node, .. }
+            | ProbeEvent::TimeoutAdapt { node, .. }
+            | ProbeEvent::PhaseEnter { node, .. }
+            | ProbeEvent::Decide { node, .. }
+            | ProbeEvent::WalAppend { node }
+            | ProbeEvent::WalRecover { node, .. }
+            | ProbeEvent::WalWedge { node } => node,
+        }
+    }
+
+    /// Virtual time of the event, when it was emitted from a clocked
+    /// handler.
+    pub fn at(&self) -> Option<Instant> {
+        match *self {
+            ProbeEvent::LeaderChange { at, .. }
+            | ProbeEvent::AccusationSent { at, .. }
+            | ProbeEvent::AccusationAbsorbed { at, .. }
+            | ProbeEvent::TimeoutAdapt { at, .. }
+            | ProbeEvent::PhaseEnter { at, .. }
+            | ProbeEvent::Decide { at, .. } => Some(at),
+            ProbeEvent::IncarnationBump { .. }
+            | ProbeEvent::WalAppend { .. }
+            | ProbeEvent::WalRecover { .. }
+            | ProbeEvent::WalWedge { .. } => None,
+        }
+    }
+
+    /// A stable snake-case tag for the event kind — the key the recording
+    /// probe uses for per-kind metric counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProbeEvent::LeaderChange { .. } => "leader_change",
+            ProbeEvent::AccusationSent { .. } => "accusation_sent",
+            ProbeEvent::AccusationAbsorbed { .. } => "accusation_absorbed",
+            ProbeEvent::IncarnationBump { .. } => "incarnation_bump",
+            ProbeEvent::TimeoutAdapt { .. } => "timeout_adapt",
+            ProbeEvent::PhaseEnter { .. } => "phase_enter",
+            ProbeEvent::Decide { .. } => "decide",
+            ProbeEvent::WalAppend { .. } => "wal_append",
+            ProbeEvent::WalRecover { .. } => "wal_recover",
+            ProbeEvent::WalWedge { .. } => "wal_wedge",
+        }
+    }
+}
+
+impl fmt::Display for ProbeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProbeEvent::LeaderChange { node, at, leader } => {
+                write!(f, "{at} {node} LEADER    -> {leader}")
+            }
+            ProbeEvent::AccusationSent {
+                node,
+                at,
+                suspect,
+                phase,
+            } => write!(f, "{at} {node} ACCUSE    {suspect} phase={phase}"),
+            ProbeEvent::AccusationAbsorbed {
+                node,
+                at,
+                new_counter,
+            } => write!(f, "{at} {node} ACCUSED   counter={new_counter}"),
+            ProbeEvent::IncarnationBump { node, counter } => {
+                write!(f, "---- {node} REINCARNATE counter={counter}")
+            }
+            ProbeEvent::TimeoutAdapt {
+                node,
+                at,
+                suspect,
+                timeout,
+            } => write!(f, "{at} {node} TIMEOUT   {suspect} -> {timeout}"),
+            ProbeEvent::PhaseEnter {
+                node,
+                at,
+                label,
+                number,
+            } => write!(f, "{at} {node} PHASE     {label} #{number}"),
+            ProbeEvent::Decide { node, at, slot } => {
+                write!(f, "{at} {node} DECIDE    slot={slot}")
+            }
+            ProbeEvent::WalAppend { node } => write!(f, "---- {node} WAL-APPEND"),
+            ProbeEvent::WalRecover { node, records } => {
+                write!(f, "---- {node} WAL-RECOVER records={records}")
+            }
+            ProbeEvent::WalWedge { node } => write!(f, "---- {node} WAL-WEDGE"),
+        }
+    }
+}
+
+/// A sink for [`ProbeEvent`]s, passed *by value* into each state machine.
+///
+/// `emit` takes `&self` so one recorder can be shared (via `Arc`) among a
+/// machine and the nested machines it drives — `Consensus` clones its probe
+/// into the embedded `CommEffOmega`, so one recorder sees both layers.
+pub trait Probe: Clone + Send + fmt::Debug + 'static {
+    /// Records one event. Must be cheap and non-blocking; called from inside
+    /// protocol handlers.
+    fn emit(&self, event: ProbeEvent);
+}
+
+/// The default probe: does nothing, costs nothing. Monomorphization turns
+/// every `probe.emit(..)` through this type into an empty inline call that
+/// the optimizer deletes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    #[inline(always)]
+    fn emit(&self, _event: ProbeEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let p = ProcessId(1);
+        let t = Instant::from_ticks(5);
+        let events = [
+            ProbeEvent::LeaderChange {
+                node: p,
+                at: t,
+                leader: p,
+            },
+            ProbeEvent::AccusationSent {
+                node: p,
+                at: t,
+                suspect: p,
+                phase: 0,
+            },
+            ProbeEvent::AccusationAbsorbed {
+                node: p,
+                at: t,
+                new_counter: 1,
+            },
+            ProbeEvent::IncarnationBump {
+                node: p,
+                counter: 2,
+            },
+            ProbeEvent::TimeoutAdapt {
+                node: p,
+                at: t,
+                suspect: p,
+                timeout: Duration::from_ticks(9),
+            },
+            ProbeEvent::PhaseEnter {
+                node: p,
+                at: t,
+                label: "prepare",
+                number: 3,
+            },
+            ProbeEvent::Decide {
+                node: p,
+                at: t,
+                slot: 0,
+            },
+            ProbeEvent::WalAppend { node: p },
+            ProbeEvent::WalRecover {
+                node: p,
+                records: 4,
+            },
+            ProbeEvent::WalWedge { node: p },
+        ];
+        let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), events.len(), "kind tags must be unique");
+        for e in &events {
+            assert_eq!(e.node(), p);
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn clocked_events_expose_at() {
+        let p = ProcessId(0);
+        let t = Instant::from_ticks(7);
+        assert_eq!(
+            ProbeEvent::Decide {
+                node: p,
+                at: t,
+                slot: 1
+            }
+            .at(),
+            Some(t)
+        );
+        assert_eq!(ProbeEvent::WalAppend { node: p }.at(), None);
+    }
+}

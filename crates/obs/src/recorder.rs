@@ -1,0 +1,263 @@
+//! The flight recorder: a bounded ring of recent probe events per node,
+//! plus the [`RecordingProbe`] that feeds it (and the metrics registry).
+//!
+//! The recorder keeps the **newest** events: when the ring is full the
+//! oldest event is evicted and counted in `dropped`. On a checker
+//! violation, [`FlightRecorder::render`] (or [`NodeRecorders::dump`])
+//! produces the post-mortem: the last thing each protocol layer did before
+//! the property broke.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use lls_primitives::ProcessId;
+
+use crate::metrics::Registry;
+use crate::probe::{Probe, ProbeEvent};
+
+/// A probe event plus its global sequence number within one recorder
+/// (monotonic; survives ring eviction, so gaps reveal what was lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Position in the recorder's full event stream (0-based).
+    pub seq: u64,
+    /// The event.
+    pub event: ProbeEvent,
+}
+
+/// A bounded ring buffer of the most recent [`ProbeEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: VecDeque<RecordedEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: ProbeEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(RecordedEvent {
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &RecordedEvent> {
+        self.ring.iter()
+    }
+
+    /// How many events are currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A human-readable dump: one line per retained event, oldest first,
+    /// headed by the retention stats. This is the post-mortem artifact E16
+    /// prints when a checker trips.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "flight recorder: {} events retained of {} total ({} evicted)\n",
+            self.ring.len(),
+            self.next_seq,
+            self.dropped
+        );
+        for rec in &self.ring {
+            out.push_str(&format!("  #{:<6} {}\n", rec.seq, rec.event));
+        }
+        out
+    }
+}
+
+/// A [`Probe`] that appends every event to a shared [`FlightRecorder`] and
+/// bumps per-kind counters in an optional [`Registry`].
+///
+/// Cloning shares the same recorder — the embedding pattern (`Consensus`
+/// hands a clone to its inner `CommEffOmega`) funnels all layers of one
+/// node into one ring.
+#[derive(Debug, Clone)]
+pub struct RecordingProbe {
+    recorder: Arc<Mutex<FlightRecorder>>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl RecordingProbe {
+    /// A probe over a fresh recorder of `capacity` events, with no metrics.
+    pub fn new(capacity: usize) -> Self {
+        RecordingProbe {
+            recorder: Arc::new(Mutex::new(FlightRecorder::new(capacity))),
+            registry: None,
+        }
+    }
+
+    /// A probe over an existing shared recorder, mirroring event counts
+    /// into `registry` (as `probe_<kind>_total` counters).
+    pub fn with_registry(recorder: Arc<Mutex<FlightRecorder>>, registry: Arc<Registry>) -> Self {
+        RecordingProbe {
+            recorder,
+            registry: Some(registry),
+        }
+    }
+
+    /// The shared recorder behind this probe.
+    pub fn recorder(&self) -> Arc<Mutex<FlightRecorder>> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Runs `f` over the recorder (convenience for assertions and dumps).
+    pub fn with_recorder<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
+        let guard = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        f(&guard)
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn emit(&self, event: ProbeEvent) {
+        if let Some(registry) = &self.registry {
+            registry
+                .counter(&format!("probe_{}_total", event.kind()))
+                .inc();
+        }
+        let mut recorder = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
+        recorder.push(event);
+    }
+}
+
+/// One flight recorder per process plus one shared registry: the bundle a
+/// substrate harness owns for a whole cluster.
+#[derive(Debug)]
+pub struct NodeRecorders {
+    recorders: Vec<Arc<Mutex<FlightRecorder>>>,
+    registry: Arc<Registry>,
+}
+
+impl NodeRecorders {
+    /// Recorders for `n` processes, each retaining `capacity` events.
+    pub fn new(n: usize, capacity: usize) -> Self {
+        NodeRecorders {
+            recorders: (0..n)
+                .map(|_| Arc::new(Mutex::new(FlightRecorder::new(capacity))))
+                .collect(),
+            registry: Arc::new(Registry::new()),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.recorders.len()
+    }
+
+    /// The shared metrics registry all probes feed.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A probe wired to process `p`'s recorder and the shared registry —
+    /// hand (clones of) this to every incarnation of `p`'s state machine,
+    /// so a restarted process keeps appending to the same ring.
+    pub fn probe_for(&self, p: ProcessId) -> RecordingProbe {
+        RecordingProbe::with_registry(
+            Arc::clone(&self.recorders[p.as_usize()]),
+            Arc::clone(&self.registry),
+        )
+    }
+
+    /// Post-mortem dump of process `p`'s ring.
+    pub fn dump(&self, p: ProcessId) -> String {
+        let guard = self.recorders[p.as_usize()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        format!("--- node {p} ---\n{}", guard.render())
+    }
+
+    /// The retained events of process `p`, oldest first.
+    pub fn events_of(&self, p: ProcessId) -> Vec<RecordedEvent> {
+        let guard = self.recorders[p.as_usize()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        guard.events().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lls_primitives::Instant;
+
+    fn ev(node: u32, slot: u64) -> ProbeEvent {
+        ProbeEvent::Decide {
+            node: ProcessId(node),
+            at: Instant::from_ticks(slot),
+            slot,
+        }
+    }
+
+    #[test]
+    fn ring_wraparound_retains_newest() {
+        let mut rec = FlightRecorder::new(3);
+        for slot in 0..10 {
+            rec.push(ev(0, slot));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.total(), 10);
+        assert_eq!(rec.dropped(), 7);
+        let kept: Vec<u64> = rec.events().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![7, 8, 9], "only the newest survive");
+        let slots: Vec<u64> = rec
+            .events()
+            .map(|r| match r.event {
+                ProbeEvent::Decide { slot, .. } => slot,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(slots, vec![7, 8, 9]);
+        let dump = rec.render();
+        assert!(dump.contains("3 events retained of 10 total (7 evicted)"));
+        assert!(dump.contains("#9"));
+    }
+
+    #[test]
+    fn recording_probe_feeds_ring_and_registry() {
+        let bundle = NodeRecorders::new(2, 8);
+        let probe = bundle.probe_for(ProcessId(1));
+        let clone = probe.clone();
+        probe.emit(ev(1, 0));
+        clone.emit(ev(1, 1));
+        assert_eq!(bundle.events_of(ProcessId(1)).len(), 2, "clones share");
+        assert!(bundle.events_of(ProcessId(0)).is_empty());
+        assert_eq!(bundle.registry().counter_value("probe_decide_total"), 2);
+        assert!(bundle.dump(ProcessId(1)).contains("node p1"));
+    }
+}

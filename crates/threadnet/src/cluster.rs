@@ -96,6 +96,23 @@ impl<O> Report<O> {
             .map(|(i, _)| ProcessId(i as u32))
             .collect()
     }
+
+    /// Exports the run's traffic accounting into an observability
+    /// [`Registry`](lls_obs::Registry): per-process
+    /// `threadnet_sent_total_p{i}` plus an aggregate drop counter.
+    ///
+    /// Counters are monotone: export once per run (or into a fresh
+    /// registry).
+    pub fn export(&self, registry: &lls_obs::Registry) {
+        for (i, sent) in self.sent.iter().enumerate() {
+            registry
+                .counter(&format!("threadnet_sent_total_p{i}"))
+                .add(*sent);
+        }
+        registry
+            .counter("threadnet_dropped_total")
+            .add(self.dropped.iter().sum());
+    }
 }
 
 /// A running cluster of `n` state-machine threads joined by a lossy mesh.

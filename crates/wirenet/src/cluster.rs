@@ -96,6 +96,44 @@ impl<O> ClusterReport<O> {
     pub fn total_decode_errors(&self) -> u64 {
         self.links.iter().flatten().map(|s| s.decode_errors).sum()
     }
+
+    /// Exports the run's socket accounting into an observability
+    /// [`Registry`](lls_obs::Registry): per-process protocol-level
+    /// `wirenet_sent_total_p{i}`, per-process merged link totals
+    /// (`wirenet_link_msgs_sent_total_p{i}`, `…_bytes_sent_…`), and
+    /// aggregate reconnect / drop / decode-error counters.
+    ///
+    /// Counters are monotone: export once per run (or into a fresh
+    /// registry).
+    pub fn export(&self, registry: &lls_obs::Registry) {
+        for (i, sent) in self.sent.iter().enumerate() {
+            registry
+                .counter(&format!("wirenet_sent_total_p{i}"))
+                .add(*sent);
+        }
+        for i in 0..self.links.len() {
+            let total = self.node_links_total(ProcessId(i as u32));
+            registry
+                .counter(&format!("wirenet_link_msgs_sent_total_p{i}"))
+                .add(total.msgs_sent);
+            registry
+                .counter(&format!("wirenet_link_bytes_sent_total_p{i}"))
+                .add(total.bytes_sent);
+        }
+        registry
+            .counter("wirenet_reconnects_total")
+            .add(self.total_reconnects());
+        registry
+            .counter("wirenet_decode_errors_total")
+            .add(self.total_decode_errors());
+        registry.counter("wirenet_queue_drops_total").add(
+            self.links
+                .iter()
+                .flatten()
+                .map(|s| s.queue_drops + s.injected_drops)
+                .sum(),
+        );
+    }
 }
 
 /// A running cluster of `n` [`WireNode`]s joined by real TCP connections
@@ -264,8 +302,9 @@ where
     /// Folds a node's live counters into the per-process archives.
     fn merge_node_state(&mut self, p: ProcessId, node: &WireNode<S>) {
         let i = p.as_usize();
-        self.archived_sent[i] += node.traffic().sent();
-        self.archived_last_send[i] = self.archived_last_send[i].max(node.traffic().last_send());
+        let traffic = node.traffic().snapshot();
+        self.archived_sent[i] += traffic.sent;
+        self.archived_last_send[i] = self.archived_last_send[i].max(traffic.last_send);
         for (q, stats) in node.link_stats().into_iter().enumerate() {
             self.archived_links[i][q] = self.archived_links[i][q].merge(stats);
         }
@@ -301,19 +340,22 @@ where
     /// `threadnet::Cluster::traffic_snapshot`. Counters of killed
     /// incarnations are included.
     pub fn traffic_snapshot(&self) -> (Vec<u64>, Vec<Option<StdDuration>>) {
-        let sent = self
+        // One snapshot per node: sent and last_send come from the same
+        // point-in-time copy, so the pair can't tear across the two vectors.
+        let snaps: Vec<_> = self
             .nodes
             .iter()
-            .enumerate()
-            .map(|(i, nd)| self.archived_sent[i] + nd.as_ref().map_or(0, |nd| nd.traffic().sent()))
+            .map(|nd| nd.as_ref().map(|nd| nd.traffic().snapshot()))
             .collect();
-        let last = self
-            .nodes
+        let sent = snaps
             .iter()
             .enumerate()
-            .map(|(i, nd)| {
-                self.archived_last_send[i].max(nd.as_ref().and_then(|nd| nd.traffic().last_send()))
-            })
+            .map(|(i, s)| self.archived_sent[i] + s.map_or(0, |s| s.sent))
+            .collect();
+        let last = snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| self.archived_last_send[i].max(s.and_then(|s| s.last_send)))
             .collect();
         (sent, last)
     }
@@ -379,8 +421,9 @@ where
             outputs.extend(std::mem::take(&mut self.archived_outputs[i]));
             match node {
                 Some(node) => {
-                    sent.push(self.archived_sent[i] + node.traffic().sent());
-                    last_send.push(self.archived_last_send[i].max(node.traffic().last_send()));
+                    let traffic = node.traffic().snapshot();
+                    sent.push(self.archived_sent[i] + traffic.sent);
+                    last_send.push(self.archived_last_send[i].max(traffic.last_send));
                     links.push(self.merged_links(i, Some(&node)));
                     let (node_outputs, errors) = node.stop_collecting();
                     outputs.extend(node_outputs);

@@ -129,18 +129,33 @@ impl NodeTraffic {
         self.last_send_nanos.store(nanos, Ordering::Relaxed);
     }
 
-    /// Total protocol-level sends.
-    pub fn sent(&self) -> u64 {
-        self.sent.load(Ordering::Relaxed)
-    }
-
-    /// Offset from cluster start of the most recent send, if any.
-    pub fn last_send(&self) -> Option<StdDuration> {
-        match self.last_send_nanos.load(Ordering::Relaxed) {
-            NEVER => None,
-            n => Some(StdDuration::from_nanos(n)),
+    /// A point-in-time copy of both counters, taken in one call.
+    ///
+    /// This is the only read API: reading `sent` and `last_send` through
+    /// separate getters could tear (a send landing between the two loads
+    /// yields a count and timestamp from different instants), which showed
+    /// up as off-by-one sender sets in the efficiency oracle. The loads here
+    /// are still two relaxed atomics, but every caller now gets both fields
+    /// from one named snapshot, so a torn pair can't be split across
+    /// decision points.
+    pub fn snapshot(&self) -> NodeTrafficStats {
+        NodeTrafficStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            last_send: match self.last_send_nanos.load(Ordering::Relaxed) {
+                NEVER => None,
+                n => Some(StdDuration::from_nanos(n)),
+            },
         }
     }
+}
+
+/// A frozen copy of one node's protocol-level send accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTrafficStats {
+    /// Total protocol-level sends.
+    pub sent: u64,
+    /// Offset from cluster start of the most recent send, if any.
+    pub last_send: Option<StdDuration>,
 }
 
 #[cfg(test)]
@@ -189,11 +204,13 @@ mod tests {
     #[test]
     fn node_traffic_tracks_last_send() {
         let t = NodeTraffic::default();
-        assert_eq!(t.sent(), 0);
-        assert_eq!(t.last_send(), None);
+        let s = t.snapshot();
+        assert_eq!(s.sent, 0);
+        assert_eq!(s.last_send, None);
         let start = StdInstant::now();
         t.record_send(start);
-        assert_eq!(t.sent(), 1);
-        assert!(t.last_send().is_some());
+        let s = t.snapshot();
+        assert_eq!(s.sent, 1);
+        assert!(s.last_send.is_some());
     }
 }

@@ -60,6 +60,6 @@ mod link;
 mod node;
 
 pub use cluster::{ClusterReport, WireCluster, WireConfig};
-pub use counters::{LinkCounters, LinkStats, NodeTraffic};
+pub use counters::{LinkCounters, LinkStats, NodeTraffic, NodeTrafficStats};
 pub use link::BackoffConfig;
 pub use node::{FaultConfig, NodeConfig, NodeError, TimedOutput, WireNode};

@@ -1,0 +1,112 @@
+//! Probe-event determinism on the simulator.
+//!
+//! The observability layer must be a pure observer: two runs of the same
+//! seeded simulation have to produce byte-identical probe event streams,
+//! per node and in order. If recording ever perturbed the protocols (or the
+//! simulator's scheduling leaked into the probes), post-mortem flight
+//! recordings could not be trusted to describe the run that actually
+//! failed.
+
+use consensus::{Consensus, ConsensusParams};
+use lls_obs::{NodeRecorders, RecordedEvent};
+use lls_primitives::{Instant, ProcessId};
+use netsim::{SimBuilder, SystemSParams, Topology, TraceKind};
+use omega::{CommEffOmega, OmegaParams};
+
+/// One seeded Ω run with recording probes: every node's retained events.
+fn omega_event_streams(seed: u64) -> Vec<Vec<RecordedEvent>> {
+    let n = 4;
+    let recorders = NodeRecorders::new(n, 4096);
+    let topo = Topology::system_s(n, ProcessId(1), SystemSParams::default());
+    let mut sim = SimBuilder::new(n)
+        .seed(seed)
+        .topology(topo)
+        .build_with(|env| {
+            CommEffOmega::new_with_probe(env, OmegaParams::default(), recorders.probe_for(env.id()))
+        });
+    sim.run_until(Instant::from_ticks(15_000));
+    (0..n as u32)
+        .map(|p| recorders.events_of(ProcessId(p)))
+        .collect()
+}
+
+/// One seeded consensus run (probes shared between the ballot layer and the
+/// embedded Ω): every node's retained events.
+fn consensus_event_streams(seed: u64) -> Vec<Vec<RecordedEvent>> {
+    let n = 3;
+    let recorders = NodeRecorders::new(n, 4096);
+    let topo = Topology::system_s(n, ProcessId(0), SystemSParams::default());
+    let mut sim = SimBuilder::new(n)
+        .seed(seed)
+        .topology(topo)
+        .build_with(|env| {
+            Consensus::new_with_probe(
+                env,
+                ConsensusParams::default(),
+                Some(100 + env.id().0 as u64),
+                recorders.probe_for(env.id()),
+            )
+        });
+    sim.run_until(Instant::from_ticks(20_000));
+    (0..n as u32)
+        .map(|p| recorders.events_of(ProcessId(p)))
+        .collect()
+}
+
+#[test]
+fn same_seed_omega_runs_emit_identical_event_streams() {
+    let a = omega_event_streams(42);
+    let b = omega_event_streams(42);
+    assert_eq!(a, b, "probe streams must be a pure function of the seed");
+    assert!(
+        a.iter().any(|events| !events.is_empty()),
+        "a contested election must emit probe events"
+    );
+}
+
+#[test]
+fn same_seed_consensus_runs_emit_identical_event_streams() {
+    let a = consensus_event_streams(7);
+    let b = consensus_event_streams(7);
+    assert_eq!(a, b);
+    // The shared-probe embedding must show both layers in one stream:
+    // ballot phases (consensus) and leader changes (the inner Ω).
+    let all: Vec<&RecordedEvent> = a.iter().flatten().collect();
+    assert!(all
+        .iter()
+        .any(|r| matches!(r.event, lls_obs::ProbeEvent::Decide { .. })));
+    assert!(all
+        .iter()
+        .any(|r| matches!(r.event, lls_obs::ProbeEvent::PhaseEnter { .. })));
+}
+
+#[test]
+fn output_trace_records_classifier_labels() {
+    let n = 3;
+    let mut sim = SimBuilder::new(n)
+        .seed(3)
+        .topology(Topology::system_s(
+            n,
+            ProcessId(0),
+            SystemSParams::default(),
+        ))
+        .record_trace(50_000)
+        .classify_output(|_leader| "leader")
+        .build_with(|env| CommEffOmega::new(env, OmegaParams::default()));
+    sim.run_until(Instant::from_ticks(5_000));
+    let trace = sim.trace().expect("trace was enabled");
+    let labels: Vec<&'static str> = trace
+        .records()
+        .iter()
+        .filter_map(|r| match r.kind {
+            TraceKind::Output { label, .. } => Some(label),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !labels.is_empty(),
+        "on_start publishes the initial leader, so outputs must be traced"
+    );
+    assert!(labels.iter().all(|&l| l == "leader"));
+    assert!(trace.render().contains("OUTPUT"));
+}
