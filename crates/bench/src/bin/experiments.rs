@@ -1,18 +1,25 @@
-//! CLI regenerating every experiment table/series (E1–E17).
+//! CLI regenerating every experiment table/series (E1–E18).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
 //!   cargo run -p omega-bench --release --bin experiments -- e3 e7
 //!   cargo run -p omega-bench --release --bin experiments -- --quick all
+//!   cargo run -p omega-bench --release --bin experiments -- --out-dir bench-out e18
 //!
 //! Alongside each table the CLI writes a machine-readable summary to
-//! `BENCH_E<N>.json` in the current directory (experiment id, title, the
-//! scenario scale, and the table; E17 additionally embeds the full metrics
-//! registry snapshots).
+//! `BENCH_E<N>.json` — in the current directory by default, or under
+//! `--out-dir <path>` (created if missing) so CI can upload the whole
+//! directory as one artifact. E17/E18 additionally embed metrics snapshots
+//! and span statistics.
+//!
+//! The process exits non-zero when E16's chaos campaign reports checker or
+//! watchdog violations, so the campaign gates CI directly.
+
+use std::path::PathBuf;
 
 use omega_bench::json::{self, JsonValue};
 use omega_bench::table::Table;
-use omega_bench::{e_chaos, e_consensus, e_obs, e_omega, e_thread, e_wire};
+use omega_bench::{e_chaos, e_consensus, e_obs, e_omega, e_thread, e_trace, e_wire};
 
 struct Scale {
     seeds: u64,
@@ -20,6 +27,7 @@ struct Scale {
     long_horizon: u64,
     sizes: Vec<usize>,
     quick: bool,
+    out_dir: Option<PathBuf>,
 }
 
 impl Scale {
@@ -42,8 +50,8 @@ impl Scale {
     }
 }
 
-fn write_json(id: &str, value: &JsonValue) {
-    match json::write_bench_json(id, value) {
+fn write_json(s: &Scale, id: &str, value: &JsonValue) {
+    match json::write_bench_json_in(s.out_dir.as_deref(), id, value) {
         Ok(path) => println!("[wrote {}]", path.display()),
         Err(e) => eprintln!("failed to write BENCH json for {id}: {e}"),
     }
@@ -53,10 +61,12 @@ fn print_exp(id: &str, title: &str, s: &Scale, table: Table) {
     println!("\n=== {} — {} ===", id.to_uppercase(), title);
     println!("{}", table.render());
     let summary = json::experiment_summary(id, title, s.scenario_json(), &table);
-    write_json(id, &summary);
+    write_json(s, id, &summary);
 }
 
-fn run(id: &str, s: &Scale) {
+/// Runs one experiment; returns `false` when it reported violations that
+/// should fail the process.
+fn run(id: &str, s: &Scale) -> bool {
     match id {
         "e1" => print_exp(
             id,
@@ -154,12 +164,17 @@ fn run(id: &str, s: &Scale) {
             } else {
                 (4, vec![3usize, 5], 3)
             };
+            let (table, violations) = e_chaos::e16_chaos(seeds, &sizes, wall);
             print_exp(
                 id,
                 "crash-restart chaos campaign (claim: 0 checker violations on every substrate)",
                 s,
-                e_chaos::e16_chaos(seeds, &sizes, wall),
-            )
+                table,
+            );
+            if violations > 0 {
+                eprintln!("E16: {violations} checker/watchdog violation(s) — failing the run");
+                return false;
+            }
         }
         "e17" => {
             let (n, horizon) = if s.quick { (4, 20_000) } else { (5, 40_000) };
@@ -168,20 +183,42 @@ fn run(id: &str, s: &Scale) {
             let (table, summary) = e_obs::e17_observability(n, horizon, 11);
             println!("\n=== {} — {} ===", id.to_uppercase(), title);
             println!("{}", table.render());
-            write_json(id, &summary);
+            write_json(s, id, &summary);
         }
-        other => eprintln!("unknown experiment id: {other} (expected e1..e17 or all)"),
+        "e18" => {
+            let (n, horizon) = if s.quick { (4, 24_000) } else { (5, 40_000) };
+            let title = "causal tracing plane: spans, watchdog alarms, live scrape";
+            let (table, summary) = e_trace::e18_tracing(n, horizon, 11);
+            println!("\n=== {} — {} ===", id.to_uppercase(), title);
+            println!("{}", table.render());
+            write_json(s, id, &summary);
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e18 or all)"),
     }
+    true
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out-dir" {
+            match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out-dir requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(dir) = a.strip_prefix("--out-dir=") {
+            out_dir = Some(PathBuf::from(dir));
+        } else if !a.starts_with("--") {
+            ids.push(a.clone());
+        }
+    }
     let scale = if quick {
         Scale {
             seeds: 3,
@@ -189,6 +226,7 @@ fn main() {
             long_horizon: 60_000,
             sizes: vec![3, 5, 10],
             quick: true,
+            out_dir,
         }
     } else {
         Scale {
@@ -197,18 +235,23 @@ fn main() {
             long_horizon: 300_000,
             sizes: vec![3, 5, 10, 20, 40],
             quick: false,
+            out_dir,
         }
     };
+    let mut ok = true;
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17",
+            "e14", "e15", "e16", "e17", "e18",
         ] {
-            run(id, &scale);
+            ok &= run(id, &scale);
         }
     } else {
         for id in &ids {
-            run(id, &scale);
+            ok &= run(id, &scale);
         }
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

@@ -22,12 +22,23 @@
 //! flight recorder; when a checker trips, the campaign prints the relevant
 //! nodes' recorders to stderr — the post-mortem is produced at the moment
 //! of the violation, not reconstructed afterwards.
+//!
+//! Every scenario also routes its probe stream through the online
+//! [`Watchdog`]: counter monotonicity is enforced live throughout the chaos
+//! (a regression anywhere is a violation), and on the deterministic
+//! simulator each Ω scenario ends with an *armed* steady tail — after the
+//! final re-stabilization the watchdog's flap/accusation-flatness invariants
+//! must hold for a quiet window. Watchdog alarms count as checker
+//! violations, so they gate the campaign (and CI) exactly like the post-hoc
+//! checkers.
 
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
+use std::sync::Arc;
+
 use consensus::checker::{check_consensus_safety, DecisionRecord};
 use consensus::{Consensus, ConsensusEvent, ConsensusParams};
-use lls_obs::{NodeRecorders, Probe};
+use lls_obs::{NodeRecorders, Probe, Watchdog, WatchdogConfig};
 use lls_primitives::{Env, Instant, ProcessId, StorageHandle};
 use netsim::{SimBuilder, Simulator, SystemSParams, Topology};
 use omega::spec::{stabilization, LeaderRecord};
@@ -65,6 +76,24 @@ fn violation_dump(context: &str, recorders: &NodeRecorders, nodes: &[ProcessId])
         out.push_str(&recorders.dump(p));
     }
     out
+}
+
+/// Counts the watchdog's alarms raised since `seen` into the tally as one
+/// checked invariant, printing each alarm (its captured flight dump
+/// included) to stderr. Returns the new alarm count.
+fn gate_on_watchdog(context: &str, watchdog: &Watchdog, seen: usize, tally: &mut Tally) -> usize {
+    let alarms = watchdog.alarms();
+    tally.checks += 1;
+    if alarms.len() > seen {
+        tally.violations += 1;
+        for alarm in &alarms[seen..] {
+            eprintln!(
+                "WATCHDOG ALARM ({context}) {:?} on {}: {}\n{}",
+                alarm.kind, alarm.node, alarm.detail, alarm.dump
+            );
+        }
+    }
+    alarms.len()
 }
 
 fn omega_records<P: Probe>(sim: &Simulator<CommEffOmega<P>>) -> Vec<LeaderRecord> {
@@ -123,13 +152,14 @@ fn netsim_omega_scenario(n: usize, seed: u64, tally: &mut Tally) {
             .set_topology_at(Instant::from_ticks(5_000), base.clone());
     }
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
-    let recorders = NodeRecorders::new(n, 256);
+    let recorders = Arc::new(NodeRecorders::new(n, 256));
+    let watchdog = Watchdog::with_recorders(WatchdogConfig::default(), Arc::clone(&recorders));
     let mut sim = builder.build_with(|env| {
         CommEffOmega::with_storage_and_probe(
             env,
             OmegaParams::default(),
             stores[env.id().as_usize()].clone(),
-            recorders.probe_for(env.id()),
+            watchdog.probe(recorders.probe_for(env.id())),
         )
         .expect("fresh in-memory store")
     });
@@ -164,7 +194,7 @@ fn netsim_omega_scenario(n: usize, seed: u64, tally: &mut Tally) {
             &env,
             OmegaParams::default(),
             stores[victim.as_usize()].clone(),
-            recorders.probe_for(victim),
+            watchdog.probe(recorders.probe_for(victim)),
         )
         .expect("recover from the victim's log");
         sim.restart(victim, recovered);
@@ -185,6 +215,15 @@ fn netsim_omega_scenario(n: usize, seed: u64, tally: &mut Tally) {
             );
         }
     }
+    // Armed steady tail: after the last recovery the watchdog's full
+    // steady-state invariants (no flaps, flat accusation counters) must
+    // hold for a quiet window — and the always-on monotonicity invariant
+    // must not have tripped at any point during the chaos. The simulator
+    // is deterministic, so this gate is reproducible seed-for-seed.
+    watchdog.arm();
+    sim.run_until(Instant::from_ticks(now + 2_000));
+    gate_on_watchdog("netsim/omega armed tail", &watchdog, 0, tally);
+    watchdog.disarm();
     if stabilized {
         tally.successes += 1;
     }
@@ -206,7 +245,8 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
         },
     );
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
-    let recorders = NodeRecorders::new(n, 256);
+    let recorders = Arc::new(NodeRecorders::new(n, 256));
+    let watchdog = Watchdog::with_recorders(WatchdogConfig::default(), Arc::clone(&recorders));
     let params = ConsensusParams::default();
     let proposals: Vec<u64> = (0..n as u64).map(|p| 100 + p).collect();
     let mut sim = SimBuilder::new(n)
@@ -218,7 +258,7 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
                 params,
                 Some(100 + env.id().0 as u64),
                 stores[env.id().as_usize()].clone(),
-                recorders.probe_for(env.id()),
+                watchdog.probe(recorders.probe_for(env.id())),
             )
             .expect("fresh in-memory store")
         });
@@ -254,7 +294,7 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
             params,
             Some(100 + victim.0 as u64),
             stores[victim.as_usize()].clone(),
-            recorders.probe_for(victim),
+            watchdog.probe(recorders.probe_for(victim)),
         )
         .expect("recover from the victim's log");
         sim.restart(victim, recovered);
@@ -274,6 +314,8 @@ fn netsim_consensus_scenario(n: usize, seed: u64, tally: &mut Tally) {
             );
         }
     }
+    // The always-on monotonicity invariant must have held throughout.
+    gate_on_watchdog("netsim/consensus monotonicity", &watchdog, 0, tally);
     // Liveness across the chaos: every process (restarted ones included)
     // decided at some point.
     let ds = consensus_decisions(&sim);
@@ -319,7 +361,8 @@ pub(crate) fn await_unanimity(
 /// and delay).
 fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
-    let recorders = NodeRecorders::new(n, 256);
+    let recorders = Arc::new(NodeRecorders::new(n, 256));
+    let watchdog = Watchdog::with_recorders(WatchdogConfig::default(), Arc::clone(&recorders));
     let config = NetConfig {
         n,
         loss: 0.02,
@@ -328,12 +371,12 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         tick: StdDuration::from_millis(1),
         seed,
     };
-    let cluster = Cluster::spawn(config, |env| {
+    let cluster = Cluster::spawn_traced(config, recorders.clocks(), |env| {
         CommEffOmega::with_storage_and_probe(
             env,
             OmegaParams::default(),
             stores[env.id().as_usize()].clone(),
-            recorders.probe_for(env.id()),
+            watchdog.probe(recorders.probe_for(env.id())),
         )
         .expect("fresh in-memory store")
     });
@@ -370,7 +413,7 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         &env,
         OmegaParams::default(),
         stores[victim.as_usize()].clone(),
-        recorders.probe_for(victim),
+        watchdog.probe(recorders.probe_for(victim)),
     )
     .expect("recover from the victim's log");
     cluster.restart(victim, recovered);
@@ -384,6 +427,10 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         );
     }
     cluster.stop();
+    // Wall-clock runs keep the watchdog disarmed (steady windows are not
+    // deterministic here), but the always-on counter-monotonicity invariant
+    // gates the scenario.
+    gate_on_watchdog("threadnet monotonicity", &watchdog, 0, tally);
     if ok {
         tally.successes += 1;
     }
@@ -394,7 +441,8 @@ fn threadnet_scenario(n: usize, seed: u64, tally: &mut Tally) {
 /// is exercised from the accepting side.
 fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
     let stores: Vec<StorageHandle> = (0..n).map(|_| StorageHandle::in_memory()).collect();
-    let recorders = NodeRecorders::new(n, 256);
+    let recorders = Arc::new(NodeRecorders::new(n, 256));
+    let watchdog = Watchdog::with_recorders(WatchdogConfig::default(), Arc::clone(&recorders));
     let config = WireConfig {
         n,
         tick: StdDuration::from_millis(1),
@@ -407,15 +455,16 @@ fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
             seed,
         }),
     };
-    let mut cluster = WireCluster::spawn(config, |env| {
+    let mut cluster = WireCluster::try_spawn_traced(config, recorders.clocks(), |env| {
         CommEffOmega::with_storage_and_probe(
             env,
             OmegaParams::default(),
             stores[env.id().as_usize()].clone(),
-            recorders.probe_for(env.id()),
+            watchdog.probe(recorders.probe_for(env.id())),
         )
         .expect("fresh in-memory store")
-    });
+    })
+    .expect("bind 127.0.0.1 listeners");
     tally.scenarios += 1;
     let all: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
     let timeout = StdDuration::from_secs(10);
@@ -449,7 +498,7 @@ fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         &env,
         OmegaParams::default(),
         stores[victim.as_usize()].clone(),
-        recorders.probe_for(victim),
+        watchdog.probe(recorders.probe_for(victim)),
     )
     .expect("recover from the victim's log");
     if cluster.restart(victim, recovered).is_err() {
@@ -471,6 +520,7 @@ fn wirenet_scenario(n: usize, seed: u64, tally: &mut Tally) {
         }
     }
     cluster.stop();
+    gate_on_watchdog("wirenet monotonicity", &watchdog, 0, tally);
     if ok {
         tally.successes += 1;
     }
@@ -492,8 +542,10 @@ fn tally_row(t: &mut Table, substrate: &str, n: String, tally: Tally, outcome_la
 /// (substrate, n) cell on the simulator, `wall_seeds` per wall-clock
 /// substrate. The claim under test: durable state plus the recovering
 /// rejoin mode keep both theorems' checkers green across every
-/// crash–restart composition — zero violations.
-pub fn e16_chaos(seeds_per_config: u64, sizes: &[usize], wall_seeds: u64) -> Table {
+/// crash–restart composition — zero violations. Returns the table and the
+/// campaign's total violation count (watchdog alarms included), so the CLI
+/// can gate its exit status on it.
+pub fn e16_chaos(seeds_per_config: u64, sizes: &[usize], wall_seeds: u64) -> (Table, usize) {
     let mut t = Table::new(vec![
         "substrate",
         "n",
@@ -550,7 +602,7 @@ pub fn e16_chaos(seeds_per_config: u64, sizes: &[usize], wall_seeds: u64) -> Tab
     }
     add(&mut t, "wirenet/omega", wall_n.to_string(), tally, "agreed");
     tally_row(&mut t, "TOTAL", "-".into(), total, "ok");
-    t
+    (t, total.violations)
 }
 
 #[cfg(test)]
@@ -600,7 +652,8 @@ mod tests {
 
     #[test]
     fn e16_reduced_campaign_has_no_violations() {
-        let t = e16_chaos(1, &[3], 1);
+        let (t, violations) = e16_chaos(1, &[3], 1);
+        assert_eq!(violations, 0);
         let s = t.render();
         for line in s.lines().skip(2) {
             let cols: Vec<&str> = line.split_whitespace().collect();

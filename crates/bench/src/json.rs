@@ -149,7 +149,29 @@ pub fn experiment_summary(
 ///
 /// Fails if the file cannot be created or written.
 pub fn write_bench_json(id: &str, value: &JsonValue) -> io::Result<PathBuf> {
-    let path = PathBuf::from(format!("BENCH_{}.json", id.to_uppercase()));
+    write_bench_json_in(None, id, value)
+}
+
+/// Like [`write_bench_json`], but into `dir` (created if missing) instead
+/// of the current directory — the CLI's `--out-dir` flag, so CI can collect
+/// every summary from one artifact directory.
+///
+/// # Errors
+///
+/// Fails if the directory cannot be created or the file cannot be written.
+pub fn write_bench_json_in(
+    dir: Option<&std::path::Path>,
+    id: &str,
+    value: &JsonValue,
+) -> io::Result<PathBuf> {
+    let name = format!("BENCH_{}.json", id.to_uppercase());
+    let path = match dir {
+        Some(dir) => {
+            fs::create_dir_all(dir)?;
+            dir.join(name)
+        }
+        None => PathBuf::from(name),
+    };
     fs::write(&path, format!("{value}\n"))?;
     Ok(path)
 }
@@ -178,6 +200,16 @@ mod tests {
     fn raw_splices_verbatim() {
         let v = JsonValue::obj(vec![("metrics", JsonValue::Raw("{\"x\":1}".into()))]);
         assert_eq!(v.render(), "{\"metrics\":{\"x\":1}}");
+    }
+
+    #[test]
+    fn out_dir_is_created_and_used() {
+        let dir = std::env::temp_dir().join(format!("bench-json-{}", std::process::id()));
+        let value = JsonValue::obj(vec![("ok", JsonValue::Bool(true))]);
+        let path = write_bench_json_in(Some(&dir), "e0", &value).expect("write into out dir");
+        assert_eq!(path, dir.join("BENCH_E0.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod e_consensus;
 pub mod e_obs;
 pub mod e_omega;
 pub mod e_thread;
+pub mod e_trace;
 pub mod e_wire;
 pub mod json;
 pub mod table;

@@ -303,8 +303,15 @@ impl<P: Probe> Sm for CommEffOmega<P> {
     type Request = ();
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, OmegaMsg, ProcessId>) {
-        // Publish the initial choice so traces start with a defined value.
+        // Publish the initial choice so traces start with a defined value —
+        // on the probe stream too, so span reconstruction can tell a later
+        // switch apart from the first trust being established.
         ctx.output(self.leader);
+        self.probe.emit(ProbeEvent::LeaderChange {
+            node: self.me,
+            at: ctx.now(),
+            leader: self.leader,
+        });
         ctx.set_timer(HEARTBEAT_TIMER, self.params.eta);
         if self.leader != self.me {
             ctx.set_timer(LEADER_CHECK_TIMER, self.timeouts[self.leader.as_usize()]);

@@ -21,6 +21,10 @@ pub(crate) enum EventKind<M, R> {
         to: ProcessId,
         /// Payload.
         msg: M,
+        /// Sender's Lamport clock at send time (0 when the simulator runs
+        /// without trace clocks). Merged into the receiver's clock before
+        /// the handler runs.
+        stamp: u64,
     },
     /// Fire a timer, if its generation is still current.
     Timer {
@@ -155,6 +159,7 @@ mod tests {
                     from: ProcessId(0),
                     to: ProcessId(1),
                     msg: i,
+                    stamp: 0,
                 },
             );
         }

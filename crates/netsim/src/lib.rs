@@ -71,7 +71,7 @@ mod trace;
 pub use delay::DelayDist;
 pub use fault::FaultPlan;
 pub use link::{LinkFate, LinkModel};
-pub use sim::{OutputEvent, SimBuilder, Simulator};
+pub use sim::{CausalDelivery, OutputEvent, SimBuilder, Simulator};
 pub use stats::{Stats, WindowStats};
 pub use topology::{SystemSParams, Topology};
 pub use trace::{Trace, TraceKind, TraceRecord};

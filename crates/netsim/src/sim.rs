@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use lls_primitives::{
-    Ctx, Duration, Effects, Env, Instant, ProcessId, Send, Sm, TimerCmd, TimerId,
+    Ctx, Duration, Effects, Env, Instant, LamportClock, ProcessId, Send, Sm, TimerCmd, TimerId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +14,22 @@ use crate::link::LinkFate;
 use crate::stats::Stats;
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceKind};
+
+/// One stamped delivery, recorded when the simulator runs with trace
+/// clocks: the sender's Lamport stamp and the value the receiver's clock
+/// merged to just before the handler ran. `merged > stamp` always — this
+/// is the raw material for happens-before property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalDelivery {
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Sender's clock at send time.
+    pub stamp: u64,
+    /// Receiver's clock after the merge.
+    pub merged: u64,
+}
 
 /// A timestamped protocol output recorded during a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +58,7 @@ pub struct SimBuilder<S: Sm> {
     classifier: fn(&S::Msg) -> &'static str,
     output_classifier: fn(&S::Output) -> &'static str,
     trace_capacity: Option<usize>,
+    clocks: Option<Vec<LamportClock>>,
 }
 
 #[derive(Debug, Clone)]
@@ -89,6 +106,7 @@ impl<S: Sm> SimBuilder<S> {
             classifier: default_classifier::<S::Msg>,
             output_classifier: default_output_classifier::<S::Output>,
             trace_capacity: None,
+            clocks: None,
         }
     }
 
@@ -170,6 +188,23 @@ impl<S: Sm> SimBuilder<S> {
         self
     }
 
+    /// Installs per-process Lamport clocks (one handle per process, in id
+    /// order): every send ticks the sender's clock and carries the stamp;
+    /// every delivery merges it into the receiver's clock *before* the
+    /// handler runs, and lands in [`Simulator::causal_log`]. Hand in the
+    /// clock handles from `lls_obs::NodeRecorders::clocks()` so probe
+    /// events share the same causal positions. Off by default (stamps stay
+    /// 0, no log).
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`SimBuilder::build_with`] time if the clock count differs
+    /// from `n`.
+    pub fn trace_clocks(mut self, clocks: Vec<LamportClock>) -> Self {
+        self.clocks = Some(clocks);
+        self
+    }
+
     /// Enables structured trace recording, keeping up to `capacity` records
     /// (see [`crate::Trace`]). Off by default.
     pub fn record_trace(mut self, capacity: usize) -> Self {
@@ -246,6 +281,15 @@ impl<S: Sm> SimBuilder<S> {
                 }
             }
         }
+        if let Some(clocks) = &self.clocks {
+            assert_eq!(
+                clocks.len(),
+                self.n,
+                "trace clock count {} does not match n = {}",
+                clocks.len(),
+                self.n
+            );
+        }
         Simulator {
             nodes,
             queue,
@@ -258,6 +302,8 @@ impl<S: Sm> SimBuilder<S> {
             output_classifier: self.output_classifier,
             fx: Effects::new(),
             trace: self.trace_capacity.map(Trace::new),
+            clocks: self.clocks,
+            causal_log: Vec::new(),
         }
     }
 }
@@ -284,6 +330,8 @@ pub struct Simulator<S: Sm> {
     output_classifier: fn(&S::Output) -> &'static str,
     fx: Effects<S::Msg, S::Output>,
     trace: Option<Trace>,
+    clocks: Option<Vec<LamportClock>>,
+    causal_log: Vec<CausalDelivery>,
 }
 
 impl<S: Sm> std::fmt::Debug for Simulator<S> {
@@ -337,6 +385,18 @@ impl<S: Sm> Simulator<S> {
     /// The recorded trace, if [`SimBuilder::record_trace`] was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Every stamped delivery so far (empty unless
+    /// [`SimBuilder::trace_clocks`] installed clocks): the send stamp and
+    /// the receiver's merged clock, in delivery order.
+    pub fn causal_log(&self) -> &[CausalDelivery] {
+        &self.causal_log
+    }
+
+    /// The Lamport clock handle of `p`, when trace clocks are installed.
+    pub fn clock(&self, p: ProcessId) -> Option<&LamportClock> {
+        self.clocks.as_ref().map(|c| &c[p.as_usize()])
     }
 
     /// Crashes `p` immediately (crash-stop).
@@ -476,13 +536,31 @@ impl<S: Sm> Simulator<S> {
                     self.drain(p);
                 }
             }
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                stamp,
+            } => {
                 let node = &mut self.nodes[to.as_usize()];
                 if node.alive && node.started {
                     self.stats.record_delivery(to);
                     if let Some(tr) = &mut self.trace {
                         tr.push(self.now, TraceKind::Deliver { from, to });
                     }
+                    // Merge the sender's stamp *before* the handler runs,
+                    // so every probe event it emits is causally after the
+                    // send.
+                    if let Some(clocks) = &self.clocks {
+                        let merged = clocks[to.as_usize()].observe(stamp);
+                        self.causal_log.push(CausalDelivery {
+                            from,
+                            to,
+                            stamp,
+                            merged,
+                        });
+                    }
+                    let node = &mut self.nodes[to.as_usize()];
                     let mut ctx = Ctx::new(&node.env, self.now, &mut self.fx);
                     node.sm.on_message(&mut ctx, from, msg);
                     self.drain(to);
@@ -552,9 +630,24 @@ impl<S: Sm> Simulator<S> {
                     },
                 );
             }
+            // Tick the sender's clock per send attempt: the stamp exists
+            // even when the link then drops the message (Lamport clocks
+            // count events, not successful deliveries).
+            let stamp = self
+                .clocks
+                .as_ref()
+                .map_or(0, |clocks| clocks[p.as_usize()].tick());
             match self.topology.link(p, to).route(self.now, &mut self.rng) {
                 LinkFate::DeliverAt(at) => {
-                    self.queue.push(at, EventKind::Deliver { from: p, to, msg });
+                    self.queue.push(
+                        at,
+                        EventKind::Deliver {
+                            from: p,
+                            to,
+                            msg,
+                            stamp,
+                        },
+                    );
                 }
                 LinkFate::Drop => {
                     self.stats.record_link_drop(p);
@@ -651,6 +744,43 @@ mod tests {
         assert_eq!(sim.node(ProcessId(0)).count, 10);
         assert_eq!(sim.stats().sent_by(ProcessId(0)), 10);
         assert_eq!(sim.stats().delivered_to(ProcessId(1)), 9);
+    }
+
+    #[test]
+    fn trace_clocks_stamp_every_delivery() {
+        let clocks: Vec<LamportClock> = (0..2).map(LamportClock::new).collect();
+        let mut sim = beacon_sim(2)
+            .trace_clocks(clocks.clone())
+            .build_with(|_| Beacon { count: 0 });
+        sim.run_until(Instant::from_ticks(100));
+        let log = sim.causal_log();
+        assert!(!log.is_empty(), "stamped deliveries were recorded");
+        for d in log {
+            assert!(
+                d.merged > d.stamp,
+                "receive clock {} not after send clock {} ({} -> {})",
+                d.merged,
+                d.stamp,
+                d.from,
+                d.to
+            );
+        }
+        // Stamps from one sender are strictly monotone (its clock only
+        // moves forward).
+        for p in [ProcessId(0), ProcessId(1)] {
+            let stamps: Vec<u64> = log
+                .iter()
+                .filter(|d| d.from == p)
+                .map(|d| d.stamp)
+                .collect();
+            assert!(stamps.windows(2).all(|w| w[1] > w[0]), "{p}: {stamps:?}");
+            assert!(clocks[p.as_usize()].now() > 0);
+        }
+        // Without clocks the log stays empty and stamps stay 0.
+        let mut plain = beacon_sim(2).build_with(|_| Beacon { count: 0 });
+        plain.run_until(Instant::from_ticks(50));
+        assert!(plain.causal_log().is_empty());
+        assert!(plain.clock(ProcessId(0)).is_none());
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //!   fed by [`RecordingProbe`] and bundled per-cluster by
 //!   [`NodeRecorders`]. When a checker trips, the ring *is* the
 //!   post-mortem: the last things each node did before the property broke.
+//! * **[`trace`]** — cross-node span reconstruction: every recorded event
+//!   carries the node's Lamport clock (advanced by the substrates on each
+//!   send/receive), and [`reconstruct_spans`] stitches the per-node streams
+//!   into accusation→counter-bump→leader-change and phase→quorum-decide
+//!   chains with causal depth and tick latency.
+//! * **[`Watchdog`]** — an online invariant monitor over the live probe
+//!   stream: once armed (stabilization declared) it raises structured
+//!   [`Alarm`]s — flight dump attached — the moment a steady-state property
+//!   (no flaps, flat accusation counters, leader-only senders) degrades.
 //!
 //! # Example
 //!
@@ -45,7 +54,11 @@
 pub mod metrics;
 pub mod probe;
 pub mod recorder;
+pub mod trace;
+pub mod watchdog;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
 pub use probe::{NoopProbe, Probe, ProbeEvent};
 pub use recorder::{FlightRecorder, NodeRecorders, RecordedEvent, RecordingProbe};
+pub use trace::{reconstruct_spans, spans_json, SpanHop, SpanKind, SpanRecord};
+pub use watchdog::{Alarm, AlarmKind, Watchdog, WatchdogConfig, WatchdogProbe};

@@ -198,11 +198,14 @@ enum Metric {
 /// The unified metrics registry: one name → metric table shared by every
 /// producer (probes, substrate stat exports, experiments).
 ///
-/// Metric names must match `[a-z_][a-z0-9_]*` by convention (Prometheus
-/// exposition); this is not enforced, just rendered as-is.
+/// Metric names should match `[a-z_][a-z0-9_]*` by convention; the
+/// Prometheus renderer sanitises any stragglers (invalid characters become
+/// `_`, a leading digit gains a `_` prefix) so the exposition stays
+/// parseable no matter what a producer registered.
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -262,23 +265,39 @@ impl Registry {
         }
     }
 
-    /// Renders every metric in Prometheus text exposition format
-    /// (counters as `# TYPE x counter`, histograms with cumulative
-    /// `_bucket{le=...}` lines).
+    /// Attaches Prometheus `# HELP` text to the metric named `name`
+    /// (registered or not yet). Metrics without help text render a
+    /// generated placeholder so every family still carries a HELP line.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut table = self.help.lock().unwrap_or_else(|e| e.into_inner());
+        table.insert(name.to_owned(), help.to_owned());
+    }
+
+    /// Renders every metric in Prometheus text exposition format: each
+    /// family gets `# HELP` and `# TYPE` lines, metric names are sanitised
+    /// to the exposition charset, and help/label text is escaped per the
+    /// exposition-format rules (`\\`, `\n`, and `\"` inside label values).
     pub fn render_prometheus(&self) -> String {
         let table = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let helps = self.help.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for (name, metric) in table.iter() {
+            let fam = sanitize_metric_name(name);
+            let help = helps
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| format!("{} {}", kind_of(metric), name));
+            out.push_str(&format!("# HELP {fam} {}\n", escape_help(&help)));
             match metric {
                 Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                    out.push_str(&format!("# TYPE {fam} counter\n{fam} {}\n", c.get()));
                 }
                 Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                    out.push_str(&format!("# TYPE {fam} gauge\n{fam} {}\n", g.get()));
                 }
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    out.push_str(&format!("# TYPE {fam} histogram\n"));
                     let mut cumulative = 0u64;
                     for (i, &c) in snap.buckets.iter().enumerate() {
                         if c == 0 {
@@ -286,12 +305,12 @@ impl Registry {
                         }
                         cumulative += c;
                         out.push_str(&format!(
-                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                            bucket_bound(i)
+                            "{fam}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            escape_label_value(&bucket_bound(i).to_string())
                         ));
                     }
                     out.push_str(&format!(
-                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        "{fam}_bucket{{le=\"+Inf\"}} {}\n{fam}_sum {}\n{fam}_count {}\n",
                         snap.count, snap.sum, snap.count
                     ));
                 }
@@ -339,6 +358,38 @@ fn kind_of(m: &Metric) -> &'static str {
         Metric::Gauge(_) => "gauge",
         Metric::Histogram(_) => "histogram",
     }
+}
+
+/// Maps a registered name onto the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, and a name
+/// starting with a digit gains a leading `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let valid = ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || ch.is_ascii_digit();
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes HELP text per the exposition format: `\` → `\\`, newline → `\n`.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -429,5 +480,75 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    /// Conformance with the Prometheus text exposition format: every family
+    /// carries `# HELP` then `# TYPE`, names are sanitised to the legal
+    /// charset, help text is escaped, and histogram `le` buckets are
+    /// cumulative and capped by `+Inf`.
+    #[test]
+    fn prometheus_exposition_conformance() {
+        let r = Registry::new();
+        r.counter("elections_total").inc();
+        r.describe("elections_total", "Total elections observed");
+        r.describe("weird", "line one\nline two \\ backslash");
+        r.gauge("weird").set(-3);
+        // A hostile name: spaces and a leading digit must be sanitised.
+        r.counter("9bad name-metric").add(4);
+        r.histogram("lat").record(3);
+        r.histogram("lat").record(5);
+
+        let prom = r.render_prometheus();
+        let lines: Vec<&str> = prom.lines().collect();
+
+        // HELP precedes TYPE precedes samples, per family.
+        let help_idx = lines
+            .iter()
+            .position(|l| *l == "# HELP elections_total Total elections observed")
+            .expect("explicit help text rendered");
+        assert_eq!(lines[help_idx + 1], "# TYPE elections_total counter");
+        assert_eq!(lines[help_idx + 2], "elections_total 1");
+
+        // Metrics without describe() still get a HELP line.
+        assert!(prom.contains("# HELP lat histogram lat"));
+
+        // Help escaping: literal newline and backslash survive as \n, \\.
+        assert!(prom.contains("# HELP weird line one\\nline two \\\\ backslash"));
+        assert!(prom.contains("weird -3"));
+
+        // Name sanitisation: leading digit prefixed, invalid chars mapped.
+        assert!(prom.contains("# TYPE _9bad_name_metric counter"));
+        assert!(prom.contains("_9bad_name_metric 4"));
+        // The raw name may appear in HELP text but never in a sample line.
+        assert!(!lines
+            .iter()
+            .any(|l| !l.starts_with('#') && l.contains("9bad name-metric")));
+
+        // Histogram buckets cumulative, ending in +Inf == count.
+        assert!(prom.contains("lat_bucket{le=\"4\"} 1"));
+        assert!(prom.contains("lat_bucket{le=\"8\"} 2"));
+        assert!(prom.contains("lat_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("lat_sum 8"));
+        assert!(prom.contains("lat_count 2"));
+
+        // Every non-comment line is `name[{labels}] value` with a finite
+        // numeric value — the shape a scraper's parser requires.
+        for line in &lines {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("ok_name:x"), "ok_name:x");
     }
 }

@@ -10,17 +10,21 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-use lls_primitives::ProcessId;
+use lls_primitives::{LamportClock, ProcessId};
 
 use crate::metrics::Registry;
 use crate::probe::{Probe, ProbeEvent};
 
 /// A probe event plus its global sequence number within one recorder
-/// (monotonic; survives ring eviction, so gaps reveal what was lost).
+/// (monotonic; survives ring eviction, so gaps reveal what was lost) and
+/// the node's Lamport clock at emission time — the event's causal position
+/// across the whole cluster (0 when the substrate runs unstamped).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecordedEvent {
     /// Position in the recorder's full event stream (0-based).
     pub seq: u64,
+    /// The node's Lamport clock when the event was emitted (0 = unstamped).
+    pub lamport: u64,
     /// The event.
     pub event: ProbeEvent,
 }
@@ -46,14 +50,22 @@ impl FlightRecorder {
         }
     }
 
-    /// Appends one event, evicting the oldest if the ring is full.
+    /// Appends one unstamped event (Lamport position 0), evicting the
+    /// oldest if the ring is full.
     pub fn push(&mut self, event: ProbeEvent) {
+        self.push_stamped(event, 0);
+    }
+
+    /// Appends one event with its Lamport-clock position, evicting the
+    /// oldest if the ring is full.
+    pub fn push_stamped(&mut self, event: ProbeEvent, lamport: u64) {
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
             self.dropped += 1;
         }
         self.ring.push_back(RecordedEvent {
             seq: self.next_seq,
+            lamport,
             event,
         });
         self.next_seq += 1;
@@ -95,7 +107,10 @@ impl FlightRecorder {
             self.dropped
         );
         for rec in &self.ring {
-            out.push_str(&format!("  #{:<6} {}\n", rec.seq, rec.event));
+            out.push_str(&format!(
+                "  #{:<6} L{:<8} {}\n",
+                rec.seq, rec.lamport, rec.event
+            ));
         }
         out
     }
@@ -111,6 +126,7 @@ impl FlightRecorder {
 pub struct RecordingProbe {
     recorder: Arc<Mutex<FlightRecorder>>,
     registry: Option<Arc<Registry>>,
+    clock: Option<LamportClock>,
 }
 
 impl RecordingProbe {
@@ -119,6 +135,7 @@ impl RecordingProbe {
         RecordingProbe {
             recorder: Arc::new(Mutex::new(FlightRecorder::new(capacity))),
             registry: None,
+            clock: None,
         }
     }
 
@@ -128,7 +145,16 @@ impl RecordingProbe {
         RecordingProbe {
             recorder,
             registry: Some(registry),
+            clock: None,
         }
+    }
+
+    /// Attaches the node's Lamport clock: every event recorded from now on
+    /// carries the clock's current value as its causal position. The
+    /// substrate must advance the *same* clock handle on send/receive.
+    pub fn with_clock(mut self, clock: LamportClock) -> Self {
+        self.clock = Some(clock);
+        self
     }
 
     /// The shared recorder behind this probe.
@@ -150,8 +176,9 @@ impl Probe for RecordingProbe {
                 .counter(&format!("probe_{}_total", event.kind()))
                 .inc();
         }
+        let lamport = self.clock.as_ref().map_or(0, LamportClock::now);
         let mut recorder = self.recorder.lock().unwrap_or_else(|e| e.into_inner());
-        recorder.push(event);
+        recorder.push_stamped(event, lamport);
     }
 }
 
@@ -161,16 +188,19 @@ impl Probe for RecordingProbe {
 pub struct NodeRecorders {
     recorders: Vec<Arc<Mutex<FlightRecorder>>>,
     registry: Arc<Registry>,
+    clocks: Vec<LamportClock>,
 }
 
 impl NodeRecorders {
-    /// Recorders for `n` processes, each retaining `capacity` events.
+    /// Recorders for `n` processes, each retaining `capacity` events, plus
+    /// one Lamport clock per process (trace id = process index by default).
     pub fn new(n: usize, capacity: usize) -> Self {
         NodeRecorders {
             recorders: (0..n)
                 .map(|_| Arc::new(Mutex::new(FlightRecorder::new(capacity))))
                 .collect(),
             registry: Arc::new(Registry::new()),
+            clocks: (0..n).map(|p| LamportClock::new(p as u64)).collect(),
         }
     }
 
@@ -192,6 +222,18 @@ impl NodeRecorders {
             Arc::clone(&self.recorders[p.as_usize()]),
             Arc::clone(&self.registry),
         )
+        .with_clock(self.clock_for(p))
+    }
+
+    /// A handle to process `p`'s Lamport clock — hand this to the substrate
+    /// so sends/receives advance the same clock the probes read.
+    pub fn clock_for(&self, p: ProcessId) -> LamportClock {
+        self.clocks[p.as_usize()].clone()
+    }
+
+    /// Handles to every process's clock, in process order.
+    pub fn clocks(&self) -> Vec<LamportClock> {
+        self.clocks.clone()
     }
 
     /// Post-mortem dump of process `p`'s ring.
@@ -200,6 +242,23 @@ impl NodeRecorders {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         format!("--- node {p} ---\n{}", guard.render())
+    }
+
+    /// On-demand post-mortem of *every* ring — the dump path for operator
+    /// inspection (wirenet's `/flight` endpoint, `kv_over_tcp` shutdown)
+    /// rather than checker violations.
+    pub fn dump_all(&self) -> String {
+        (0..self.recorders.len())
+            .map(|p| self.dump(ProcessId(p as u32)))
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// The retained events of every process, oldest first per process.
+    pub fn all_events(&self) -> Vec<Vec<RecordedEvent>> {
+        (0..self.recorders.len())
+            .map(|p| self.events_of(ProcessId(p as u32)))
+            .collect()
     }
 
     /// The retained events of process `p`, oldest first.
@@ -259,5 +318,22 @@ mod tests {
         assert!(bundle.events_of(ProcessId(0)).is_empty());
         assert_eq!(bundle.registry().counter_value("probe_decide_total"), 2);
         assert!(bundle.dump(ProcessId(1)).contains("node p1"));
+    }
+
+    #[test]
+    fn probe_stamps_events_with_the_node_clock() {
+        let bundle = NodeRecorders::new(2, 8);
+        let probe = bundle.probe_for(ProcessId(0));
+        probe.emit(ev(0, 0));
+        // A receive merged into the clock moves later events forward.
+        bundle.clock_for(ProcessId(0)).observe(41);
+        probe.emit(ev(0, 1));
+        let evs = bundle.events_of(ProcessId(0));
+        assert_eq!(evs[0].lamport, 0, "before any clock activity");
+        assert_eq!(evs[1].lamport, 42, "after merging stamp 41");
+        let dump = bundle.dump_all();
+        assert!(dump.contains("node p0") && dump.contains("node p1"));
+        assert!(dump.contains("L42"));
+        assert_eq!(bundle.all_events().len(), 2);
     }
 }

@@ -1,0 +1,441 @@
+//! Online invariant watchdog: evaluates the paper's steady-state properties
+//! on the *live* probe stream and raises structured alarms (with a flight-
+//! recorder dump) the moment one degrades — no need to wait for an
+//! end-of-run checker pass.
+//!
+//! The properties watched are the ones E16's post-hoc checkers assert:
+//!
+//! * **leader-flap rate** — after stabilization is declared ([`Watchdog::arm`])
+//!   the trusted leader must not change (more than the configured budget),
+//! * **accusation-counter flatness** — after stabilization no accusation is
+//!   sent and no counter bumps (the counters are monotone *and flat* in
+//!   steady state),
+//! * **counter monotonicity** — always on, armed or not: a process's
+//!   accusation counter must never regress (a regression would break the
+//!   paper's phase argument),
+//! * **non-leader senders** — in steady state only the leader sends; the
+//!   substrate harness feeds observed sender sets via
+//!   [`Watchdog::check_senders`] because the probe stream sees protocol
+//!   state changes, not raw traffic.
+//!
+//! The watchdog is a cloneable handle (shared state behind a mutex). Wrap
+//! any probe with [`Watchdog::probe`] to evaluate events inline as the
+//! protocol emits them.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use lls_primitives::ProcessId;
+
+use crate::metrics::Registry;
+use crate::probe::{Probe, ProbeEvent};
+use crate::recorder::NodeRecorders;
+
+/// Tuning for the watchdog's windows and budgets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WatchdogConfig {
+    /// Leader changes tolerated within [`flap_window_ticks`] after arming
+    /// before a [`AlarmKind::LeaderFlap`] fires. The paper's steady state
+    /// admits none, so the default is 0.
+    ///
+    /// [`flap_window_ticks`]: WatchdogConfig::flap_window_ticks
+    pub max_flaps: u32,
+    /// Width (in event-time ticks) of the sliding window flaps are counted
+    /// in. 0 means "the whole armed period".
+    pub flap_window_ticks: u64,
+}
+
+/// Which invariant degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmKind {
+    /// The trusted leader changed (beyond budget) after stabilization.
+    LeaderFlap,
+    /// An accusation was sent or absorbed after stabilization.
+    AccusationGrowth,
+    /// A process's accusation counter went backwards (any phase).
+    CounterRegression,
+    /// A process other than the unanimous leader sent protocol traffic
+    /// after stabilization.
+    NonLeaderSender,
+}
+
+impl AlarmKind {
+    /// Stable snake-case tag (metric suffix).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AlarmKind::LeaderFlap => "leader_flap",
+            AlarmKind::AccusationGrowth => "accusation_growth",
+            AlarmKind::CounterRegression => "counter_regression",
+            AlarmKind::NonLeaderSender => "non_leader_sender",
+        }
+    }
+}
+
+/// A structured alarm: what broke, where, and the post-mortem captured at
+/// the moment it broke.
+#[derive(Debug, Clone)]
+pub struct Alarm {
+    /// Which invariant degraded.
+    pub kind: AlarmKind,
+    /// The process the degradation was observed on.
+    pub node: ProcessId,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// Flight-recorder dump of the offending node, captured when the alarm
+    /// fired (empty when the watchdog has no recorders attached).
+    pub dump: String,
+}
+
+#[derive(Debug, Default)]
+struct WatchdogState {
+    armed: bool,
+    /// Recent post-arm leader-change event times (ticks), for the window.
+    flap_times: VecDeque<u64>,
+    /// Last trusted leader per node (filled from LeaderChange events).
+    leaders: Vec<Option<ProcessId>>,
+    /// Highest accusation counter seen per node.
+    counters: Vec<u64>,
+    alarms: Vec<Alarm>,
+}
+
+/// The watchdog handle. Cloning shares the same state; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    state: Arc<Mutex<WatchdogState>>,
+    /// For dumps and alarm metrics; absent in bare unit-test setups.
+    recorders: Option<Arc<NodeRecorders>>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl Watchdog {
+    /// A watchdog for `n` processes with no recorders attached (alarms
+    /// carry empty dumps).
+    pub fn new(n: usize, config: WatchdogConfig) -> Self {
+        Watchdog {
+            config,
+            state: Arc::new(Mutex::new(WatchdogState {
+                leaders: vec![None; n],
+                counters: vec![0; n],
+                ..WatchdogState::default()
+            })),
+            recorders: None,
+            registry: None,
+        }
+    }
+
+    /// A watchdog wired to a cluster's recorders: alarms capture the
+    /// offending node's flight dump and bump `watchdog_alarm_*_total`
+    /// counters in the shared registry.
+    pub fn with_recorders(config: WatchdogConfig, recorders: Arc<NodeRecorders>) -> Self {
+        let registry = recorders.registry();
+        let n = recorders.n();
+        let mut w = Watchdog::new(n, config);
+        w.recorders = Some(recorders);
+        w.registry = Some(registry);
+        w
+    }
+
+    /// Wraps `inner` so every emitted event is evaluated by this watchdog
+    /// before being forwarded.
+    pub fn probe<P: Probe>(&self, inner: P) -> WatchdogProbe<P> {
+        WatchdogProbe {
+            inner,
+            watchdog: self.clone(),
+        }
+    }
+
+    /// Declares stabilization: from now on the steady-state invariants
+    /// (flap budget, accusation flatness, leader-only senders) are
+    /// enforced. Counter monotonicity is enforced regardless.
+    pub fn arm(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.armed = true;
+        s.flap_times.clear();
+    }
+
+    /// Suspends steady-state enforcement (e.g. around an intentional kill
+    /// in a chaos campaign).
+    pub fn disarm(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.armed = false;
+        s.flap_times.clear();
+    }
+
+    /// Whether steady-state enforcement is active.
+    pub fn armed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).armed
+    }
+
+    /// All alarms raised so far (clones).
+    pub fn alarms(&self) -> Vec<Alarm> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .alarms
+            .clone()
+    }
+
+    /// Number of alarms raised so far.
+    pub fn alarm_count(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .alarms
+            .len()
+    }
+
+    /// The leader every node currently agrees on, if unanimous.
+    pub fn unanimous_leader(&self) -> Option<ProcessId> {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let first = s.leaders.first().copied().flatten()?;
+        s.leaders.iter().all(|l| *l == Some(first)).then_some(first)
+    }
+
+    /// Feeds one probe event through the invariant checks. Called by
+    /// [`WatchdogProbe::emit`]; exposed for harnesses that replay streams.
+    pub fn observe(&self, event: &ProbeEvent) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *event {
+            ProbeEvent::LeaderChange { node, at, leader } => {
+                let slot = node.as_usize();
+                if slot < s.leaders.len() {
+                    s.leaders[slot] = Some(leader);
+                }
+                if !s.armed {
+                    return;
+                }
+                let now = at.ticks();
+                s.flap_times.push_back(now);
+                if self.config.flap_window_ticks > 0 {
+                    let horizon = now.saturating_sub(self.config.flap_window_ticks);
+                    while s.flap_times.front().is_some_and(|&t| t < horizon) {
+                        s.flap_times.pop_front();
+                    }
+                }
+                if s.flap_times.len() > self.config.max_flaps as usize {
+                    let detail = format!(
+                        "{} leader change(s) within window after stabilization \
+                         (budget {}), latest -> {leader} at {at}",
+                        s.flap_times.len(),
+                        self.config.max_flaps
+                    );
+                    self.raise(&mut s, AlarmKind::LeaderFlap, node, detail);
+                }
+            }
+            ProbeEvent::AccusationSent {
+                node, at, suspect, ..
+            } if s.armed => {
+                let detail = format!("accusation against {suspect} at {at} after stabilization");
+                self.raise(&mut s, AlarmKind::AccusationGrowth, node, detail);
+            }
+            ProbeEvent::AccusationAbsorbed {
+                node,
+                at,
+                new_counter,
+            } => {
+                let slot = node.as_usize();
+                let last = s.counters.get(slot).copied().unwrap_or(0);
+                if new_counter <= last && last > 0 {
+                    let detail =
+                        format!("accusation counter regressed: {last} -> {new_counter} at {at}");
+                    self.raise(&mut s, AlarmKind::CounterRegression, node, detail);
+                } else if slot < s.counters.len() {
+                    s.counters[slot] = new_counter;
+                }
+                if s.armed {
+                    let detail =
+                        format!("counter bump to {new_counter} at {at} after stabilization");
+                    self.raise(&mut s, AlarmKind::AccusationGrowth, node, detail);
+                }
+            }
+            ProbeEvent::IncarnationBump { node, counter } => {
+                let slot = node.as_usize();
+                if slot < s.counters.len() && counter > s.counters[slot] {
+                    s.counters[slot] = counter;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Steady-state traffic check, fed by the substrate harness: `senders`
+    /// is the set of processes observed sending protocol messages since
+    /// arming. Any sender other than the unanimous leader raises
+    /// [`AlarmKind::NonLeaderSender`]. No-op while disarmed or while the
+    /// nodes disagree on the leader (the flap checks own that situation).
+    pub fn check_senders(&self, senders: &[ProcessId]) {
+        let Some(leader) = self.unanimous_leader() else {
+            return;
+        };
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !s.armed {
+            return;
+        }
+        for &p in senders {
+            if p != leader {
+                let detail = format!("{p} sent protocol traffic while {leader} is the leader");
+                self.raise(&mut s, AlarmKind::NonLeaderSender, p, detail);
+            }
+        }
+    }
+
+    fn raise(&self, s: &mut WatchdogState, kind: AlarmKind, node: ProcessId, detail: String) {
+        let dump = self
+            .recorders
+            .as_ref()
+            .map(|r| r.dump(node))
+            .unwrap_or_default();
+        if let Some(reg) = &self.registry {
+            reg.counter("watchdog_alarms_total").inc();
+            reg.counter(&format!("watchdog_alarm_{}_total", kind.tag()))
+                .inc();
+        }
+        s.alarms.push(Alarm {
+            kind,
+            node,
+            detail,
+            dump,
+        });
+    }
+}
+
+/// A [`Probe`] decorator that feeds every event through a [`Watchdog`]
+/// before forwarding it to the wrapped probe.
+#[derive(Debug, Clone)]
+pub struct WatchdogProbe<P: Probe> {
+    inner: P,
+    watchdog: Watchdog,
+}
+
+impl<P: Probe> Probe for WatchdogProbe<P> {
+    fn emit(&self, event: ProbeEvent) {
+        // Forward first so the flight dump captured by an alarm includes
+        // the offending event itself.
+        self.inner.emit(event);
+        self.watchdog.observe(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lls_primitives::Instant;
+
+    fn change(node: u32, at: u64, leader: u32) -> ProbeEvent {
+        ProbeEvent::LeaderChange {
+            node: ProcessId(node),
+            at: Instant::from_ticks(at),
+            leader: ProcessId(leader),
+        }
+    }
+
+    #[test]
+    fn flap_after_arming_raises_with_dump() {
+        let recorders = Arc::new(NodeRecorders::new(3, 16));
+        let w = Watchdog::with_recorders(WatchdogConfig::default(), Arc::clone(&recorders));
+        let probes: Vec<_> = (0..3)
+            .map(|p| w.probe(recorders.probe_for(ProcessId(p))))
+            .collect();
+        for (p, probe) in probes.iter().enumerate() {
+            probe.emit(change(p as u32, 0, 0));
+        }
+        assert_eq!(w.alarm_count(), 0, "pre-arm churn is free");
+        assert_eq!(w.unanimous_leader(), Some(ProcessId(0)));
+        w.arm();
+        probes[1].emit(change(1, 100, 1));
+        assert_eq!(w.alarm_count(), 1, "flap budget is zero");
+        let alarm = &w.alarms()[0];
+        assert_eq!(alarm.kind, AlarmKind::LeaderFlap);
+        assert_eq!(alarm.node, ProcessId(1));
+        assert!(
+            alarm.dump.contains("LEADER"),
+            "dump captures the flap itself: {}",
+            alarm.dump
+        );
+        assert_eq!(
+            recorders.registry().counter_value("watchdog_alarms_total"),
+            1
+        );
+        assert_eq!(
+            recorders
+                .registry()
+                .counter_value("watchdog_alarm_leader_flap_total"),
+            1
+        );
+    }
+
+    #[test]
+    fn accusations_after_arming_raise() {
+        let w = Watchdog::new(2, WatchdogConfig::default());
+        w.arm();
+        w.observe(&ProbeEvent::AccusationSent {
+            node: ProcessId(1),
+            at: Instant::from_ticks(5),
+            suspect: ProcessId(0),
+            phase: 0,
+        });
+        w.observe(&ProbeEvent::AccusationAbsorbed {
+            node: ProcessId(0),
+            at: Instant::from_ticks(6),
+            new_counter: 1,
+        });
+        let kinds: Vec<AlarmKind> = w.alarms().iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![AlarmKind::AccusationGrowth, AlarmKind::AccusationGrowth]
+        );
+    }
+
+    #[test]
+    fn counter_regression_fires_even_disarmed() {
+        let w = Watchdog::new(1, WatchdogConfig::default());
+        w.observe(&ProbeEvent::AccusationAbsorbed {
+            node: ProcessId(0),
+            at: Instant::from_ticks(1),
+            new_counter: 5,
+        });
+        w.observe(&ProbeEvent::AccusationAbsorbed {
+            node: ProcessId(0),
+            at: Instant::from_ticks(2),
+            new_counter: 3,
+        });
+        assert_eq!(w.alarm_count(), 1);
+        assert_eq!(w.alarms()[0].kind, AlarmKind::CounterRegression);
+    }
+
+    #[test]
+    fn non_leader_sender_is_flagged_only_when_armed_and_unanimous() {
+        let w = Watchdog::new(2, WatchdogConfig::default());
+        w.observe(&change(0, 0, 0));
+        w.check_senders(&[ProcessId(1)]);
+        assert_eq!(w.alarm_count(), 0, "not unanimous yet");
+        w.observe(&change(1, 0, 0));
+        w.check_senders(&[ProcessId(1)]);
+        assert_eq!(w.alarm_count(), 0, "not armed yet");
+        w.arm();
+        w.check_senders(&[ProcessId(0), ProcessId(1)]);
+        assert_eq!(w.alarm_count(), 1);
+        assert_eq!(w.alarms()[0].kind, AlarmKind::NonLeaderSender);
+        assert_eq!(w.alarms()[0].node, ProcessId(1));
+    }
+
+    #[test]
+    fn flap_budget_and_window_are_respected() {
+        let w = Watchdog::new(
+            1,
+            WatchdogConfig {
+                max_flaps: 1,
+                flap_window_ticks: 50,
+            },
+        );
+        w.arm();
+        w.observe(&change(0, 10, 1));
+        assert_eq!(w.alarm_count(), 0, "one flap is inside budget");
+        // 100 is outside the 50-tick window of the first flap.
+        w.observe(&change(0, 100, 0));
+        assert_eq!(w.alarm_count(), 0, "window slid past the first flap");
+        w.observe(&change(0, 120, 1));
+        assert_eq!(w.alarm_count(), 1, "two flaps inside one window");
+    }
+}

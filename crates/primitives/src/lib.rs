@@ -16,6 +16,9 @@
 //!   every transport that serialises messages onto a byte stream,
 //! * the [`FaultInjector`] — the seeded loss/delay model both real-time
 //!   runtimes apply to messages in flight,
+//! * the [`clock`] module — per-process [`LamportClock`]s the substrates
+//!   advance on every send and receive, giving each observability event a
+//!   causal (happens-before) position for cross-node trace reconstruction,
 //! * the [`storage`] module — durable per-process state ([`Storage`],
 //!   [`StorageHandle`], in-memory and file-WAL backends) through which
 //!   protocols persist crash-critical state so a killed process can restart
@@ -79,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod clock;
 pub mod fault;
 mod id;
 mod sm;
@@ -86,9 +90,10 @@ pub mod storage;
 mod time;
 pub mod wire;
 
+pub use clock::LamportClock;
 pub use fault::{Fate, FaultInjector};
 pub use id::{Membership, ProcessId};
 pub use sm::{Ctx, Effects, Env, Send, Sm, TimerCmd, TimerId};
 pub use storage::{FileWal, MemStorage, Storage, StorageError, StorageHandle};
 pub use time::{Duration, Instant};
-pub use wire::{Wire, WireError};
+pub use wire::{TraceEnvelope, Wire, WireError};

@@ -42,6 +42,11 @@ use crate::id::ProcessId;
 /// change to the value encoding of an existing message type.
 pub const PROTOCOL_VERSION: u8 = 1;
 
+/// Protocol version for frames that carry a [`TraceEnvelope`] between the
+/// version byte and the body. Version 1 frames (no envelope) remain
+/// decodable — see [`decode_frame_any`].
+pub const PROTOCOL_VERSION_STAMPED: u8 = 2;
+
 /// Upper bound on `len` accepted by the deframer. A peer announcing a larger
 /// frame is corrupt or hostile; the connection should be dropped because the
 /// stream can no longer be trusted to be aligned.
@@ -85,7 +90,7 @@ pub enum WireError {
         /// The announced frame length.
         len: usize,
     },
-    /// The frame's version byte did not match [`PROTOCOL_VERSION`].
+    /// The frame's version byte matched no supported protocol version.
     BadVersion {
         /// The version byte found.
         got: u8,
@@ -125,7 +130,11 @@ impl fmt::Display for WireError {
                 write!(f, "frame length {len} outside (0, {MAX_FRAME_LEN}]")
             }
             WireError::BadVersion { got } => {
-                write!(f, "protocol version {got} (expected {PROTOCOL_VERSION})")
+                write!(
+                    f,
+                    "protocol version {got} (supported: {PROTOCOL_VERSION}, \
+                     {PROTOCOL_VERSION_STAMPED})"
+                )
             }
             WireError::BadChecksum { got, want } => {
                 write!(
@@ -388,6 +397,34 @@ impl Wire for ProcessId {
     }
 }
 
+/// Compact causal-position stamp carried by version-2 frames, between the
+/// version byte and the message body.
+///
+/// `lamport` is the sender's Lamport clock *after* ticking for this send;
+/// `trace_id` is the sender's 64-bit trace/epoch id (constant per run or
+/// per incarnation — it groups frames belonging to one causal experiment).
+/// Both are varint-encoded, so a young clock costs two bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEnvelope {
+    /// Sender's Lamport clock value at send time.
+    pub lamport: u64,
+    /// Sender's trace/epoch id.
+    pub trace_id: u64,
+}
+
+impl Wire for TraceEnvelope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lamport.encode(out);
+        self.trace_id.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TraceEnvelope {
+            lamport: u64::decode(r)?,
+            trace_id: u64::decode(r)?,
+        })
+    }
+}
+
 /// IEEE CRC-32 lookup table, built at compile time.
 const CRC32_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
@@ -454,6 +491,55 @@ pub fn decode_frame<M: Wire>(payload: &[u8]) -> Result<M, WireError> {
         return Err(WireError::BadVersion { got: version });
     }
     M::from_bytes(&content[1..])
+}
+
+/// Encodes `msg` as one complete version-2 frame carrying a
+/// [`TraceEnvelope`] between the version byte and the body.
+pub fn encode_frame_stamped<M: Wire>(msg: &M, env: &TraceEnvelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&[0, 0, 0, 0]); // length back-patched below
+    out.push(PROTOCOL_VERSION_STAMPED);
+    env.encode(&mut out);
+    msg.encode(&mut out);
+    let crc = crc32(&out[LEN_PREFIX..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let len = (out.len() - LEN_PREFIX) as u32;
+    out[..LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Decodes a frame payload of *either* supported version: a bare version-1
+/// frame yields `(None, msg)`; a stamped version-2 frame yields
+/// `(Some(envelope), msg)`.
+///
+/// This is the receive path every stamped transport should use — it keeps a
+/// stamping node wire-compatible with an unstamped (pre-upgrade) peer.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadVersion`] for any other version byte,
+/// [`WireError::BadChecksum`] on corruption, or any body decode error.
+pub fn decode_frame_any<M: Wire>(payload: &[u8]) -> Result<(Option<TraceEnvelope>, M), WireError> {
+    if payload.len() < FRAME_OVERHEAD {
+        return Err(WireError::Truncated);
+    }
+    let (content, crc_bytes) = payload.split_at(payload.len() - 4);
+    let got = u32::from_le_bytes(crc_bytes.try_into().expect("split at len-4"));
+    let want = crc32(content);
+    if got != want {
+        return Err(WireError::BadChecksum { got, want });
+    }
+    match content[0] {
+        v if v == PROTOCOL_VERSION => Ok((None, M::from_bytes(&content[1..])?)),
+        v if v == PROTOCOL_VERSION_STAMPED => {
+            let mut r = WireReader::new(&content[1..]);
+            let env = TraceEnvelope::decode(&mut r)?;
+            let msg = M::decode(&mut r)?;
+            r.finish()?;
+            Ok((Some(env), msg))
+        }
+        got => Err(WireError::BadVersion { got }),
+    }
 }
 
 /// Incremental frame extractor for a byte stream.
@@ -686,6 +772,78 @@ mod tests {
         assert!(matches!(
             d.next_frame(),
             Err(WireError::FrameTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn stamped_frame_roundtrips() {
+        let env = TraceEnvelope {
+            lamport: 42,
+            trace_id: 0xfeed_beef,
+        };
+        let frame = encode_frame_stamped(&(7u64, String::from("leader")), &env);
+        let mut d = Deframer::new();
+        d.extend(&frame);
+        let payload = d.next_frame().expect("aligned").expect("complete");
+        let (got_env, msg): (Option<TraceEnvelope>, (u64, String)) =
+            decode_frame_any(&payload).expect("valid");
+        assert_eq!(got_env, Some(env));
+        assert_eq!(msg, (7, String::from("leader")));
+    }
+
+    #[test]
+    fn decode_frame_any_accepts_unstamped_v1_frames() {
+        let frame = encode_frame(&99u64);
+        let mut d = Deframer::new();
+        d.extend(&frame);
+        let payload = d.next_frame().expect("aligned").expect("complete");
+        let (env, msg): (Option<TraceEnvelope>, u64) =
+            decode_frame_any(&payload).expect("v1 stays decodable");
+        assert_eq!(env, None);
+        assert_eq!(msg, 99);
+    }
+
+    #[test]
+    fn strict_v1_decoder_rejects_stamped_frames() {
+        // decode_frame is the strict v1 path (handshakes); a v2 frame must
+        // surface as BadVersion there, not as garbage.
+        let env = TraceEnvelope {
+            lamport: 1,
+            trace_id: 2,
+        };
+        let frame = encode_frame_stamped(&1u64, &env);
+        let payload = frame[LEN_PREFIX..].to_vec();
+        assert_eq!(
+            decode_frame::<u64>(&payload),
+            Err(WireError::BadVersion {
+                got: PROTOCOL_VERSION_STAMPED
+            })
+        );
+    }
+
+    #[test]
+    fn decode_frame_any_rejects_unknown_versions_and_corruption() {
+        let mut frame = encode_frame(&1u64);
+        frame[LEN_PREFIX] = 77;
+        let end = frame.len() - 4;
+        let crc = crc32(&frame[LEN_PREFIX..end]).to_le_bytes();
+        frame[end..].copy_from_slice(&crc);
+        assert_eq!(
+            decode_frame_any::<u64>(&frame[LEN_PREFIX..]),
+            Err(WireError::BadVersion { got: 77 })
+        );
+        let mut corrupt = encode_frame_stamped(
+            &5u64,
+            &TraceEnvelope {
+                lamport: 9,
+                trace_id: 9,
+            },
+        );
+        let mid = LEN_PREFIX + 3;
+        corrupt[mid] ^= 0x10;
+        assert!(matches!(
+            decode_frame_any::<u64>(&corrupt[LEN_PREFIX..]),
+            Err(WireError::BadChecksum { .. })
         ));
     }
 

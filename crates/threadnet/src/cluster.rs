@@ -6,7 +6,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use lls_primitives::{Ctx, Effects, Env, Instant, ProcessId, Sm, TimerCmd, TimerId};
+use lls_primitives::{Ctx, Effects, Env, Instant, LamportClock, ProcessId, Sm, TimerCmd, TimerId};
 use parking_lot::Mutex;
 
 use crate::router::{run_router, Envelope, RouterConfig, TrafficStats};
@@ -143,8 +143,30 @@ impl<S: Sm + Send + 'static> Cluster<S> {
     ///
     /// Panics if `config.n < 2`, `config.tick` is zero, or
     /// `config.min_delay > config.max_delay`.
-    pub fn spawn(config: NetConfig, mut make: impl FnMut(&Env) -> S) -> Self {
+    pub fn spawn(config: NetConfig, make: impl FnMut(&Env) -> S) -> Self {
+        let clocks = (0..config.n).map(|i| LamportClock::new(i as u64)).collect();
+        Self::spawn_traced(config, clocks, make)
+    }
+
+    /// Like [`Cluster::spawn`], but with caller-supplied Lamport clocks —
+    /// one per process, typically the handles from
+    /// [`lls_obs::NodeRecorders::clocks`] so that recorded probe events and
+    /// message stamps share one causal timeline. Each send ticks the
+    /// sender's clock (even when the lossy mesh then drops the message —
+    /// clocks count events, not deliveries) and each delivery merges the
+    /// carried stamp into the receiver's clock *before* the handler runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Cluster::spawn`], and additionally if
+    /// `clocks.len() != config.n`.
+    pub fn spawn_traced(
+        config: NetConfig,
+        clocks: Vec<LamportClock>,
+        mut make: impl FnMut(&Env) -> S,
+    ) -> Self {
         assert!(config.n >= 2, "the model requires n > 1 processes");
+        assert_eq!(clocks.len(), config.n, "one clock per process");
         assert!(!config.tick.is_zero(), "tick must be positive");
         assert!(
             config.min_delay <= config.max_delay,
@@ -194,14 +216,14 @@ impl<S: Sm + Send + 'static> Cluster<S> {
         });
 
         let mut handles = Vec::with_capacity(n);
-        for (i, control_rx) in control_rxs.into_iter().enumerate() {
+        for (i, (control_rx, clock)) in control_rxs.into_iter().zip(clocks).enumerate() {
             let env = Env::new(ProcessId(i as u32), n);
             let sm = make(&env);
             let outputs = Arc::clone(&outputs);
             let router_tx = router_tx.clone();
             let tick = config.tick;
             handles.push(std::thread::spawn(move || {
-                node_loop(env, sm, control_rx, router_tx, outputs, tick, start);
+                node_loop(env, sm, control_rx, router_tx, outputs, tick, start, clock);
             }));
         }
         Cluster {
@@ -304,7 +326,8 @@ impl<S: Sm + Send + 'static> Cluster<S> {
 }
 
 /// The per-process event loop: timers with reset semantics, inbox delivery,
-/// wall-clock → tick mapping.
+/// wall-clock → tick mapping, Lamport stamping on each send/receive.
+#[allow(clippy::too_many_arguments)]
 fn node_loop<S: Sm>(
     env: Env,
     mut sm: S,
@@ -313,6 +336,7 @@ fn node_loop<S: Sm>(
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
     tick: StdDuration,
     start: StdInstant,
+    clock: LamportClock,
 ) {
     let me = env.id();
     let now_ticks = |at: StdInstant| -> Instant {
@@ -328,10 +352,14 @@ fn node_loop<S: Sm>(
                  at: StdInstant| {
         let taken = fx.take();
         for s in taken.sends {
+            // Tick per send attempt: clocks count events, not deliveries,
+            // so a message the mesh later drops still advances the clock.
+            let stamp = clock.tick();
             let _ = router.send(Envelope {
                 from: me,
                 to: s.to,
                 msg: s.msg,
+                stamp,
             });
         }
         for cmd in taken.timers {
@@ -394,6 +422,9 @@ fn node_loop<S: Sm>(
         match inbox.recv_timeout(wait) {
             Ok(Control::Deliver(envp)) if !dead => {
                 let at = StdInstant::now();
+                // Merge before the handler so probe events the handler emits
+                // are causally after the send.
+                clock.observe(envp.stamp);
                 sm.on_message(
                     &mut Ctx::new(&env, now_ticks(at), &mut fx),
                     envp.from,

@@ -13,6 +13,10 @@ pub(crate) struct Envelope<M> {
     pub from: ProcessId,
     pub to: ProcessId,
     pub msg: M,
+    /// Sender's Lamport clock at send time (0 when the cluster runs
+    /// without trace clocks). Carried through the router untouched; the
+    /// receiving node merges it before its handler runs.
+    pub stamp: u64,
 }
 
 /// Shared, thread-safe traffic statistics.
@@ -149,6 +153,7 @@ mod tests {
                 from: ProcessId(0),
                 to: ProcessId(1),
                 msg: offset_ms,
+                stamp: 0,
             },
         };
         let mut heap = std::collections::BinaryHeap::new();
@@ -171,6 +176,7 @@ mod tests {
                 from: ProcessId(0),
                 to: ProcessId(1),
                 msg: seq,
+                stamp: 0,
             },
         };
         let mut heap = std::collections::BinaryHeap::new();
@@ -207,6 +213,7 @@ mod tests {
                 from: ProcessId(0),
                 to: ProcessId(1),
                 msg: i,
+                stamp: 0,
             })
             .unwrap();
         }
@@ -248,6 +255,7 @@ mod tests {
                 from: ProcessId(1),
                 to: ProcessId(0),
                 msg: i,
+                stamp: 0,
             })
             .unwrap();
         }

@@ -5,7 +5,7 @@ use std::net::{Ipv4Addr, SocketAddr, TcpListener};
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use lls_primitives::wire::Wire;
-use lls_primitives::{Env, ProcessId, Sm};
+use lls_primitives::{Env, LamportClock, ProcessId, Sm};
 
 use crate::counters::LinkStats;
 use crate::link::BackoffConfig;
@@ -148,6 +148,9 @@ pub struct WireCluster<S: Sm> {
     /// The fixed listen address of every process — a restarted process
     /// re-binds its original address so peers' redial loops find it.
     addrs: Vec<SocketAddr>,
+    /// One Lamport clock per process, surviving kill/restart so a revived
+    /// incarnation continues the same causal timeline.
+    clocks: Vec<LamportClock>,
     config: WireConfig,
     start: StdInstant,
     /// Per-process state archived from killed incarnations, merged into
@@ -188,11 +191,37 @@ where
     ///
     /// Panics if `config.n < 2` or `config.tick` is zero (configuration
     /// bugs, not runtime conditions).
-    pub fn try_spawn(
+    pub fn try_spawn(config: WireConfig, make: impl FnMut(&Env) -> S) -> Result<Self, NodeError> {
+        let clocks = (0..config.n).map(|i| LamportClock::new(i as u64)).collect();
+        Self::try_spawn_traced(config, clocks, make)
+    }
+
+    /// Like [`try_spawn`](WireCluster::try_spawn), but with caller-supplied
+    /// Lamport clocks — one per process, typically the handles from
+    /// [`lls_obs::NodeRecorders::clocks`] so message stamps and recorded
+    /// probe events share one causal timeline. Each node stamps the clock
+    /// into every outbound frame (version-2 trace envelope) and merges the
+    /// envelope of every inbound frame; a process [`restart`]ed after
+    /// [`kill`] keeps its clock, continuing the same timeline.
+    ///
+    /// [`restart`]: WireCluster::restart
+    /// [`kill`]: WireCluster::kill
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`try_spawn`](WireCluster::try_spawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`try_spawn`](WireCluster::try_spawn), and additionally
+    /// if `clocks.len() != config.n`.
+    pub fn try_spawn_traced(
         config: WireConfig,
+        clocks: Vec<LamportClock>,
         mut make: impl FnMut(&Env) -> S,
     ) -> Result<Self, NodeError> {
         assert!(config.n >= 2, "the model requires n > 1 processes");
+        assert_eq!(clocks.len(), config.n, "one clock per process");
         let n = config.n;
         let any = SocketAddr::from((Ipv4Addr::LOCALHOST, 0));
         let listeners: Vec<TcpListener> = (0..n)
@@ -225,6 +254,7 @@ where
                     queue_capacity: config.queue_capacity,
                     backoff: config.backoff,
                     faults: config.faults,
+                    clock: Some(clocks[i].clone()),
                 };
                 WireNode::try_spawn_at(listener, node_config, sm, start).map(Some)
             })
@@ -232,6 +262,7 @@ where
         Ok(WireCluster {
             nodes,
             addrs,
+            clocks,
             config,
             start,
             archived_outputs: vec![Vec::new(); n],
@@ -293,6 +324,7 @@ where
             queue_capacity: self.config.queue_capacity,
             backoff: self.config.backoff,
             faults: self.config.faults,
+            clock: Some(self.clocks[p.as_usize()].clone()),
         };
         let node = WireNode::try_spawn_at(listener, node_config, sm, self.start)?;
         self.nodes[p.as_usize()] = Some(node);

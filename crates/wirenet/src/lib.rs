@@ -23,7 +23,13 @@
 //!   [`FaultInjector`](lls_primitives::FaultInjector));
 //! * per-link counters (bytes/messages both ways, reconnects, queue drops,
 //!   decode failures) surface in a [`ClusterReport`] mirroring
-//!   `threadnet`'s.
+//!   `threadnet`'s;
+//! * every frame carries a version-2 trace envelope (the sender's Lamport
+//!   clock), merged on receive, so recorded probe events line up on one
+//!   causal timeline across nodes;
+//! * a dependency-free HTTP [`ScrapeServer`] serves live `/metrics`
+//!   (Prometheus text), `/flight` (flight-recorder dump), and `/spans`
+//!   (reconstructed causal spans) for any recorder bundle.
 //!
 //! [`CommEffOmega`]: https://docs.rs/omega
 //! [`Sm`]: lls_primitives::Sm
@@ -58,8 +64,10 @@ mod cluster;
 mod counters;
 mod link;
 mod node;
+pub mod scrape;
 
 pub use cluster::{ClusterReport, WireCluster, WireConfig};
 pub use counters::{LinkCounters, LinkStats, NodeTraffic, NodeTrafficStats};
 pub use link::BackoffConfig;
 pub use node::{FaultConfig, NodeConfig, NodeError, TimedOutput, WireNode};
+pub use scrape::{scrape, ScrapeRoutes, ScrapeServer};

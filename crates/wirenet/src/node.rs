@@ -16,8 +16,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use lls_primitives::wire::{decode_frame, encode_frame, Deframer, Wire};
-use lls_primitives::{Ctx, Effects, Env, FaultInjector, Instant, ProcessId, Sm, TimerCmd, TimerId};
+use lls_primitives::wire::{
+    decode_frame, decode_frame_any, encode_frame, encode_frame_stamped, Deframer, Wire,
+};
+use lls_primitives::{
+    Ctx, Effects, Env, FaultInjector, Instant, LamportClock, ProcessId, Sm, TimerCmd, TimerId,
+};
 use parking_lot::Mutex;
 
 use crate::counters::{LinkCounters, LinkStats, NodeTraffic};
@@ -95,6 +99,13 @@ pub struct NodeConfig {
     pub backoff: BackoffConfig,
     /// Optional socket-layer loss/delay injection.
     pub faults: Option<FaultConfig>,
+    /// Lamport clock handle stamped into every outbound frame (version-2
+    /// trace envelope) and merged on every inbound frame. `None` spawns a
+    /// private clock — frames are still stamped, but the timeline is not
+    /// shared with any recorder. Pass the handle from
+    /// [`lls_obs::NodeRecorders::clocks`] to put message stamps and probe
+    /// events on one causal timeline.
+    pub clock: Option<LamportClock>,
 }
 
 /// One timestamped protocol output from the run.
@@ -169,6 +180,7 @@ pub struct WireNode<S: Sm> {
     traffic: Arc<NodeTraffic>,
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
     conns: Arc<ConnRegistry>,
+    clock: LamportClock,
     handles: Vec<(&'static str, JoinHandle<()>)>,
     reader_handles: Arc<StdMutex<Vec<JoinHandle<()>>>>,
 }
@@ -237,6 +249,10 @@ where
             .set_nonblocking(true)
             .map_err(|e| NodeError::Listener { kind: e.kind() })?;
 
+        let clock = config
+            .clock
+            .clone()
+            .unwrap_or_else(|| LamportClock::new(u64::from(me.0)));
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnRegistry::default());
         let counters: Arc<Vec<Arc<LinkCounters>>> =
@@ -302,6 +318,7 @@ where
                 let conns = Arc::clone(&conns);
                 let shutdown = Arc::clone(&shutdown);
                 let reader_handles = Arc::clone(&reader_handles);
+                let clock = clock.clone();
                 move || {
                     run_acceptor::<S::Msg, S::Request>(
                         listener,
@@ -311,6 +328,7 @@ where
                         conns,
                         shutdown,
                         reader_handles,
+                        clock,
                     )
                 }
             }),
@@ -326,9 +344,10 @@ where
                 let traffic = Arc::clone(&traffic);
                 let outputs = Arc::clone(&outputs);
                 let tick = config.tick;
+                let clock = clock.clone();
                 move || {
                     protocol_loop(
-                        env, sm, control_rx, links, counters, traffic, outputs, tick, start,
+                        env, sm, control_rx, links, counters, traffic, outputs, tick, start, clock,
                     )
                 }
             }),
@@ -345,6 +364,7 @@ where
             traffic,
             outputs,
             conns,
+            clock,
             handles,
             reader_handles,
         })
@@ -386,6 +406,12 @@ where
     /// Protocol-level send accounting (the communication-efficiency oracle).
     pub fn traffic(&self) -> &NodeTraffic {
         &self.traffic
+    }
+
+    /// The node's Lamport clock handle (shared with its reader and protocol
+    /// threads): ticked on each send, merged on each stamped receive.
+    pub fn clock(&self) -> &LamportClock {
+        &self.clock
     }
 
     /// A copy of all outputs emitted so far.
@@ -459,6 +485,7 @@ fn mix_seed(base: u64, me: ProcessId, peer: u32) -> u64 {
 }
 
 /// The accept loop: hands each inbound connection to a reader thread.
+#[allow(clippy::too_many_arguments)]
 fn run_acceptor<M, R>(
     listener: TcpListener,
     n: usize,
@@ -467,6 +494,7 @@ fn run_acceptor<M, R>(
     conns: Arc<ConnRegistry>,
     shutdown: Arc<AtomicBool>,
     reader_handles: Arc<StdMutex<Vec<JoinHandle<()>>>>,
+    clock: LamportClock,
 ) where
     M: Wire + Clone + std::fmt::Debug + std::marker::Send + 'static,
     R: Clone + std::fmt::Debug + std::marker::Send + 'static,
@@ -481,7 +509,12 @@ fn run_acceptor<M, R>(
                     let counters = Arc::clone(&counters);
                     let conns = Arc::clone(&conns);
                     let shutdown = Arc::clone(&shutdown);
-                    move || run_reader(stream, n, control, counters, conns, conn_id, shutdown)
+                    let clock = clock.clone();
+                    move || {
+                        run_reader(
+                            stream, n, control, counters, conns, conn_id, shutdown, clock,
+                        )
+                    }
                 });
                 reader_handles
                     .lock()
@@ -505,6 +538,13 @@ fn run_acceptor<M, R>(
 /// checksum or body decode are counted and *skipped* — the length-prefix
 /// framing keeps the stream aligned. Only a corrupt length prefix (framing
 /// lost) or a bad handshake tears the connection down.
+///
+/// Version-2 frames carry a trace envelope which is merged into the node's
+/// Lamport clock *here*, on the reader thread, before the message is queued
+/// for the protocol thread: the clock is a shared atomic that only grows, so
+/// merging early never violates causal order — the handler always runs at a
+/// clock value at or above the sender's stamp.
+#[allow(clippy::too_many_arguments)]
 fn run_reader<M, R>(
     mut stream: TcpStream,
     n: usize,
@@ -513,6 +553,7 @@ fn run_reader<M, R>(
     conns: Arc<ConnRegistry>,
     conn_id: u64,
     shutdown: Arc<AtomicBool>,
+    clock: LamportClock,
 ) where
     M: Wire,
 {
@@ -549,8 +590,11 @@ fn run_reader<M, R>(
                         Some(f) => {
                             let c = &counters[f.as_usize()];
                             c.add_recv(frame_bytes);
-                            match decode_frame::<M>(&payload) {
-                                Ok(msg) => {
+                            match decode_frame_any::<M>(&payload) {
+                                Ok((envelope, msg)) => {
+                                    if let Some(env) = &envelope {
+                                        clock.observe_envelope(env);
+                                    }
                                     if control.send(Control::Deliver { from: f, msg }).is_err() {
                                         break 'conn;
                                     }
@@ -587,6 +631,7 @@ fn protocol_loop<S: Sm>(
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
     tick: StdDuration,
     start: StdInstant,
+    clock: LamportClock,
 ) where
     S::Msg: Wire,
 {
@@ -605,9 +650,12 @@ fn protocol_loop<S: Sm>(
         let taken = fx.take();
         for s in taken.sends {
             traffic.record_send(start);
+            // Tick per send attempt: clocks count events, not deliveries,
+            // so a frame that is later dropped still advances the clock.
+            let envelope = clock.stamp();
             let to = s.to.as_usize();
             if let Some(link) = links.get(to).and_then(|l| l.as_ref()) {
-                link.enqueue(encode_frame(&s.msg), &counters[to]);
+                link.enqueue(encode_frame_stamped(&s.msg, &envelope), &counters[to]);
             }
         }
         for cmd in taken.timers {

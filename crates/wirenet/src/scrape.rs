@@ -1,0 +1,263 @@
+//! A tiny hand-rolled HTTP/1.x scrape endpoint — no external dependencies.
+//!
+//! Production observability stacks pull metrics over HTTP; a wirenet node
+//! (or a whole cluster harness) can serve the same three views live:
+//!
+//! * `/metrics` — Prometheus text exposition from a
+//!   [`Registry`](lls_obs::Registry) snapshot;
+//! * `/flight` — the flight-recorder dump of every node (the post-mortem
+//!   view, on demand while the run is still going);
+//! * `/spans` — recently reconstructed causal spans as JSON.
+//!
+//! The server is deliberately minimal: it parses only the request line of a
+//! `GET`, answers with `HTTP/1.0` + `Connection: close`, and serves each
+//! connection on the accept thread (scrapes are rare and small). That is
+//! enough for `curl`, Prometheus, and the in-repo [`scrape`] client, and it
+//! keeps the workspace's no-new-dependencies rule intact.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+/// The content producers behind the three scrape paths. Each callback is
+/// invoked per request, so the response always reflects live state.
+#[allow(missing_debug_implementations)]
+pub struct ScrapeRoutes {
+    /// Body of `GET /metrics` (Prometheus text exposition).
+    pub metrics: Arc<dyn Fn() -> String + Send + Sync>,
+    /// Body of `GET /flight` (flight-recorder dump, plain text).
+    pub flight: Arc<dyn Fn() -> String + Send + Sync>,
+    /// Body of `GET /spans` (reconstructed spans, JSON).
+    pub spans: Arc<dyn Fn() -> String + Send + Sync>,
+}
+
+impl ScrapeRoutes {
+    /// Routes backed by a recorder bundle: `/metrics` renders its registry,
+    /// `/flight` dumps every node's ring, `/spans` reconstructs spans from
+    /// the recorded events on each request.
+    pub fn for_recorders(recorders: Arc<lls_obs::NodeRecorders>) -> Self {
+        let r1 = Arc::clone(&recorders);
+        let r2 = Arc::clone(&recorders);
+        let r3 = recorders;
+        ScrapeRoutes {
+            metrics: Arc::new(move || r1.registry().render_prometheus()),
+            flight: Arc::new(move || r2.dump_all()),
+            spans: Arc::new(move || {
+                lls_obs::spans_json(&lls_obs::reconstruct_spans(&r3.all_events()))
+            }),
+        }
+    }
+}
+
+/// A running scrape server: one accept thread on a loopback port.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `127.0.0.1:0` (OS-assigned port) and starts serving `routes`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the loopback listener cannot be bound or configured.
+    pub fn spawn(routes: ScrapeRoutes) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(SocketAddr::from((Ipv4Addr::LOCALHOST, 0)))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = std::thread::spawn({
+            let shutdown = Arc::clone(&shutdown);
+            move || accept_loop(listener, routes, shutdown)
+        });
+        Ok(ScrapeServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server listens on (loopback, OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, routes: ScrapeRoutes, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_one(stream, &routes),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(StdDuration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(StdDuration::from_millis(10)),
+        }
+    }
+}
+
+/// Handles one connection: read the request head, answer, close.
+fn serve_one(mut stream: TcpStream, routes: &ScrapeRoutes) {
+    let _ = stream.set_read_timeout(Some(StdDuration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(StdDuration::from_millis(500)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the end of the request head (or a bounded amount).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method != "GET" {
+        http_response(405, "text/plain; charset=utf-8", "method not allowed\n")
+    } else {
+        // Ignore any query string: `/metrics?x=y` scrapes like `/metrics`.
+        match path.split('?').next().unwrap_or("") {
+            "/metrics" => http_response(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &(routes.metrics)(),
+            ),
+            "/flight" => http_response(200, "text/plain; charset=utf-8", &(routes.flight)()),
+            "/spans" => http_response(200, "application/json", &(routes.spans)()),
+            _ => http_response(404, "text/plain; charset=utf-8", "not found\n"),
+        }
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn http_response(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// A minimal scrape client for tests and experiments: `GET {path}` from
+/// `addr`, returning the response body.
+///
+/// # Errors
+///
+/// Fails on connect/write/read errors or a non-200 status line.
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, StdDuration::from_secs(2))?;
+    stream.set_read_timeout(Some(StdDuration::from_secs(2)))?;
+    stream.set_write_timeout(Some(StdDuration::from_secs(2)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: scrape\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+    })?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(std::io::Error::other(format!(
+            "scrape {path}: {status_line}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lls_obs::{NodeRecorders, Probe, ProbeEvent};
+    use lls_primitives::{Instant, ProcessId};
+
+    fn test_routes(recorders: &Arc<NodeRecorders>) -> ScrapeRoutes {
+        ScrapeRoutes::for_recorders(Arc::clone(recorders))
+    }
+
+    #[test]
+    fn serves_metrics_flight_and_spans() {
+        let recorders = Arc::new(NodeRecorders::new(2, 32));
+        let probe = recorders.probe_for(ProcessId(0));
+        probe.emit(ProbeEvent::LeaderChange {
+            node: ProcessId(0),
+            at: Instant::from_ticks(7),
+            leader: ProcessId(1),
+        });
+        let server = ScrapeServer::spawn(test_routes(&recorders)).expect("spawn scrape server");
+        let addr = server.addr();
+
+        let metrics = scrape(addr, "/metrics").expect("scrape /metrics");
+        assert!(metrics.contains("probe_leader_change_total"));
+        assert_eq!(metrics, recorders.registry().render_prometheus());
+
+        let flight = scrape(addr, "/flight").expect("scrape /flight");
+        assert!(flight.contains("LEADER"), "{flight}");
+
+        let spans = scrape(addr, "/spans").expect("scrape /spans");
+        assert!(spans.starts_with('['), "spans is a JSON array: {spans}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let recorders = Arc::new(NodeRecorders::new(2, 8));
+        let server = ScrapeServer::spawn(test_routes(&recorders)).expect("spawn scrape server");
+        let addr = server.addr();
+
+        let err = scrape(addr, "/nope").expect_err("404 surfaces as error");
+        assert!(err.to_string().contains("404"), "{err}");
+
+        // A hand-written POST should bounce with 405.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let recorders = Arc::new(NodeRecorders::new(2, 8));
+        let server = ScrapeServer::spawn(test_routes(&recorders)).expect("spawn scrape server");
+        let body = scrape(server.addr(), "/metrics?window=60s").expect("scrape with query");
+        assert!(body.contains("# TYPE") || body.is_empty() || body.contains("probe"));
+        server.stop();
+    }
+}

@@ -7,19 +7,29 @@
 //! that all three observed the *identical* applied sequence, then prints
 //! the socket-level traffic that carried it.
 //!
+//! The run is observable while it happens: every replica feeds a flight
+//! recorder, and a scrape endpoint serves `/metrics`, `/flight`, and
+//! `/spans` over plain HTTP (`curl` works). Press Enter at any point — or
+//! close stdin, e.g. via Ctrl-D — for an on-demand flight-recorder dump of
+//! all replicas, the same post-mortem a crash would produce.
+//!
 //! Run with: `cargo run -p lls-examples --bin kv_over_tcp`
 
+use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use consensus::ConsensusParams;
 use kvstore::{ClientId, KvCmd, KvEvent, KvReplica, Tagged};
+use lls_obs::{NodeRecorders, RecordingProbe};
 use lls_primitives::ProcessId;
-use wirenet::{WireCluster, WireConfig};
+use wirenet::{scrape, ScrapeRoutes, ScrapeServer, WireCluster, WireConfig};
+
+type Replica = KvReplica<RecordingProbe>;
 
 /// Polls until every replica's latest output is `Leader(l)` for the same
 /// `l`, held for 300 ms (momentary agreement during startup churn does not
 /// count). Panics after `timeout`.
-fn await_leader(cluster: &WireCluster<KvReplica>, timeout: StdDuration) -> ProcessId {
+fn await_leader(cluster: &WireCluster<Replica>, timeout: StdDuration) -> ProcessId {
     let deadline = StdInstant::now() + timeout;
     let mut held: Option<(ProcessId, StdInstant)> = None;
     loop {
@@ -46,7 +56,7 @@ fn await_leader(cluster: &WireCluster<KvReplica>, timeout: StdDuration) -> Proce
 
 /// Polls until every replica's latest output is an `Applied` with the final
 /// client sequence number. Panics after `timeout`.
-fn await_applied(cluster: &WireCluster<KvReplica>, last_seq: u64, timeout: StdDuration) {
+fn await_applied(cluster: &WireCluster<Replica>, last_seq: u64, timeout: StdDuration) {
     let deadline = StdInstant::now() + timeout;
     loop {
         let done = cluster
@@ -64,19 +74,60 @@ fn await_applied(cluster: &WireCluster<KvReplica>, last_seq: u64, timeout: StdDu
     }
 }
 
+/// Watches stdin from a background thread: every line (just press Enter)
+/// triggers an on-demand flight-recorder dump of all replicas, and EOF
+/// (Ctrl-D, or a closed pipe) triggers one final dump. This is the same
+/// post-mortem the chaos campaign prints when a checker trips — here
+/// available at will while the cluster runs.
+fn spawn_dump_on_stdin(recorders: Arc<NodeRecorders>) {
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    eprintln!("--- flight-recorder dump (stdin closed) ---");
+                    eprintln!("{}", recorders.dump_all());
+                    return;
+                }
+                Ok(_) => {
+                    eprintln!("--- flight-recorder dump (on demand) ---");
+                    eprintln!("{}", recorders.dump_all());
+                }
+            }
+        }
+    });
+}
+
 fn main() {
     let n = 3;
-    let cluster = WireCluster::spawn(
+    let recorders = Arc::new(NodeRecorders::new(n, 256));
+    let cluster = WireCluster::try_spawn_traced(
         WireConfig {
             n,
             tick: StdDuration::from_micros(200),
             ..WireConfig::default()
         },
-        |env| KvReplica::new(env, ConsensusParams::default()),
-    );
+        recorders.clocks(),
+        |env| {
+            KvReplica::new_with_probe(
+                env,
+                ConsensusParams::default(),
+                recorders.probe_for(env.id()),
+            )
+        },
+    )
+    .expect("bind localhost listeners");
     for p in (0..n as u32).map(ProcessId) {
         println!("replica {p} listening on {}", cluster.addr_of(p));
     }
+    let server = ScrapeServer::spawn(ScrapeRoutes::for_recorders(Arc::clone(&recorders)))
+        .expect("bind scrape endpoint");
+    println!(
+        "scrape endpoint on http://{0}  (try: curl http://{0}/metrics | /flight | /spans)",
+        server.addr()
+    );
+    spawn_dump_on_stdin(Arc::clone(&recorders));
 
     let leader = await_leader(&cluster, StdDuration::from_secs(10));
     println!("stable leader over TCP: {leader}\n");
@@ -104,7 +155,20 @@ fn main() {
         std::thread::sleep(StdDuration::from_millis(30));
     }
     await_applied(&cluster, last_seq, StdDuration::from_secs(10));
+
+    // Scrape our own endpoint while the cluster is still live — the same
+    // view Prometheus (or curl) would get.
+    if let Ok(metrics) = scrape(server.addr(), "/metrics") {
+        let decided = metrics
+            .lines()
+            .filter(|l| l.starts_with("probe_decide_total"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        println!("live /metrics excerpt:\n{decided}\n");
+    }
+
     let report = cluster.stop();
+    server.stop();
 
     // Every replica must have applied the identical sequence.
     let applied_of = |p: ProcessId| -> Vec<(u64, ClientId, u64, kvstore::KvResponse)> {
