@@ -24,6 +24,8 @@
 //! | E15 | The communication-efficiency shape survives on real TCP sockets |
 //! | E16 | Crash–restart chaos: durable state keeps both checkers green on all substrates |
 //! | E17 | Steady-state efficiency live-checked through the probe/metrics pipeline |
+//! | E18 | Causal tracing plane: spans, watchdog alarms, live scrape |
+//! | E19 | Batching + pipelining multiply steady-state throughput (≥ 3× baseline) |
 //!
 //! Run everything with `cargo run -p omega-bench --release --bin experiments -- all`,
 //! or one experiment by id (`-- e3`). Alongside each human table the CLI
@@ -36,6 +38,7 @@ pub mod e_consensus;
 pub mod e_obs;
 pub mod e_omega;
 pub mod e_thread;
+pub mod e_throughput;
 pub mod e_trace;
 pub mod e_wire;
 pub mod json;

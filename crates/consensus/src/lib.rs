@@ -66,3 +66,6 @@ pub use msg::{classify_consensus_msg, classify_rsm_msg, ConsensusMsg, Entry, Rsm
 pub use rotating::{classify_rot_msg, RotEvent, RotMsg, RotatingConsensus};
 pub use rsm::{ReplicatedLog, RsmEvent};
 pub use single::{Consensus, ConsensusEvent, ConsensusParams};
+// Re-exported so callers can tune the log's throughput path without
+// depending on the Ω crate directly.
+pub use omega::BatchParams;

@@ -53,22 +53,40 @@ pub enum ConsensusMsg<V> {
     DecideAck,
 }
 
-/// A slot's content in the replicated log: a client command or a no-op
-/// filler used by a new leader to close gaps left by its predecessor.
+/// A slot's content in the replicated log: a client command, a batch of
+/// commands decided atomically as one entry, or a no-op filler used by a
+/// new leader to close gaps left by its predecessor.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Entry<V> {
     /// Gap filler; applied as "skip".
     Noop,
     /// A client command.
     Cmd(V),
+    /// Several client commands coalesced into one atomic entry: the whole
+    /// batch is chosen (and applied, in vector order) or none of it is.
+    /// Leaders only mint batches of two or more — a singleton collapses to
+    /// [`Entry::Cmd`], keeping the pre-batching wire shape on that path.
+    Batch(Vec<V>),
 }
 
 impl<V> Entry<V> {
-    /// The command inside, if any.
+    /// The single command inside, if this is a [`Entry::Cmd`]. Batches
+    /// return `None` — use [`Entry::commands`] to see every command.
     pub fn command(&self) -> Option<&V> {
         match self {
             Entry::Noop => None,
             Entry::Cmd(v) => Some(v),
+            Entry::Batch(_) => None,
+        }
+    }
+
+    /// All commands carried by this entry, in application order: empty for
+    /// a no-op, one for a plain command, the whole vector for a batch.
+    pub fn commands(&self) -> &[V] {
+        match self {
+            Entry::Noop => &[],
+            Entry::Cmd(v) => std::slice::from_ref(v),
+            Entry::Batch(vs) => vs.as_slice(),
         }
     }
 }
@@ -142,6 +160,10 @@ impl<V: Wire> Wire for Entry<V> {
                 out.push(1);
                 v.encode(out);
             }
+            Entry::Batch(vs) => {
+                out.push(2);
+                vs.encode(out);
+            }
         }
     }
 
@@ -149,6 +171,7 @@ impl<V: Wire> Wire for Entry<V> {
         match r.u8()? {
             0 => Ok(Entry::Noop),
             1 => Ok(Entry::Cmd(V::decode(r)?)),
+            2 => Ok(Entry::Batch(Vec::decode(r)?)),
             tag => Err(WireError::BadTag {
                 type_name: "Entry",
                 tag,
@@ -382,6 +405,24 @@ mod tests {
     fn entry_command_projection() {
         assert_eq!(Entry::<u64>::Noop.command(), None);
         assert_eq!(Entry::Cmd(7).command(), Some(&7));
+        assert_eq!(Entry::Batch(vec![1u64, 2]).command(), None);
+    }
+
+    #[test]
+    fn entry_commands_projection() {
+        assert_eq!(Entry::<u64>::Noop.commands(), &[] as &[u64]);
+        assert_eq!(Entry::Cmd(7).commands(), &[7]);
+        assert_eq!(Entry::Batch(vec![1u64, 2, 3]).commands(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_entry_round_trips_on_the_wire() {
+        let entry: Entry<u64> = Entry::Batch(vec![10, 20, 30]);
+        let decoded = Entry::<u64>::from_bytes(&entry.to_bytes()).unwrap();
+        assert_eq!(decoded, entry);
+        // Tags 0/1 are untouched: the pre-batching shapes still decode.
+        let cmd: Entry<u64> = Entry::Cmd(7);
+        assert_eq!(Entry::<u64>::from_bytes(&cmd.to_bytes()).unwrap(), cmd);
     }
 
     #[test]

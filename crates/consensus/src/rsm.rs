@@ -18,6 +18,29 @@
 //! * Chosen slots are broadcast as `Decide` and retransmitted until each peer
 //!   acknowledges (fair-lossy links), and every process emits
 //!   [`RsmEvent::Committed`] in strict slot order.
+//!
+//! # Throughput path: batching and pipelining
+//!
+//! The steady-state fast path scales past one-command-per-round-trip with
+//! two knobs in [`BatchParams`](omega::BatchParams)
+//! (`ConsensusParams::batch`):
+//!
+//! * **Batching** — up to `max_batch` queued commands coalesce into one
+//!   [`Entry::Batch`], decided atomically in a single slot (one accept
+//!   round trip, one WAL record, one `Decide` for the whole batch);
+//! * **Pipelining** — up to `pipeline_depth` slots may be awaiting their
+//!   quorums concurrently; commands arriving while the pipeline is full
+//!   queue in `pending` and coalesce into the next batch.
+//!
+//! All new `Accepted` WAL records minted by one pump of the pipeline are
+//! persisted as a *single group* ([`StorageHandle::append_records`]) — one
+//! fsync-equivalent flush per pump, not per slot — so durability does not
+//! serialize the pipeline. Neither knob touches safety: every slot is still
+//! chosen by the ordinary ballot/quorum rules, a batch is just one entry
+//! whose payload happens to hold several commands, and the write-ahead rule
+//! (records durable before the handler returns, hence before any `Accept`
+//! leaves) is preserved verbatim. Experiment E19 measures the resulting
+//! decided-commands/sec and latency percentiles.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -269,6 +292,40 @@ where
         }
     }
 
+    /// Appends `recs` to the durable log as one group commit — a single
+    /// fsync-equivalent flush on file-backed WALs, however many slots the
+    /// pipeline pump minted — if storage is attached; wedges the machine on
+    /// failure. An empty group is a no-op.
+    fn persist_group(&mut self, recs: &[RsmRecord<V>]) -> bool {
+        if self.wedged {
+            return false;
+        }
+        if recs.is_empty() {
+            return true;
+        }
+        match &self.storage {
+            None => true,
+            Some(store) => {
+                if store.append_records(recs).is_ok() {
+                    // One probe event per record keeps the wal_append counter
+                    // meaning "records persisted", not "flushes issued".
+                    for _ in recs {
+                        self.probe.emit(ProbeEvent::WalAppend {
+                            node: self.env.id(),
+                        });
+                    }
+                    true
+                } else {
+                    self.probe.emit(ProbeEvent::WalWedge {
+                        node: self.env.id(),
+                    });
+                    self.wedged = true;
+                    false
+                }
+            }
+        }
+    }
+
     /// The embedded Ω detector (for instrumentation).
     pub fn omega(&self) -> &CommEffOmega<P> {
         &self.omega
@@ -291,11 +348,12 @@ where
     }
 
     /// All contiguously committed client commands in slot order (no-ops
-    /// skipped).
+    /// skipped; batched slots contribute each of their commands in batch
+    /// order).
     pub fn committed_commands(&self) -> impl Iterator<Item = &V> {
         self.chosen
             .range(0..self.emitted_upto)
-            .filter_map(|(_, e)| e.command())
+            .flat_map(|(_, e)| e.commands().iter())
     }
 
     /// Commands queued locally but not yet committed.
@@ -303,12 +361,27 @@ where
         self.pending.len()
     }
 
-    /// The full chosen map (slot → command), for the log-consistency checker.
+    /// Number of slots proposed but not yet chosen (the occupied pipeline
+    /// window; only ever non-zero at an established leader).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The full chosen map (slot → single command), for the log-consistency
+    /// checker. Like no-ops, batched slots map to `None` — a batch is not
+    /// *one* command; use [`Self::chosen_entries`] for the lossless view.
     pub fn chosen_log(&self) -> BTreeMap<u64, Option<V>> {
         self.chosen
             .iter()
             .map(|(s, e)| (*s, e.command().cloned()))
             .collect()
+    }
+
+    /// The full chosen map (slot → entry), lossless: batched slots keep
+    /// their whole command vectors. The consistency check for batched runs
+    /// compares these maps across replicas.
+    pub fn chosen_entries(&self) -> BTreeMap<u64, Entry<V>> {
+        self.chosen.clone()
     }
 
     fn me(&self) -> ProcessId {
@@ -440,50 +513,103 @@ where
             label: "led",
             number: b.round(),
         });
+        let mut announce: Vec<(u64, Entry<V>)> = Vec::new();
+        let mut proposals: Vec<(u64, Entry<V>)> = Vec::new();
         for slot in from_slot..horizon {
             if let Some(entry) = self.chosen.get(&slot).cloned() {
-                // Already chosen here: (re)announce so laggards catch up.
-                self.track_decide(slot);
-                self.broadcast_decide(ctx, slot, entry);
+                announce.push((slot, entry));
             } else if let Some((_, entry)) = gathered.get(&slot).cloned() {
-                self.propose_at(ctx, slot, entry);
+                proposals.push((slot, entry));
             } else {
-                self.propose_at(ctx, slot, Entry::Noop);
+                proposals.push((slot, Entry::Noop));
             }
         }
-        while let Some(cmd) = self.pending.pop_front() {
-            self.propose_next(ctx, Entry::Cmd(cmd));
+        // Group commit: one flush covers every inherited/no-op re-proposal.
+        let records: Vec<RsmRecord<V>> = proposals
+            .iter()
+            .map(|(slot, entry)| RsmRecord::Accepted {
+                slot: *slot,
+                b,
+                entry: entry.clone(),
+            })
+            .collect();
+        if !self.persist_group(&records) {
+            return;
+        }
+        for (slot, entry) in announce {
+            // Already chosen here: (re)announce so laggards catch up.
+            self.track_decide(slot);
+            self.broadcast_decide(ctx, slot, entry);
+        }
+        for (slot, entry) in proposals {
+            self.accept_persisted(ctx, slot, entry);
+        }
+        self.pump(ctx);
+    }
+
+    /// Fills free pipeline slots from the pending queue: coalesces up to
+    /// `max_batch` queued commands per slot (a singleton stays [`Entry::Cmd`],
+    /// the pre-batching wire shape), persists every new `Accepted` record as
+    /// a single WAL group, then self-accepts and broadcasts each slot. A
+    /// no-op unless this replica is an established leader with both free
+    /// pipeline capacity and queued commands.
+    fn pump(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        let LeaderState::Led { b, next_slot } = self.state else {
+            return;
+        };
+        let max_batch = self.params.batch.max_batch.max(1);
+        let depth = self.params.batch.pipeline_depth.max(1);
+        let mut planned: Vec<(u64, Entry<V>)> = Vec::new();
+        let mut slot = next_slot;
+        while !self.pending.is_empty() && self.inflight.len() + planned.len() < depth {
+            let take = self.pending.len().min(max_batch);
+            let mut cmds: Vec<V> = self.pending.drain(..take).collect();
+            let entry = if cmds.len() == 1 {
+                Entry::Cmd(cmds.pop().expect("len checked"))
+            } else {
+                Entry::Batch(cmds)
+            };
+            planned.push((slot, entry));
+            slot += 1;
+        }
+        if planned.is_empty() {
+            return;
+        }
+        // Write-ahead, once: all records of this pump become durable with a
+        // single flush before any Accept can leave.
+        let records: Vec<RsmRecord<V>> = planned
+            .iter()
+            .map(|(s, e)| RsmRecord::Accepted {
+                slot: *s,
+                b,
+                entry: e.clone(),
+            })
+            .collect();
+        if !self.persist_group(&records) {
+            return;
+        }
+        if let LeaderState::Led { next_slot, .. } = &mut self.state {
+            *next_slot = slot;
+        }
+        for (s, entry) in planned {
+            self.accept_persisted(ctx, s, entry);
         }
     }
 
-    fn propose_next(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, entry: Entry<V>) {
-        let LeaderState::Led { next_slot, .. } = &mut self.state else {
-            return;
-        };
-        let slot = *next_slot;
-        *next_slot += 1;
-        self.propose_at(ctx, slot, entry);
-    }
-
-    fn propose_at(
+    /// Self-accepts `entry` at `slot`, broadcasts the `Accept`, and checks
+    /// for an (n = 1 or retransmission-fed) instant quorum. The matching
+    /// `Accepted` WAL record must already be durable — callers persist
+    /// (individually or as a group) *before* this runs, preserving the
+    /// write-ahead rule.
+    fn accept_persisted(
         &mut self,
         ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
         slot: u64,
         entry: Entry<V>,
     ) {
         let LeaderState::Led { b, .. } = self.state else {
-            // Called from try_assume_leadership after setting Led, or from
-            // propose_next which checked; unreachable otherwise.
             return;
         };
-        if !self.persist(&RsmRecord::Accepted {
-            slot,
-            b,
-            entry: entry.clone(),
-        }) {
-            return;
-        }
-        // Self-accept.
         self.accepted.insert(slot, (b, entry.clone()));
         let mut acks = vec![false; self.env.n()];
         acks[self.me().as_usize()] = true;
@@ -548,10 +674,25 @@ where
             });
         }
         while let Some(e) = self.chosen.get(&self.emitted_upto) {
-            ctx.output(RsmEvent::Committed {
-                slot: self.emitted_upto,
-                cmd: e.command().cloned(),
-            });
+            let slot = self.emitted_upto;
+            // One Committed event *per command*: a batched slot unfolds into
+            // its commands in batch order (same slot index repeated), so
+            // downstream appliers never need to know batching exists.
+            match e.clone() {
+                Entry::Noop => ctx.output(RsmEvent::Committed { slot, cmd: None }),
+                Entry::Cmd(v) => ctx.output(RsmEvent::Committed { slot, cmd: Some(v) }),
+                Entry::Batch(vs) => {
+                    self.probe.emit(ProbeEvent::BatchCommit {
+                        node: self.me(),
+                        at: ctx.now(),
+                        slot,
+                        cmds: vs.len() as u64,
+                    });
+                    for v in vs {
+                        ctx.output(RsmEvent::Committed { slot, cmd: Some(v) });
+                    }
+                }
+            }
             self.emitted_upto += 1;
         }
     }
@@ -633,6 +774,10 @@ where
                         }
                     }
                 }
+                // Belt and braces: if capacity freed without an Accepted
+                // arriving (e.g. acks were satisfied by retransmissions),
+                // keep the pipeline full.
+                self.pump(ctx);
             }
         }
     }
@@ -744,6 +889,9 @@ where
                         if let Some(inf) = self.inflight.get_mut(&slot) {
                             inf.acks[from.as_usize()] = true;
                             self.try_choose(ctx, slot);
+                            // A chosen slot frees pipeline capacity: refill
+                            // it from the pending queue.
+                            self.pump(ctx);
                         }
                     }
                 }
@@ -825,18 +973,17 @@ where
         }
     }
 
-    /// Queues a client command; an established leader proposes it
-    /// immediately, otherwise it waits for leadership (clients of a real
+    /// Queues a client command; an established leader with free pipeline
+    /// capacity proposes immediately (coalescing any queued commands into a
+    /// batch of up to `batch.max_batch`), otherwise the command waits — for
+    /// leadership, or for a pipeline slot to free up (clients of a real
     /// deployment would resubmit to the actual leader).
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: V) {
         if self.wedged {
             return;
         }
-        if matches!(self.state, LeaderState::Led { .. }) {
-            self.propose_next(ctx, Entry::Cmd(req));
-        } else {
-            self.pending.push_back(req);
-        }
+        self.pending.push_back(req);
+        self.pump(ctx);
     }
 }
 
@@ -855,8 +1002,12 @@ mod tests {
 
     impl Harness {
         fn new(me: u32, n: usize) -> Self {
+            Harness::with_params(me, n, ConsensusParams::default())
+        }
+
+        fn with_params(me: u32, n: usize, params: ConsensusParams) -> Self {
             let env = Env::new(ProcessId(me), n);
-            let sm = ReplicatedLog::new(&env, ConsensusParams::default());
+            let sm = ReplicatedLog::new(&env, params);
             Harness {
                 env,
                 sm,
@@ -889,7 +1040,12 @@ mod tests {
 
     /// Drives p0 (initial Ω leader) to the Led state in a 3-replica group.
     fn led_leader() -> Harness {
-        let mut h = Harness::new(0, 3);
+        led_leader_with(ConsensusParams::default())
+    }
+
+    /// Like [`led_leader`], with explicit parameters (batching knobs).
+    fn led_leader_with(params: ConsensusParams) -> Harness {
+        let mut h = Harness::with_params(0, 3, params);
         h.start();
         h.deliver(
             1,
@@ -901,6 +1057,18 @@ mod tests {
         );
         assert!(h.sm.is_established_leader());
         h
+    }
+
+    /// Parameters with batching and a shallow pipeline, for throughput-path
+    /// tests.
+    fn batched_params(max_batch: usize, pipeline_depth: usize) -> ConsensusParams {
+        ConsensusParams {
+            batch: omega::BatchParams {
+                max_batch,
+                pipeline_depth,
+            },
+            ..ConsensusParams::default()
+        }
     }
 
     #[test]
@@ -1179,6 +1347,187 @@ mod tests {
         h.deliver(1, RsmMsg::DecideAck { slot: 0 });
         h.deliver(2, RsmMsg::DecideAck { slot: 0 });
         assert!(!h.sm.decide_trackers.contains_key(&0));
+    }
+
+    #[test]
+    fn pipeline_depth_caps_inflight_slots() {
+        let mut h = led_leader_with(batched_params(1, 2));
+        for v in 0..5 {
+            h.request(v);
+        }
+        assert_eq!(h.sm.inflight_len(), 2, "pipeline must cap at depth");
+        assert_eq!(h.sm.pending_len(), 3, "overflow queues locally");
+        // Choosing slot 0 frees capacity; the pump refills to depth.
+        let fx = h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
+        assert_eq!(h.sm.inflight_len(), 2);
+        assert_eq!(h.sm.pending_len(), 2);
+        assert!(fx
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg, RsmMsg::Accept { slot: 2, .. })));
+    }
+
+    #[test]
+    fn queued_commands_coalesce_into_one_batch_slot() {
+        // Depth 1: the first command occupies the pipeline, the next three
+        // queue up and must ride out together in a single batched slot.
+        let mut h = led_leader_with(batched_params(8, 1));
+        h.request(10);
+        for v in [11, 12, 13] {
+            let fx = h.request(v);
+            assert!(fx.sends.is_empty(), "pipeline full: nothing may leave");
+        }
+        let fx = h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
+        let batched: Vec<Entry<u64>> = fx
+            .sends
+            .iter()
+            .filter_map(|s| match &s.msg {
+                RsmMsg::Accept { slot: 1, entry, .. } => Some(entry.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            batched.iter().all(|e| *e == Entry::Batch(vec![11, 12, 13])),
+            "queued commands must coalesce: {batched:?}"
+        );
+        assert_eq!(batched.len(), 2, "one Accept per peer");
+        assert_eq!(h.sm.pending_len(), 0);
+    }
+
+    #[test]
+    fn batched_slot_commits_one_event_per_command_in_order() {
+        let mut h = led_leader_with(batched_params(8, 1));
+        h.request(10);
+        for v in [11, 12, 13] {
+            h.request(v);
+        }
+        h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
+        let fx = h.deliver(
+            1,
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 1,
+            },
+        );
+        let committed: Vec<(u64, Option<u64>)> = fx
+            .outputs
+            .iter()
+            .filter_map(|o| match o {
+                RsmEvent::Committed { slot, cmd } => Some((*slot, *cmd)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            committed,
+            vec![(1, Some(11)), (1, Some(12)), (1, Some(13))],
+            "a batch unfolds into per-command commits at its slot"
+        );
+        assert_eq!(
+            h.sm.committed_commands().copied().collect::<Vec<_>>(),
+            vec![10, 11, 12, 13]
+        );
+        assert_eq!(h.sm.committed_len(), 2, "two slots, four commands");
+    }
+
+    #[test]
+    fn singleton_batch_stays_a_plain_cmd_on_the_wire() {
+        // max_batch > 1 with exactly one queued command must not change the
+        // wire shape: peers running older assumptions see Entry::Cmd.
+        let mut h = led_leader_with(batched_params(8, 4));
+        let fx = h.request(7);
+        assert!(fx.sends.iter().all(|s| matches!(
+            &s.msg,
+            RsmMsg::Accept {
+                slot: 0,
+                entry: Entry::Cmd(7),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn learner_unfolds_a_batched_decide_from_the_leader() {
+        // A non-leader replica receiving Decide{Batch} emits the same
+        // per-command commit stream as the leader did.
+        let mut h = Harness::new(2, 3);
+        h.start();
+        let fx = h.deliver(
+            0,
+            RsmMsg::Decide {
+                slot: 0,
+                entry: Entry::Batch(vec![5, 6]),
+            },
+        );
+        let committed: Vec<(u64, Option<u64>)> = fx
+            .outputs
+            .iter()
+            .filter_map(|o| match o {
+                RsmEvent::Committed { slot, cmd } => Some((*slot, *cmd)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, vec![(0, Some(5)), (0, Some(6))]);
+        assert_eq!(
+            h.sm.chosen_entries().get(&0),
+            Some(&Entry::Batch(vec![5, 6])),
+            "the lossless view keeps the batch intact"
+        );
+        assert_eq!(
+            h.sm.chosen_log().get(&0),
+            Some(&None),
+            "the single-command view maps batches to None"
+        );
+    }
+
+    #[test]
+    fn batched_slots_survive_a_crash_restart() {
+        use lls_primitives::StorageHandle;
+        let env = Env::new(ProcessId(1), 3);
+        let store = StorageHandle::in_memory();
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        {
+            let mut sm: Log =
+                ReplicatedLog::with_storage(&env, batched_params(8, 4), store.clone()).unwrap();
+            let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+            sm.on_message(
+                &mut ctx,
+                ProcessId(0),
+                RsmMsg::Decide {
+                    slot: 0,
+                    entry: Entry::Batch(vec![1, 2, 3]),
+                },
+            );
+            fx.take();
+            // Crash.
+        }
+        let sm2: Log = ReplicatedLog::with_storage(&env, batched_params(8, 4), store).unwrap();
+        assert_eq!(
+            sm2.chosen(0),
+            Some(&Entry::Batch(vec![1, 2, 3])),
+            "a chosen batch must survive the crash whole"
+        );
+        assert_eq!(
+            sm2.committed_commands().copied().collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

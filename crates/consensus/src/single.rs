@@ -20,7 +20,7 @@ use lls_primitives::{
     Ctx, Duration, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId,
     Wire,
 };
-use omega::{CommEffOmega, OmegaMsg, OmegaParams};
+use omega::{BatchParams, CommEffOmega, OmegaMsg, OmegaParams};
 use serde::{Deserialize, Serialize};
 
 use crate::ballot::Ballot;
@@ -40,14 +40,18 @@ pub struct ConsensusParams {
     pub omega: OmegaParams,
     /// Retransmission / proposer-restart period.
     pub retry: Duration,
+    /// Batching/pipelining knobs of the replicated log's leader fast path
+    /// (ignored by single-shot consensus, which has exactly one slot).
+    pub batch: BatchParams,
 }
 
 impl Default for ConsensusParams {
-    /// Ω defaults plus a 40-tick retry period.
+    /// Ω defaults plus a 40-tick retry period; batching off.
     fn default() -> Self {
         ConsensusParams {
             omega: OmegaParams::default(),
             retry: Duration::from_ticks(40),
+            batch: BatchParams::default(),
         }
     }
 }

@@ -75,6 +75,6 @@ pub mod spec;
 
 pub use comm_efficient::CommEffOmega;
 pub use msg::{classify_msg, OmegaMsg};
-pub use params::{OmegaParams, TimeoutPolicy};
+pub use params::{BatchParams, OmegaParams, TimeoutPolicy};
 pub use rank::{CandidateRank, RankTable};
 pub use relay::{Relay, RelayMsg};

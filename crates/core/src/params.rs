@@ -45,6 +45,57 @@ impl TimeoutPolicy {
     }
 }
 
+/// Throughput parameters of a leader-driven replicated log: how many client
+/// commands one decided slot may carry, and how many slots may be in flight
+/// (proposed but not yet chosen) at once under a stable leader.
+///
+/// Neither knob touches safety: a batch is one atomic log entry chosen by
+/// the ordinary ballot/quorum rules, and pipelined slots are just several
+/// such entries awaiting their quorums concurrently — exactly the state a
+/// slow single-slot leader passes through anyway. The paper's claims are
+/// per-slot; batching only changes how many commands ride in each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchParams {
+    /// Maximum client commands coalesced into one log entry. 1 disables
+    /// batching (every command gets its own slot, the pre-batching wire
+    /// shape).
+    pub max_batch: usize,
+    /// Maximum slots proposed but not yet chosen at once. Commands arriving
+    /// while the pipeline is full queue up and coalesce into batches.
+    pub pipeline_depth: usize,
+}
+
+impl BatchParams {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: both knobs
+    /// must be at least 1 (a zero batch or zero-depth pipeline can never
+    /// propose anything).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".to_owned());
+        }
+        if self.pipeline_depth == 0 {
+            return Err("pipeline_depth must be at least 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for BatchParams {
+    /// Batching off (`max_batch = 1`), pipeline deep enough (32) that the
+    /// pre-batching "propose immediately" behaviour is preserved for any
+    /// realistic in-flight window.
+    fn default() -> Self {
+        BatchParams {
+            max_batch: 1,
+            pipeline_depth: 32,
+        }
+    }
+}
+
 /// Parameters of an Ω instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OmegaParams {
@@ -126,6 +177,27 @@ mod tests {
     #[test]
     fn default_params_validate() {
         assert!(OmegaParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn default_batch_params_disable_batching() {
+        let b = BatchParams::default();
+        assert!(b.validate().is_ok());
+        assert_eq!(b.max_batch, 1, "batching must be opt-in");
+    }
+
+    #[test]
+    fn zero_batch_knobs_are_rejected() {
+        let b = BatchParams {
+            max_batch: 0,
+            ..BatchParams::default()
+        };
+        assert!(b.validate().unwrap_err().contains("max_batch"));
+        let b = BatchParams {
+            pipeline_depth: 0,
+            ..BatchParams::default()
+        };
+        assert!(b.validate().unwrap_err().contains("pipeline_depth"));
     }
 
     #[test]

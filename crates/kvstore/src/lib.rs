@@ -49,8 +49,10 @@ mod client;
 mod command;
 mod replica;
 mod state;
+mod submit;
 
 pub use client::KvClient;
 pub use command::{ClientId, KvCmd, KvResponse, Tagged};
 pub use replica::{KvEvent, KvReplica};
 pub use state::KvState;
+pub use submit::{Settled, SubmitQueue};

@@ -1,0 +1,222 @@
+//! Client-side submit queue for the batched throughput path.
+//!
+//! With pipelining and batching enabled in the log
+//! ([`BatchParams`](consensus::BatchParams)), a client that fires one
+//! command and waits for its reply leaves the whole pipeline idle. A
+//! [`SubmitQueue`] is the client-side half of the throughput path: callers
+//! [`submit`](SubmitQueue::submit) commands as fast as they are minted, the
+//! queue releases up to a `window` of them to the transport
+//! ([`drain`](SubmitQueue::drain)) while the rest coalesce locally, and
+//! every [`KvEvent::Applied`](crate::KvEvent) coming back — one per command,
+//! even when the replica decided them as a single batched slot — is routed
+//! to its originating command by `(client, seq)` tag
+//! ([`settle`](SubmitQueue::settle)).
+//!
+//! Like [`KvClient`](crate::KvClient), the queue is transport-agnostic: it
+//! never sends anything itself. The caller delivers drained commands by
+//! whatever means the deployment uses (`Simulator::schedule_request`,
+//! `Cluster::request`, a socket) and feeds replica events back in. After a
+//! leader change or timeout, [`outstanding`](SubmitQueue::outstanding)
+//! re-issues exact copies of everything released but unsettled — safe to
+//! resubmit because the replicas' session tables suppress duplicates.
+//!
+//! # Example
+//!
+//! ```
+//! use kvstore::{ClientId, KvClient, KvCmd, KvResponse, SubmitQueue};
+//!
+//! let mut client = KvClient::new(ClientId(1));
+//! let mut queue = SubmitQueue::new(2); // at most 2 released at once
+//! for i in 0..5 {
+//!     queue.submit(client.issue(KvCmd::put(format!("k{i}"), "v")));
+//! }
+//! let burst = queue.drain(); // -> transport
+//! assert_eq!(burst.len(), 2);
+//! assert_eq!(queue.queued_len(), 3); // coalescing locally
+//!
+//! // A decided batch comes back as per-command Applied events:
+//! let done = queue.settle(ClientId(1), 1, &KvResponse::Applied { previous: None });
+//! assert!(done.is_some());
+//! assert_eq!(queue.drain().len(), 1); // freed window refills
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::command::{ClientId, KvCmd, KvResponse, Tagged};
+
+/// One command released to the transport and awaiting its reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Settled {
+    /// The originating command, returned to the caller on completion.
+    pub cmd: Tagged<KvCmd>,
+    /// The replica's application outcome.
+    pub response: KvResponse,
+}
+
+/// A windowed client submit queue with per-command reply routing.
+///
+/// Commands enter via [`SubmitQueue::submit`], at most `window` of them are
+/// released to the transport by [`SubmitQueue::drain`], and each decided
+/// command is matched back to its originator by [`SubmitQueue::settle`] —
+/// even when many commands ride in one batched slot.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitQueue {
+    window: usize,
+    queued: VecDeque<Tagged<KvCmd>>,
+    released: BTreeMap<(ClientId, u64), Tagged<KvCmd>>,
+}
+
+impl SubmitQueue {
+    /// Creates a queue that keeps at most `window` commands released to the
+    /// transport at once (0 is treated as 1: a window that can never open
+    /// would deadlock the session).
+    pub fn new(window: usize) -> Self {
+        SubmitQueue {
+            window: window.max(1),
+            queued: VecDeque::new(),
+            released: BTreeMap::new(),
+        }
+    }
+
+    /// Enqueues a minted command. Nothing is sent; call
+    /// [`SubmitQueue::drain`] to obtain the commands the window admits.
+    pub fn submit(&mut self, cmd: Tagged<KvCmd>) {
+        self.queued.push_back(cmd);
+    }
+
+    /// Releases queued commands up to the free window and returns them for
+    /// the caller to deliver. Commands stay tracked until
+    /// [`settle`](SubmitQueue::settle)d, so replies can be routed and
+    /// retries re-issued.
+    pub fn drain(&mut self) -> Vec<Tagged<KvCmd>> {
+        let free = self.window.saturating_sub(self.released.len());
+        let take = self.queued.len().min(free);
+        let mut out = Vec::with_capacity(take);
+        for cmd in self.queued.drain(..take) {
+            self.released.insert((cmd.client, cmd.seq), cmd.clone());
+            out.push(cmd);
+        }
+        out
+    }
+
+    /// Routes one replica `Applied` event — one command out of a decided
+    /// (possibly batched) slot — back to its originating command. Returns
+    /// the completed pair, or `None` if the tag matches nothing outstanding
+    /// (another session's command, or a duplicate completion).
+    pub fn settle(&mut self, client: ClientId, seq: u64, response: &KvResponse) -> Option<Settled> {
+        self.released.remove(&(client, seq)).map(|cmd| Settled {
+            cmd,
+            response: response.clone(),
+        })
+    }
+
+    /// Exact copies of every released-but-unsettled command, oldest first —
+    /// what a caller resubmits after a timeout or leader change. Safe to
+    /// deliver repeatedly: replicas deduplicate by `(client, seq)`.
+    pub fn outstanding(&self) -> Vec<Tagged<KvCmd>> {
+        self.released.values().cloned().collect()
+    }
+
+    /// Commands waiting locally for the window to open.
+    pub fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Commands released to the transport and awaiting replies.
+    pub fn released_len(&self) -> usize {
+        self.released.len()
+    }
+
+    /// `true` once every submitted command has been settled.
+    pub fn is_idle(&self) -> bool {
+        self.queued.is_empty() && self.released.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::KvClient;
+
+    fn queue_with(n: u64, window: usize) -> (KvClient, SubmitQueue) {
+        let mut client = KvClient::new(ClientId(3));
+        let mut q = SubmitQueue::new(window);
+        for i in 0..n {
+            q.submit(client.issue(KvCmd::put(format!("k{i}"), format!("v{i}"))));
+        }
+        (client, q)
+    }
+
+    #[test]
+    fn drain_respects_the_window_and_coalesces_the_rest() {
+        let (_, mut q) = queue_with(7, 3);
+        assert_eq!(q.drain().len(), 3);
+        assert_eq!(q.queued_len(), 4);
+        assert_eq!(q.released_len(), 3);
+        // The window is full: nothing more may leave.
+        assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn settle_routes_replies_by_tag_and_reopens_the_window() {
+        let (_, mut q) = queue_with(4, 2);
+        let burst = q.drain();
+        assert_eq!(burst.len(), 2);
+        let done = q
+            .settle(
+                ClientId(3),
+                burst[0].seq,
+                &KvResponse::Applied { previous: None },
+            )
+            .expect("first command must settle");
+        assert_eq!(done.cmd, burst[0]);
+        // One slot freed: exactly one more command releases.
+        assert_eq!(q.drain().len(), 1);
+        // Unknown or duplicate tags settle nothing.
+        assert!(q
+            .settle(
+                ClientId(3),
+                burst[0].seq,
+                &KvResponse::Applied { previous: None }
+            )
+            .is_none());
+        assert!(q
+            .settle(ClientId(9), 1, &KvResponse::Applied { previous: None })
+            .is_none());
+    }
+
+    #[test]
+    fn outstanding_reissues_unsettled_commands_for_retry() {
+        let (_, mut q) = queue_with(3, 2);
+        let burst = q.drain();
+        q.settle(
+            ClientId(3),
+            burst[1].seq,
+            &KvResponse::Applied { previous: None },
+        );
+        let retries = q.outstanding();
+        assert_eq!(retries, vec![burst[0].clone()]);
+    }
+
+    #[test]
+    fn session_completes_to_idle() {
+        let (_, mut q) = queue_with(5, 2);
+        let mut seen = Vec::new();
+        while !q.is_idle() {
+            for cmd in q.drain() {
+                // Echo transport: every delivered command applies at once.
+                let s = q
+                    .settle(cmd.client, cmd.seq, &KvResponse::Applied { previous: None })
+                    .unwrap();
+                seen.push(s.cmd.seq);
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4, 5], "every command settles in order");
+    }
+
+    #[test]
+    fn zero_window_is_promoted_to_one() {
+        let (_, mut q) = queue_with(2, 0);
+        assert_eq!(q.drain().len(), 1, "a zero window must not deadlock");
+    }
+}

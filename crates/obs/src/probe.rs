@@ -94,6 +94,19 @@ pub enum ProbeEvent {
         /// Which slot decided.
         slot: u64,
     },
+    /// A batched slot committed, carrying several client commands at once
+    /// (the throughput path measured by E19). Emitted *in addition to* the
+    /// per-slot [`ProbeEvent::Decide`].
+    BatchCommit {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the commit.
+        at: Instant,
+        /// Which slot committed.
+        slot: u64,
+        /// How many client commands the batch carried.
+        cmds: u64,
+    },
     /// One record was appended to the write-ahead log (no clock: persistence
     /// runs inside the mutating handler, timing belongs to the handler's
     /// own events).
@@ -127,6 +140,7 @@ impl ProbeEvent {
             | ProbeEvent::TimeoutAdapt { node, .. }
             | ProbeEvent::PhaseEnter { node, .. }
             | ProbeEvent::Decide { node, .. }
+            | ProbeEvent::BatchCommit { node, .. }
             | ProbeEvent::WalAppend { node }
             | ProbeEvent::WalRecover { node, .. }
             | ProbeEvent::WalWedge { node } => node,
@@ -142,7 +156,8 @@ impl ProbeEvent {
             | ProbeEvent::AccusationAbsorbed { at, .. }
             | ProbeEvent::TimeoutAdapt { at, .. }
             | ProbeEvent::PhaseEnter { at, .. }
-            | ProbeEvent::Decide { at, .. } => Some(at),
+            | ProbeEvent::Decide { at, .. }
+            | ProbeEvent::BatchCommit { at, .. } => Some(at),
             ProbeEvent::IncarnationBump { .. }
             | ProbeEvent::WalAppend { .. }
             | ProbeEvent::WalRecover { .. }
@@ -161,6 +176,7 @@ impl ProbeEvent {
             ProbeEvent::TimeoutAdapt { .. } => "timeout_adapt",
             ProbeEvent::PhaseEnter { .. } => "phase_enter",
             ProbeEvent::Decide { .. } => "decide",
+            ProbeEvent::BatchCommit { .. } => "batch_commit",
             ProbeEvent::WalAppend { .. } => "wal_append",
             ProbeEvent::WalRecover { .. } => "wal_recover",
             ProbeEvent::WalWedge { .. } => "wal_wedge",
@@ -203,6 +219,12 @@ impl fmt::Display for ProbeEvent {
             ProbeEvent::Decide { node, at, slot } => {
                 write!(f, "{at} {node} DECIDE    slot={slot}")
             }
+            ProbeEvent::BatchCommit {
+                node,
+                at,
+                slot,
+                cmds,
+            } => write!(f, "{at} {node} BATCH     slot={slot} cmds={cmds}"),
             ProbeEvent::WalAppend { node } => write!(f, "---- {node} WAL-APPEND"),
             ProbeEvent::WalRecover { node, records } => {
                 write!(f, "---- {node} WAL-RECOVER records={records}")
@@ -279,6 +301,12 @@ mod tests {
                 node: p,
                 at: t,
                 slot: 0,
+            },
+            ProbeEvent::BatchCommit {
+                node: p,
+                at: t,
+                slot: 0,
+                cmds: 8,
             },
             ProbeEvent::WalAppend { node: p },
             ProbeEvent::WalRecover {

@@ -108,6 +108,24 @@ pub trait Storage: Send + fmt::Debug {
     /// Appends one record after all existing records.
     fn append(&mut self, record: &[u8]) -> Result<(), StorageError>;
 
+    /// Appends several records as one *group commit*: all records become
+    /// durable with a single flush of the backing medium (where the backend
+    /// supports it), in the given order, after all existing records. An
+    /// empty group is a no-op. The default implementation appends one by
+    /// one — correct for any backend, with per-record flush cost.
+    ///
+    /// Atomicity is **not** promised across the group: a crash mid-group may
+    /// leave a durable *prefix* of it (never a torn individual record, and
+    /// never a record out of order). Write-ahead callers must therefore
+    /// order records so that any prefix is safe — which slot-ordered
+    /// `Accepted` records are.
+    fn append_group(&mut self, records: &[Vec<u8>]) -> Result<(), StorageError> {
+        for record in records {
+            self.append(record)?;
+        }
+        Ok(())
+    }
+
     /// Returns all records in append order.
     fn load(&mut self) -> Result<Vec<Vec<u8>>, StorageError>;
 }
@@ -190,6 +208,29 @@ impl Storage for FileWal {
         let frame = encode_frame(&record.to_vec());
         self.file
             .write_all(&frame)
+            .map_err(|e| io_err("append", &self.path, &e))?;
+        self.file
+            .flush()
+            .map_err(|e| io_err("append", &self.path, &e))?;
+        Ok(())
+    }
+
+    /// Group commit: every frame of the group is encoded into one buffer and
+    /// written with a single `write_all` + flush, so the whole group costs
+    /// one fsync-equivalent instead of one per record. A crash mid-write
+    /// leaves at most a torn frame at the tail, which recovery truncates —
+    /// yielding a durable prefix of whole records, exactly the [`Storage`]
+    /// group-commit contract.
+    fn append_group(&mut self, records: &[Vec<u8>]) -> Result<(), StorageError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        for record in records {
+            buf.extend_from_slice(&encode_frame(record));
+        }
+        self.file
+            .write_all(&buf)
             .map_err(|e| io_err("append", &self.path, &e))?;
         self.file
             .flush()
@@ -292,9 +333,23 @@ impl StorageHandle {
         self.lock().load()
     }
 
+    /// Appends several opaque records as one group commit (one flush; see
+    /// [`Storage::append_group`]).
+    pub fn append_group(&self, records: &[Vec<u8>]) -> Result<(), StorageError> {
+        self.lock().append_group(records)
+    }
+
     /// Appends a typed record, serialised with its [`Wire`] encoding.
     pub fn append_record<R: Wire>(&self, record: &R) -> Result<(), StorageError> {
         self.append(&record.to_bytes())
+    }
+
+    /// Appends several typed records as one group commit: serialises each
+    /// with its [`Wire`] encoding and makes them all durable with a single
+    /// flush ([`Storage::append_group`]).
+    pub fn append_records<R: Wire>(&self, records: &[R]) -> Result<(), StorageError> {
+        let blobs: Vec<Vec<u8>> = records.iter().map(Wire::to_bytes).collect();
+        self.append_group(&blobs)
     }
 
     /// Loads and decodes all records as type `R`.
@@ -370,6 +425,117 @@ mod tests {
             store.load_records::<bool>(),
             Err(StorageError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn group_append_preserves_order_and_interleaves_with_singles() {
+        let store = StorageHandle::in_memory();
+        store.append(b"solo").unwrap();
+        store
+            .append_group(&[b"g1".to_vec(), b"g2".to_vec(), b"g3".to_vec()])
+            .unwrap();
+        store.append(b"tail").unwrap();
+        assert_eq!(
+            store.load().unwrap(),
+            vec![
+                b"solo".to_vec(),
+                b"g1".to_vec(),
+                b"g2".to_vec(),
+                b"g3".to_vec(),
+                b"tail".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    fn typed_group_round_trips() {
+        let store = StorageHandle::in_memory();
+        store.append_records(&[1u64, 2, 3]).unwrap();
+        store.append_record(&4u64).unwrap();
+        assert_eq!(store.load_records::<u64>().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_group_flush_is_a_noop() {
+        let tmp = TempWal::new("empty-group");
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        wal.append(b"only").unwrap();
+        let len_before = std::fs::metadata(&tmp.path).unwrap().len();
+        wal.append_group(&[]).unwrap();
+        assert_eq!(
+            std::fs::metadata(&tmp.path).unwrap().len(),
+            len_before,
+            "an empty group must not touch the file"
+        );
+        assert_eq!(wal.load().unwrap(), vec![b"only".to_vec()]);
+    }
+
+    #[test]
+    fn file_wal_group_survives_reopen() {
+        let tmp = TempWal::new("group");
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append_group(&[b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()])
+                .unwrap();
+        }
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(
+            wal.load().unwrap(),
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]
+        );
+    }
+
+    #[test]
+    fn torn_tail_inside_a_group_recovers_whole_record_prefix() {
+        // A crash mid-group-write must never surface a partial record: the
+        // torn frame is truncated and every *whole* record before it — from
+        // the same group — survives.
+        let tmp = TempWal::new("group-torn");
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append_group(&[b"first".to_vec(), b"second".to_vec(), b"third".to_vec()])
+                .unwrap();
+        }
+        // Tear into the middle of the group's final record.
+        let len = std::fs::metadata(&tmp.path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&tmp.path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(
+            wal.load().unwrap(),
+            vec![b"first".to_vec(), b"second".to_vec()],
+            "recovery keeps the whole-record prefix of the torn group"
+        );
+        // The truncated WAL accepts further groups cleanly.
+        wal.append_group(&[b"fourth".to_vec()]).unwrap();
+        assert_eq!(wal.load().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn tear_at_group_flush_boundary_loses_only_the_unflushed_group() {
+        // Two group commits; the crash wipes exactly the second flush. The
+        // first group — one flush, three records — survives in full.
+        let tmp = TempWal::new("group-boundary");
+        let boundary;
+        {
+            let mut wal = FileWal::open(&tmp.path).unwrap();
+            wal.append_group(&[b"g1a".to_vec(), b"g1b".to_vec(), b"g1c".to_vec()])
+                .unwrap();
+            boundary = std::fs::metadata(&tmp.path).unwrap().len();
+            wal.append_group(&[b"g2a".to_vec(), b"g2b".to_vec()])
+                .unwrap();
+        }
+        let file = OpenOptions::new().write(true).open(&tmp.path).unwrap();
+        file.set_len(boundary).unwrap();
+        drop(file);
+
+        let mut wal = FileWal::open(&tmp.path).unwrap();
+        assert_eq!(
+            wal.load().unwrap(),
+            vec![b"g1a".to_vec(), b"g1b".to_vec(), b"g1c".to_vec()]
+        );
     }
 
     #[test]
