@@ -1,4 +1,4 @@
-//! CLI regenerating every experiment table/series (E1–E19).
+//! CLI regenerating every experiment table/series (E1–E20).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
@@ -19,7 +19,9 @@ use std::path::PathBuf;
 
 use omega_bench::json::{self, JsonValue};
 use omega_bench::table::Table;
-use omega_bench::{e_chaos, e_consensus, e_obs, e_omega, e_thread, e_throughput, e_trace, e_wire};
+use omega_bench::{
+    e_chaos, e_consensus, e_obs, e_omega, e_shard, e_thread, e_throughput, e_trace, e_wire,
+};
 
 struct Scale {
     seeds: u64,
@@ -201,7 +203,15 @@ fn run(id: &str, s: &Scale) -> bool {
             println!("{}", table.render());
             write_json(s, id, &summary);
         }
-        other => eprintln!("unknown experiment id: {other} (expected e1..e19 or all)"),
+        "e20" => {
+            let (n, commands) = if s.quick { (3, 240) } else { (3, 960) };
+            let title = "sharded multi-group throughput scaling with one shared Ω per node";
+            let (table, summary) = e_shard::e20_shard(n, commands, 7);
+            println!("\n=== {} — {} ===", id.to_uppercase(), title);
+            println!("{}", table.render());
+            write_json(s, id, &summary);
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e20 or all)"),
     }
     true
 }
@@ -250,7 +260,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18", "e19",
+            "e14", "e15", "e16", "e17", "e18", "e19", "e20",
         ] {
             ok &= run(id, &scale);
         }

@@ -20,6 +20,10 @@
 //! * [`RotatingConsensus`] — the pre-Ω state of the art (Chandra–Toueg ◇S
 //!   rotating coordinator), implemented as the baseline experiment E14
 //!   compares against.
+//! * [`shard`] — sharded multi-group replication: S independent replicated
+//!   logs per cluster, one **shared** Ω per node feeding leadership to all
+//!   co-located groups so election traffic stays independent of S
+//!   (experiment E20).
 //! * [`checker`] — safety oracles (agreement, validity, integrity, log
 //!   prefix consistency) applied to run traces by tests and experiments.
 //!
@@ -58,6 +62,7 @@ pub mod durable;
 mod msg;
 mod rotating;
 mod rsm;
+pub mod shard;
 mod single;
 
 pub use ballot::Ballot;
@@ -65,6 +70,10 @@ pub use durable::{AcceptorRecord, RsmRecord};
 pub use msg::{classify_consensus_msg, classify_rsm_msg, ConsensusMsg, Entry, RsmMsg};
 pub use rotating::{classify_rot_msg, RotEvent, RotMsg, RotatingConsensus};
 pub use rsm::{ReplicatedLog, RsmEvent};
+pub use shard::{
+    classify_shard_msg, PlacementManager, PlacementMap, ShardEvent, ShardId, ShardMsg,
+    ShardRequest, ShardedNode,
+};
 pub use single::{Consensus, ConsensusEvent, ConsensusParams};
 // Re-exported so callers can tune the log's throughput path without
 // depending on the Ω crate directly.

@@ -132,6 +132,10 @@ pub struct ReplicatedLog<V, P: Probe = NoopProbe> {
     // Durability (see `crate::durable` for the safety arguments).
     storage: Option<StorageHandle>,
     wedged: bool,
+    // External-leadership mode: the embedded Ω is inert and leadership is
+    // injected via `set_leader` (one shared Ω per node drives many groups).
+    external: bool,
+    believed: Option<ProcessId>,
     /// Observability sink; `NoopProbe` by default (zero cost).
     probe: P,
 }
@@ -205,8 +209,65 @@ where
             decide_trackers: BTreeMap::new(),
             storage: None,
             wedged: false,
+            external: false,
+            believed: None,
             probe,
         }
+    }
+
+    /// Like [`ReplicatedLog::new`], but in *external-leadership* mode: the
+    /// embedded Ω detector stays inert (no heartbeats, no timers, Ω
+    /// messages dropped) and leadership is injected with
+    /// [`ReplicatedLog::set_leader`] instead. This is how a node hosting
+    /// many co-located shard groups shares **one** Ω across all of them —
+    /// steady-state election traffic stays independent of the group count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn new_externally_led(env: &Env, params: ConsensusParams) -> Self
+    where
+        P: Default,
+    {
+        let mut sm = ReplicatedLog::new_with_probe(env, params, P::default());
+        sm.external = true;
+        sm
+    }
+
+    /// Like [`ReplicatedLog::new_externally_led`], with an observability
+    /// probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn new_externally_led_with_probe(env: &Env, params: ConsensusParams, probe: P) -> Self {
+        let mut sm = ReplicatedLog::new_with_probe(env, params, probe);
+        sm.external = true;
+        sm
+    }
+
+    /// Like [`ReplicatedLog::with_storage_and_probe`], but in
+    /// external-leadership mode (see
+    /// [`ReplicatedLog::new_externally_led`]): the group recovers its own
+    /// WAL segment exactly as usual, then waits for leadership from the
+    /// shared detector.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage_externally_led(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let mut sm = ReplicatedLog::with_storage_and_probe(env, params, storage, probe)?;
+        sm.external = true;
+        Ok(sm)
     }
 
     /// Like [`ReplicatedLog::with_storage`], with an observability probe.
@@ -329,6 +390,43 @@ where
     /// The embedded Ω detector (for instrumentation).
     pub fn omega(&self) -> &CommEffOmega<P> {
         &self.omega
+    }
+
+    /// `true` if this log runs in external-leadership mode (embedded Ω
+    /// inert, leadership injected via [`ReplicatedLog::set_leader`]).
+    pub fn is_externally_led(&self) -> bool {
+        self.external
+    }
+
+    /// Injects the current leader from an external detector (the shared
+    /// per-node Ω of a sharded deployment). Emits [`RsmEvent::Leader`] and
+    /// runs the same prepare/abdicate transition the embedded Ω output
+    /// would: becoming leader starts phase 1 once, losing leadership drops
+    /// in-flight proposals. Repeated injections of the same leader are
+    /// no-ops. Ignored unless the log is in external-leadership mode.
+    pub fn set_leader(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, leader: ProcessId) {
+        if !self.external || self.wedged || self.believed == Some(leader) {
+            return;
+        }
+        self.believed = Some(leader);
+        ctx.output(RsmEvent::Leader(leader));
+        if leader == self.me() {
+            if matches!(self.state, LeaderState::Follower) {
+                self.start_prepare(ctx);
+            }
+        } else {
+            self.abdicate(ctx.now());
+        }
+    }
+
+    /// Whether this replica currently believes it should lead: the external
+    /// detector's word in external mode, the embedded Ω's otherwise.
+    fn believes_leadership(&self) -> bool {
+        if self.external {
+            self.believed == Some(self.me())
+        } else {
+            self.omega.is_leader()
+        }
     }
 
     /// Returns `true` if this replica currently leads with an established
@@ -728,7 +826,7 @@ where
         for slot in done {
             self.decide_trackers.remove(&slot);
         }
-        if !self.omega.is_leader() {
+        if !self.believes_leadership() {
             if !matches!(self.state, LeaderState::Follower) {
                 self.abdicate(ctx.now());
             }
@@ -938,7 +1036,11 @@ where
             return;
         }
         ctx.set_timer(RETRY_TIMER, self.params.retry);
-        self.drive_omega(ctx, |omega, octx| omega.on_start(octx));
+        // In external-leadership mode the embedded Ω never runs: the shared
+        // per-node detector injects leadership via `set_leader`.
+        if !self.external {
+            self.drive_omega(ctx, |omega, octx| omega.on_start(octx));
+        }
     }
 
     fn on_message(
@@ -952,7 +1054,11 @@ where
         }
         match msg {
             RsmMsg::Omega(m) => {
-                self.drive_omega(ctx, |omega, octx| omega.on_message(octx, from, m));
+                // Ω traffic is not ours in external mode — the shared
+                // per-node detector owns it.
+                if !self.external {
+                    self.drive_omega(ctx, |omega, octx| omega.on_message(octx, from, m));
+                }
             }
             other => self.on_rsm_msg(ctx, from, other),
         }
@@ -963,6 +1069,9 @@ where
             return;
         }
         if timer.0 >= OMEGA_TIMER_BASE {
+            if self.external {
+                return;
+            }
             let inner = TimerId(timer.0 - OMEGA_TIMER_BASE);
             self.drive_omega(ctx, |omega, octx| omega.on_timer(octx, inner));
         } else if timer == RETRY_TIMER {
@@ -1069,6 +1178,73 @@ mod tests {
             },
             ..ConsensusParams::default()
         }
+    }
+
+    #[test]
+    fn externally_led_log_is_silent_until_leadership_is_injected() {
+        let env = Env::new(ProcessId(0), 3);
+        let mut sm: Log = ReplicatedLog::new_externally_led(&env, ConsensusParams::default());
+        assert!(sm.is_externally_led());
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        let out = fx.take();
+        assert!(
+            out.sends.is_empty(),
+            "no Ω heartbeats, no prepares: {:?}",
+            out.sends
+        );
+        // Only the retry timer is armed — no Ω timers.
+        assert!(out
+            .timers
+            .iter()
+            .all(|t| matches!(t, TimerCmd::Set { timer, .. } if *timer == RETRY_TIMER)));
+
+        // Injecting our own id starts phase 1 exactly like an Ω output.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.set_leader(&mut ctx, ProcessId(0));
+        let out = fx.take();
+        assert!(out.outputs.contains(&RsmEvent::Leader(ProcessId(0))));
+        assert_eq!(
+            out.sends
+                .iter()
+                .filter(|s| matches!(s.msg, RsmMsg::Prepare { .. }))
+                .count(),
+            2
+        );
+        // Re-injecting the same leader is a no-op.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.set_leader(&mut ctx, ProcessId(0));
+        assert!(fx.take().outputs.is_empty());
+
+        // Losing leadership abdicates.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.set_leader(&mut ctx, ProcessId(2));
+        let out = fx.take();
+        assert!(out.outputs.contains(&RsmEvent::Leader(ProcessId(2))));
+        assert!(!sm.is_established_leader());
+    }
+
+    #[test]
+    fn externally_led_log_drops_omega_messages_and_timers() {
+        let env = Env::new(ProcessId(1), 3);
+        let mut sm: Log = ReplicatedLog::new_externally_led(&env, ConsensusParams::default());
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        sm.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+        let counter_before = sm.omega().own_counter();
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(
+            &mut ctx,
+            ProcessId(0),
+            RsmMsg::Omega(omega::OmegaMsg::Alive { counter: 9 }),
+        );
+        let out = fx.take();
+        assert!(out.sends.is_empty() && out.outputs.is_empty());
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_timer(&mut ctx, TimerId(OMEGA_TIMER_BASE));
+        let out = fx.take();
+        assert!(out.sends.is_empty() && out.outputs.is_empty());
+        assert_eq!(sm.omega().own_counter(), counter_before);
     }
 
     #[test]

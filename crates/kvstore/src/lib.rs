@@ -48,11 +48,13 @@
 mod client;
 mod command;
 mod replica;
+mod sharded;
 mod state;
 mod submit;
 
 pub use client::KvClient;
 pub use command::{ClientId, KvCmd, KvResponse, Tagged};
 pub use replica::{KvEvent, KvReplica};
+pub use sharded::{ShardedKvEvent, ShardedKvNode, ShardedSubmitQueue};
 pub use state::KvState;
 pub use submit::{Settled, SubmitQueue};

@@ -1,0 +1,482 @@
+//! The sharded key-value store: key-routed client path over S independent
+//! replicated logs, one shared Ω per node.
+//!
+//! This is the `kvstore` half of the shard plane
+//! ([`consensus::shard`](consensus::shard)): the consensus layer gives each
+//! shard its own slot sequence and multiplexes one Ω across all co-located
+//! groups; this module routes *keys* onto those groups:
+//!
+//! * [`ShardedSubmitQueue`] — the client side. Commands are routed to their
+//!   shard by the placement map's stable key hash, each shard gets its own
+//!   [`SubmitQueue`] window (per-shard pipelines fill independently), and
+//!   replies settle against the shard that owns the key.
+//! * [`ShardedKvNode`] — the server side. One
+//!   [`ShardedNode`](consensus::ShardedNode) of tagged commands plus one
+//!   [`KvState`] **per shard**, so disjoint keys commit and apply in
+//!   parallel with no cross-shard ordering (and no cross-shard transactions
+//!   — by construction a command touches exactly one key, hence one shard).
+//!
+//! Exactly-once semantics are preserved per shard: a client's `(client,
+//! seq)` tags are deduplicated by the session table of the shard that
+//! applies them, and a key always routes to the same shard, so a retry can
+//! never double-apply on a different group.
+
+use std::collections::BTreeMap;
+
+use lls_obs::{NoopProbe, Probe};
+use lls_primitives::{Ctx, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerId};
+use serde::{Deserialize, Serialize};
+
+use consensus::shard::{
+    PlacementManager, PlacementMap, ShardEvent, ShardId, ShardMsg, ShardRequest, ShardedNode,
+};
+use consensus::ConsensusParams;
+use omega::CommEffOmega;
+
+use crate::command::{ClientId, KvCmd, KvResponse, Tagged};
+use crate::state::KvState;
+use crate::submit::{Settled, SubmitQueue};
+
+/// Client-side fan-out: one windowed [`SubmitQueue`] per shard, fed by the
+/// placement map's key router.
+///
+/// The caller submits plain tagged commands; the queue decides which shard
+/// owns each key, releases up to a per-shard window concurrently (the whole
+/// point of sharding: S pipelines fill in parallel), and routes every reply
+/// back to the queue of the shard that owns it.
+#[derive(Debug, Clone)]
+pub struct ShardedSubmitQueue {
+    map: PlacementMap,
+    queues: BTreeMap<ShardId, SubmitQueue>,
+    routes: BTreeMap<(ClientId, u64), ShardId>,
+}
+
+impl ShardedSubmitQueue {
+    /// Creates a queue over `map` with a `window` of in-flight commands
+    /// **per shard**.
+    pub fn new(map: PlacementMap, window: usize) -> Self {
+        let queues = map
+            .shard_ids()
+            .map(|shard| (shard, SubmitQueue::new(window)))
+            .collect();
+        ShardedSubmitQueue {
+            map,
+            queues,
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// The shard that owns `cmd`'s key.
+    pub fn shard_of(&self, cmd: &Tagged<KvCmd>) -> ShardId {
+        self.map.shard_of_key(cmd.cmd.key())
+    }
+
+    /// Enqueues a minted command on the queue of the shard owning its key.
+    pub fn submit(&mut self, cmd: Tagged<KvCmd>) {
+        let shard = self.shard_of(&cmd);
+        self.routes.insert((cmd.client, cmd.seq), shard);
+        self.queues
+            .get_mut(&shard)
+            .expect("router is total over the map's shards")
+            .submit(cmd);
+    }
+
+    /// Releases queued commands up to each shard's free window and returns
+    /// them per shard, for the caller to deliver to that shard's group.
+    pub fn drain(&mut self) -> Vec<(ShardId, Vec<Tagged<KvCmd>>)> {
+        self.queues
+            .iter_mut()
+            .filter_map(|(shard, q)| {
+                let burst = q.drain();
+                (!burst.is_empty()).then_some((*shard, burst))
+            })
+            .collect()
+    }
+
+    /// Routes one applied reply back to the shard that owns the command's
+    /// key. Returns the completed pair, or `None` for unknown/duplicate
+    /// tags.
+    pub fn settle(&mut self, client: ClientId, seq: u64, response: &KvResponse) -> Option<Settled> {
+        let shard = self.routes.get(&(client, seq)).copied()?;
+        let settled = self.queues.get_mut(&shard)?.settle(client, seq, response);
+        if settled.is_some() {
+            self.routes.remove(&(client, seq));
+        }
+        settled
+    }
+
+    /// Exact copies of every released-but-unsettled command across all
+    /// shards, for retry after a timeout or leader change.
+    pub fn outstanding(&self) -> Vec<(ShardId, Vec<Tagged<KvCmd>>)> {
+        self.queues
+            .iter()
+            .filter_map(|(shard, q)| {
+                let out = q.outstanding();
+                (!out.is_empty()).then_some((*shard, out))
+            })
+            .collect()
+    }
+
+    /// Commands waiting locally across all shard queues.
+    pub fn queued_len(&self) -> usize {
+        self.queues.values().map(SubmitQueue::queued_len).sum()
+    }
+
+    /// Commands released to the transport across all shard queues.
+    pub fn released_len(&self) -> usize {
+        self.queues.values().map(SubmitQueue::released_len).sum()
+    }
+
+    /// `true` once every submitted command on every shard has settled.
+    pub fn is_idle(&self) -> bool {
+        self.queues.values().all(SubmitQueue::is_idle)
+    }
+
+    /// The placement map this queue routes with.
+    pub fn map(&self) -> &PlacementMap {
+        &self.map
+    }
+}
+
+/// Observable events of a sharded store node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardedKvEvent {
+    /// The node's shared Ω detector changed its output (one event per node,
+    /// however many shards it hosts).
+    Leader(ProcessId),
+    /// A command committed in `shard` at `slot` and was applied (or
+    /// suppressed as a duplicate) with the given response.
+    Applied {
+        /// The shard group that decided the command.
+        shard: ShardId,
+        /// Log slot within that shard's sequence.
+        slot: u64,
+        /// Issuing client.
+        client: ClientId,
+        /// Client sequence number.
+        seq: u64,
+        /// The application outcome.
+        response: KvResponse,
+    },
+}
+
+/// One node of the sharded key-value store: a
+/// [`ShardedNode`](consensus::ShardedNode) of tagged commands plus one
+/// materialized [`KvState`] per locally attached shard.
+///
+/// Requests are plain tagged commands — the node routes each to the shard
+/// group owning its key (the *key-routed client path*), so callers need no
+/// shard awareness at all.
+#[derive(Debug, Clone)]
+pub struct ShardedKvNode<P: Probe = NoopProbe> {
+    node: ShardedNode<Tagged<KvCmd>, P>,
+    states: BTreeMap<ShardId, KvState>,
+}
+
+impl ShardedKvNode {
+    /// Creates a node hosting the shards attached in `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn new(env: &Env, params: ConsensusParams, placement: PlacementManager) -> Self {
+        ShardedKvNode::new_with_probe(env, params, placement, NoopProbe)
+    }
+
+    /// Creates a node whose shard groups each recover from their own WAL
+    /// segment, plus a dedicated segment for the shared Ω counter.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any WAL cannot be read or a boot record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid or an attached shard has no
+    /// storage handle.
+    pub fn with_storage(
+        env: &Env,
+        params: ConsensusParams,
+        placement: PlacementManager,
+        stores: &BTreeMap<ShardId, StorageHandle>,
+        omega_store: StorageHandle,
+    ) -> Result<Self, StorageError> {
+        let node = ShardedNode::with_storage(env, params, placement, stores, omega_store)?;
+        let states = node
+            .placement()
+            .attached()
+            .map(|s| (s, KvState::new()))
+            .collect();
+        Ok(ShardedKvNode { node, states })
+    }
+}
+
+impl<P: Probe> ShardedKvNode<P> {
+    /// Like [`ShardedKvNode::new`], with an observability probe threaded
+    /// down through every shard group into the shared Ω detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn new_with_probe(
+        env: &Env,
+        params: ConsensusParams,
+        placement: PlacementManager,
+        probe: P,
+    ) -> Self {
+        let node = ShardedNode::new_with_probe(env, params, placement, probe);
+        let states = node
+            .placement()
+            .attached()
+            .map(|s| (s, KvState::new()))
+            .collect();
+        ShardedKvNode { node, states }
+    }
+
+    /// The materialized store of `shard`, if attached.
+    pub fn state(&self, shard: ShardId) -> Option<&KvState> {
+        self.states.get(&shard)
+    }
+
+    /// The underlying sharded consensus node (for instrumentation).
+    pub fn node(&self) -> &ShardedNode<Tagged<KvCmd>, P> {
+        &self.node
+    }
+
+    /// The node's shared Ω detector (for leader discovery).
+    pub fn omega(&self) -> &CommEffOmega<P> {
+        self.node.omega()
+    }
+
+    /// The placement manager (map + local attachments).
+    pub fn placement(&self) -> &PlacementManager {
+        self.node.placement()
+    }
+
+    /// Translates shard-plane events into applied KV events, feeding each
+    /// committed command to the state of the shard that decided it.
+    fn translate(
+        &mut self,
+        ctx: &mut Ctx<'_, <Self as Sm>::Msg, ShardedKvEvent>,
+        events: Vec<ShardEvent<Tagged<KvCmd>>>,
+    ) {
+        for ev in events {
+            match ev {
+                ShardEvent::Leader(l) => ctx.output(ShardedKvEvent::Leader(l)),
+                ShardEvent::Committed { shard, slot, cmd } => {
+                    if let Some(tagged) = cmd {
+                        let state = self.states.entry(shard).or_default();
+                        let response = state.apply(&tagged);
+                        ctx.output(ShardedKvEvent::Applied {
+                            shard,
+                            slot,
+                            client: tagged.client,
+                            seq: tagged.seq,
+                            response,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one step of the inner sharded node and applies its outputs.
+    fn drive(
+        &mut self,
+        ctx: &mut Ctx<'_, <Self as Sm>::Msg, ShardedKvEvent>,
+        step: impl FnOnce(
+            &mut ShardedNode<Tagged<KvCmd>, P>,
+            &mut Ctx<'_, <Self as Sm>::Msg, ShardEvent<Tagged<KvCmd>>>,
+        ),
+    ) {
+        let env = Env::new(ctx.id(), ctx.n());
+        let mut fx = Effects::new();
+        {
+            let mut ictx = Ctx::new(&env, ctx.now(), &mut fx);
+            step(&mut self.node, &mut ictx);
+        }
+        for s in fx.sends {
+            ctx.send(s.to, s.msg);
+        }
+        for cmd in fx.timers {
+            match cmd {
+                lls_primitives::TimerCmd::Set { timer, after } => ctx.set_timer(timer, after),
+                lls_primitives::TimerCmd::Cancel { timer } => ctx.cancel_timer(timer),
+            }
+        }
+        self.translate(ctx, fx.outputs);
+    }
+}
+
+impl<P: Probe> Sm for ShardedKvNode<P> {
+    type Msg = ShardMsg<Tagged<KvCmd>>;
+    type Output = ShardedKvEvent;
+    /// A plain tagged command: the node routes it to the shard owning its
+    /// key, so clients stay shard-oblivious.
+    type Request = Tagged<KvCmd>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>) {
+        self.drive(ctx, |node, ictx| node.on_start(ictx));
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Output>,
+        from: ProcessId,
+        msg: Self::Msg,
+    ) {
+        self.drive(ctx, |node, ictx| node.on_message(ictx, from, msg));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, timer: TimerId) {
+        self.drive(ctx, |node, ictx| node.on_timer(ictx, timer));
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: Self::Request) {
+        let shard = self.node.placement().map().shard_of_key(req.cmd.key());
+        self.drive(ctx, |node, ictx| {
+            node.on_request(ictx, ShardRequest { shard, cmd: req })
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus::{Ballot, RsmMsg};
+    use lls_primitives::Instant;
+
+    fn tag(seq: u64, cmd: KvCmd) -> Tagged<KvCmd> {
+        Tagged {
+            client: ClientId(1),
+            seq,
+            cmd,
+        }
+    }
+
+    /// A key that the 2-shard uniform map routes to each shard.
+    fn key_for(map: &PlacementMap, shard: u32) -> String {
+        (0..)
+            .map(|i| format!("k{i}"))
+            .find(|k| map.shard_of_key(k).0 == shard)
+            .unwrap()
+    }
+
+    #[test]
+    fn submit_queue_fans_out_by_key_and_settles_per_shard() {
+        let map = PlacementMap::uniform(2, 3);
+        let mut q = ShardedSubmitQueue::new(map.clone(), 1); // window 1 per shard
+        let k0 = key_for(&map, 0);
+        let k1 = key_for(&map, 1);
+        q.submit(tag(1, KvCmd::put(&k0, "a")));
+        q.submit(tag(2, KvCmd::put(&k1, "b")));
+        q.submit(tag(3, KvCmd::put(&k0, "c"))); // behind seq 1 on shard 0
+        let burst = q.drain();
+        // Both shards release concurrently despite the 1-wide window.
+        assert_eq!(burst.len(), 2);
+        assert_eq!(q.released_len(), 2);
+        assert_eq!(q.queued_len(), 1);
+        for (shard, cmds) in &burst {
+            for cmd in cmds {
+                assert_eq!(map.shard_of_key(cmd.cmd.key()), *shard);
+            }
+        }
+        // Settling shard 0's command reopens only shard 0's window.
+        let done = q
+            .settle(ClientId(1), 1, &KvResponse::Applied { previous: None })
+            .expect("seq 1 settles");
+        assert_eq!(done.cmd.seq, 1);
+        let burst = q.drain();
+        assert_eq!(burst.len(), 1);
+        assert_eq!(burst[0].0, ShardId(0));
+        assert_eq!(burst[0].1[0].seq, 3);
+        // Unknown tags settle nothing.
+        assert!(q
+            .settle(ClientId(9), 1, &KvResponse::Applied { previous: None })
+            .is_none());
+    }
+
+    #[test]
+    fn node_routes_requests_by_key_and_applies_per_shard() {
+        let env = Env::new(ProcessId(0), 3);
+        let map = PlacementMap::uniform(2, 3);
+        let k0 = key_for(&map, 0);
+        let k1 = key_for(&map, 1);
+        let mut node = ShardedKvNode::new(
+            &env,
+            ConsensusParams::default(),
+            PlacementManager::with_all_attached(map),
+        );
+        let mut fx: Effects<_, ShardedKvEvent> = Effects::new();
+        node.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+        // Establish p0's ballot in both groups (one promise = quorum at p0).
+        for shard in [0u32, 1] {
+            node.on_message(
+                &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+                ProcessId(1),
+                ShardMsg::Rsm {
+                    shard: ShardId(shard),
+                    msg: RsmMsg::Promise {
+                        b: Ballot::new(1, ProcessId(0)),
+                        accepted: vec![],
+                        low_slot: 0,
+                    },
+                },
+            );
+            fx.take();
+        }
+        // A put on each key: the node must route each to its own shard.
+        node.on_request(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            tag(1, KvCmd::put(&k0, "zero")),
+        );
+        let out = fx.take();
+        assert!(
+            out.sends.iter().all(|s| matches!(
+                &s.msg,
+                ShardMsg::Rsm {
+                    shard: ShardId(0),
+                    msg: RsmMsg::Accept { .. }
+                }
+            )),
+            "key {k0} must route to shard0: {:?}",
+            out.sends
+        );
+        node.on_request(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            tag(2, KvCmd::put(&k1, "one")),
+        );
+        fx.take();
+        // Ack both slots from p1: each shard commits *its own* slot 0.
+        for shard in [0u32, 1] {
+            node.on_message(
+                &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+                ProcessId(1),
+                ShardMsg::Rsm {
+                    shard: ShardId(shard),
+                    msg: RsmMsg::Accepted {
+                        b: Ballot::new(1, ProcessId(0)),
+                        slot: 0,
+                    },
+                },
+            );
+            let out = fx.take();
+            assert!(
+                out.outputs.iter().any(|o| matches!(
+                    o,
+                    ShardedKvEvent::Applied { shard: s, slot: 0, .. } if s.0 == shard
+                )),
+                "shard{shard} applies its slot 0: {:?}",
+                out.outputs
+            );
+        }
+        assert_eq!(node.state(ShardId(0)).unwrap().get(&k0), Some("zero"));
+        assert_eq!(node.state(ShardId(1)).unwrap().get(&k1), Some("one"));
+        assert_eq!(
+            node.state(ShardId(0)).unwrap().len(),
+            1,
+            "shard stores are disjoint"
+        );
+    }
+}

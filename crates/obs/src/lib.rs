@@ -57,7 +57,10 @@ pub mod recorder;
 pub mod trace;
 pub mod watchdog;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use metrics::{
+    aggregate_shard_registries, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
 pub use probe::{NoopProbe, Probe, ProbeEvent};
 pub use recorder::{FlightRecorder, NodeRecorders, RecordedEvent, RecordingProbe};
 pub use trace::{reconstruct_spans, spans_json, SpanHop, SpanKind, SpanRecord};

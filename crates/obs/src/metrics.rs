@@ -128,6 +128,18 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
         }
     }
+
+    /// Folds a frozen distribution into this histogram (element-wise add) —
+    /// how a shared registry absorbs per-shard histograms into one family.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        for (i, &c) in snap.buckets.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
 }
 
 /// A frozen copy of a [`Histogram`]'s distribution.
@@ -350,6 +362,56 @@ impl Registry {
         }
         format!("{{{}}}", parts.join(", "))
     }
+
+    /// Folds every metric of `other` into this registry under
+    /// `{prefix}{name}`: counters and gauges add their current values,
+    /// histograms absorb their distributions, and help text is carried
+    /// over. Used by the shard plane to compose per-shard registries into
+    /// one scrape body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefixed name is already registered here as a different
+    /// metric type.
+    pub fn absorb_prefixed(&self, prefix: &str, other: &Registry) {
+        // Copy the entries out (handles are Arc-shared, so values stay
+        // live) before touching our own lock: `self` and `other` may be
+        // the same registry.
+        let entries: Vec<(String, Metric)> = {
+            let table = other.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            table.iter().map(|(n, m)| (n.clone(), m.clone())).collect()
+        };
+        let helps: Vec<(String, String)> = {
+            let table = other.help.lock().unwrap_or_else(|e| e.into_inner());
+            table.iter().map(|(n, h)| (n.clone(), h.clone())).collect()
+        };
+        for (name, metric) in entries {
+            let target = format!("{prefix}{name}");
+            match metric {
+                Metric::Counter(c) => self.counter(&target).add(c.get()),
+                Metric::Gauge(g) => self.gauge(&target).add(g.get()),
+                Metric::Histogram(h) => self.histogram(&target).absorb(&h.snapshot()),
+            }
+        }
+        for (name, help) in helps {
+            self.describe(&format!("{prefix}{name}"), &help);
+        }
+    }
+}
+
+/// Composes per-shard registries into one: every metric of shard `id`
+/// appears under a `shard{id}_` prefix, **and** contributes to an
+/// unprefixed cross-shard sum — so one `/metrics` scrape shows both the
+/// per-shard breakdown and the node-level aggregate.
+pub fn aggregate_shard_registries<'a>(
+    per_shard: impl IntoIterator<Item = (u32, &'a Registry)>,
+) -> Registry {
+    let agg = Registry::new();
+    for (id, reg) in per_shard {
+        agg.absorb_prefixed(&format!("shard{id}_"), reg);
+        agg.absorb_prefixed("", reg);
+    }
+    agg
 }
 
 fn kind_of(m: &Metric) -> &'static str {
@@ -543,6 +605,52 @@ mod tests {
                 "unparseable sample value in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn shard_aggregation_equals_the_sum_of_per_shard_registries() {
+        let s0 = Registry::new();
+        let s1 = Registry::new();
+        s0.counter("decided_total").add(3);
+        s1.counter("decided_total").add(5);
+        s0.gauge("inflight").set(2);
+        s1.gauge("inflight").set(4);
+        s0.histogram("commit_latency").record(10);
+        s0.histogram("commit_latency").record(100);
+        s1.histogram("commit_latency").record(10);
+        s0.describe("decided_total", "Slots decided");
+
+        let agg = aggregate_shard_registries([(0, &s0), (1, &s1)]);
+
+        // Per-shard values survive under their prefixes...
+        assert_eq!(agg.counter_value("shard0_decided_total"), 3);
+        assert_eq!(agg.counter_value("shard1_decided_total"), 5);
+        // ...and the unprefixed families are exactly the per-shard sums.
+        assert_eq!(
+            agg.counter_value("decided_total"),
+            s0.counter_value("decided_total") + s1.counter_value("decided_total")
+        );
+        assert_eq!(agg.gauge("inflight").get(), 2 + 4);
+        let merged = s0
+            .histogram("commit_latency")
+            .snapshot()
+            .merge(s1.histogram("commit_latency").snapshot());
+        assert_eq!(agg.histogram("commit_latency").snapshot(), merged);
+        assert_eq!(agg.histogram("shard0_commit_latency").snapshot().count, 2);
+        assert_eq!(agg.histogram("shard1_commit_latency").snapshot().count, 1);
+        // Help text rides along under the prefix.
+        assert!(agg
+            .render_prometheus()
+            .contains("# HELP shard0_decided_total Slots decided"));
+    }
+
+    #[test]
+    fn absorb_prefixed_into_self_does_not_deadlock() {
+        let r = Registry::new();
+        r.counter("x").add(7);
+        r.absorb_prefixed("copy_", &r);
+        assert_eq!(r.counter_value("copy_x"), 7);
+        assert_eq!(r.counter_value("x"), 7);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// decodable — see [`decode_frame_any`].
 pub const PROTOCOL_VERSION_STAMPED: u8 = 2;
 
+/// Protocol version for frames that carry a shard tag (varint) *and* a
+/// [`TraceEnvelope`] between the version byte and the body. The tag lets a
+/// transport demultiplex co-located shard groups without decoding the body.
+/// Version 1 and 2 frames remain decodable — see [`decode_frame_any`].
+pub const PROTOCOL_VERSION_SHARDED: u8 = 3;
+
 /// Upper bound on `len` accepted by the deframer. A peer announcing a larger
 /// frame is corrupt or hostile; the connection should be dropped because the
 /// stream can no longer be trusted to be aligned.
@@ -133,7 +139,7 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "protocol version {got} (supported: {PROTOCOL_VERSION}, \
-                     {PROTOCOL_VERSION_STAMPED})"
+                     {PROTOCOL_VERSION_STAMPED}, {PROTOCOL_VERSION_SHARDED})"
                 )
             }
             WireError::BadChecksum { got, want } => {
@@ -264,6 +270,15 @@ pub trait Wire: Sized {
         let v = Self::decode(&mut r)?;
         r.finish()?;
         Ok(v)
+    }
+
+    /// The shard tag a sharded transport should stamp into this message's
+    /// frame, or `None` to send an unsharded (version-2) frame. Messages
+    /// that belong to one shard group override this; everything else —
+    /// including the shared per-node Ω traffic — keeps the default and
+    /// travels untagged.
+    fn shard_tag(&self) -> Option<u32> {
+        None
     }
 }
 
@@ -508,18 +523,42 @@ pub fn encode_frame_stamped<M: Wire>(msg: &M, env: &TraceEnvelope) -> Vec<u8> {
     out
 }
 
-/// Decodes a frame payload of *either* supported version: a bare version-1
-/// frame yields `(None, msg)`; a stamped version-2 frame yields
-/// `(Some(envelope), msg)`.
-///
-/// This is the receive path every stamped transport should use — it keeps a
-/// stamping node wire-compatible with an unstamped (pre-upgrade) peer.
+/// Encodes `msg` as one complete version-3 frame carrying a shard tag
+/// (varint) and a [`TraceEnvelope`] between the version byte and the body.
+pub fn encode_frame_sharded<M: Wire>(msg: &M, shard: u32, env: &TraceEnvelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&[0, 0, 0, 0]); // length back-patched below
+    out.push(PROTOCOL_VERSION_SHARDED);
+    put_varint(&mut out, u64::from(shard));
+    env.encode(&mut out);
+    msg.encode(&mut out);
+    let crc = crc32(&out[LEN_PREFIX..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let len = (out.len() - LEN_PREFIX) as u32;
+    out[..LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Transport-level metadata recovered from one frame, alongside the decoded
+/// message: the causal stamp (versions 2 and 3) and the shard tag
+/// (version 3 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameMeta {
+    /// The causal stamp, if the frame carried one.
+    pub envelope: Option<TraceEnvelope>,
+    /// The shard tag, if the frame was shard-routed.
+    pub shard: Option<u32>,
+}
+
+/// Decodes a frame payload of *any* supported version, returning the full
+/// [`FrameMeta`]: version 1 yields neither stamp nor tag, version 2 a stamp
+/// only, version 3 both.
 ///
 /// # Errors
 ///
 /// Returns [`WireError::BadVersion`] for any other version byte,
 /// [`WireError::BadChecksum`] on corruption, or any body decode error.
-pub fn decode_frame_any<M: Wire>(payload: &[u8]) -> Result<(Option<TraceEnvelope>, M), WireError> {
+pub fn decode_frame_tagged<M: Wire>(payload: &[u8]) -> Result<(FrameMeta, M), WireError> {
     if payload.len() < FRAME_OVERHEAD {
         return Err(WireError::Truncated);
     }
@@ -530,16 +569,53 @@ pub fn decode_frame_any<M: Wire>(payload: &[u8]) -> Result<(Option<TraceEnvelope
         return Err(WireError::BadChecksum { got, want });
     }
     match content[0] {
-        v if v == PROTOCOL_VERSION => Ok((None, M::from_bytes(&content[1..])?)),
+        v if v == PROTOCOL_VERSION => Ok((FrameMeta::default(), M::from_bytes(&content[1..])?)),
         v if v == PROTOCOL_VERSION_STAMPED => {
             let mut r = WireReader::new(&content[1..]);
             let env = TraceEnvelope::decode(&mut r)?;
             let msg = M::decode(&mut r)?;
             r.finish()?;
-            Ok((Some(env), msg))
+            Ok((
+                FrameMeta {
+                    envelope: Some(env),
+                    shard: None,
+                },
+                msg,
+            ))
+        }
+        v if v == PROTOCOL_VERSION_SHARDED => {
+            let mut r = WireReader::new(&content[1..]);
+            let shard = u32::decode(&mut r)?;
+            let env = TraceEnvelope::decode(&mut r)?;
+            let msg = M::decode(&mut r)?;
+            r.finish()?;
+            Ok((
+                FrameMeta {
+                    envelope: Some(env),
+                    shard: Some(shard),
+                },
+                msg,
+            ))
         }
         got => Err(WireError::BadVersion { got }),
     }
+}
+
+/// Decodes a frame payload of *any* supported version: a bare version-1
+/// frame yields `(None, msg)`; stamped version-2 and sharded version-3
+/// frames yield `(Some(envelope), msg)` (the shard tag, redundant with the
+/// message body, is dropped — use [`decode_frame_tagged`] to keep it).
+///
+/// This is the receive path every stamped transport should use — it keeps a
+/// stamping node wire-compatible with an unstamped (pre-upgrade) peer.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadVersion`] for any other version byte,
+/// [`WireError::BadChecksum`] on corruption, or any body decode error.
+pub fn decode_frame_any<M: Wire>(payload: &[u8]) -> Result<(Option<TraceEnvelope>, M), WireError> {
+    let (meta, msg) = decode_frame_tagged(payload)?;
+    Ok((meta.envelope, msg))
 }
 
 /// Incremental frame extractor for a byte stream.
@@ -845,6 +921,93 @@ mod tests {
             decode_frame_any::<u64>(&corrupt[LEN_PREFIX..]),
             Err(WireError::BadChecksum { .. })
         ));
+    }
+
+    #[test]
+    fn sharded_frame_roundtrips_with_tag() {
+        let env = TraceEnvelope {
+            lamport: 11,
+            trace_id: 0xdead_cafe,
+        };
+        let frame = encode_frame_sharded(&(3u64, String::from("group")), 5, &env);
+        let mut d = Deframer::new();
+        d.extend(&frame);
+        let payload = d.next_frame().expect("aligned").expect("complete");
+        let (meta, msg): (FrameMeta, (u64, String)) = decode_frame_tagged(&payload).expect("valid");
+        assert_eq!(meta.envelope, Some(env));
+        assert_eq!(meta.shard, Some(5));
+        assert_eq!(msg, (3, String::from("group")));
+    }
+
+    #[test]
+    fn decode_frame_any_accepts_sharded_v3_frames() {
+        let env = TraceEnvelope {
+            lamport: 1,
+            trace_id: 2,
+        };
+        let frame = encode_frame_sharded(&77u64, 3, &env);
+        let payload = frame[LEN_PREFIX..].to_vec();
+        let (got_env, msg): (Option<TraceEnvelope>, u64) =
+            decode_frame_any(&payload).expect("v3 decodable on the any-path");
+        assert_eq!(got_env, Some(env));
+        assert_eq!(msg, 77);
+    }
+
+    #[test]
+    fn decode_frame_tagged_reports_no_tag_on_v1_and_v2() {
+        let payload = encode_frame(&9u64)[LEN_PREFIX..].to_vec();
+        let (meta, msg): (FrameMeta, u64) = decode_frame_tagged(&payload).expect("v1");
+        assert_eq!(meta, FrameMeta::default());
+        assert_eq!(msg, 9);
+
+        let env = TraceEnvelope {
+            lamport: 4,
+            trace_id: 8,
+        };
+        let payload = encode_frame_stamped(&9u64, &env)[LEN_PREFIX..].to_vec();
+        let (meta, _): (FrameMeta, u64) = decode_frame_tagged(&payload).expect("v2");
+        assert_eq!(meta.envelope, Some(env));
+        assert_eq!(meta.shard, None);
+    }
+
+    #[test]
+    fn strict_v1_decoder_rejects_sharded_frames() {
+        let env = TraceEnvelope {
+            lamport: 1,
+            trace_id: 2,
+        };
+        let frame = encode_frame_sharded(&1u64, 0, &env);
+        let payload = frame[LEN_PREFIX..].to_vec();
+        assert_eq!(
+            decode_frame::<u64>(&payload),
+            Err(WireError::BadVersion {
+                got: PROTOCOL_VERSION_SHARDED
+            })
+        );
+    }
+
+    #[test]
+    fn corrupted_sharded_frame_is_a_checksum_error() {
+        let mut frame = encode_frame_sharded(
+            &5u64,
+            7,
+            &TraceEnvelope {
+                lamport: 9,
+                trace_id: 9,
+            },
+        );
+        let mid = LEN_PREFIX + 3;
+        frame[mid] ^= 0x10;
+        assert!(matches!(
+            decode_frame_tagged::<u64>(&frame[LEN_PREFIX..]),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_tag_defaults_to_none() {
+        assert_eq!(7u64.shard_tag(), None);
+        assert_eq!(String::from("x").shard_tag(), None);
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use lls_primitives::wire::{
-    decode_frame, decode_frame_any, encode_frame, encode_frame_stamped, Deframer, Wire,
+    decode_frame, decode_frame_any, encode_frame, encode_frame_sharded, encode_frame_stamped,
+    Deframer, Wire,
 };
 use lls_primitives::{
     Ctx, Effects, Env, FaultInjector, Instant, LamportClock, ProcessId, Sm, TimerCmd, TimerId,
@@ -655,7 +656,14 @@ fn protocol_loop<S: Sm>(
             let envelope = clock.stamp();
             let to = s.to.as_usize();
             if let Some(link) = links.get(to).and_then(|l| l.as_ref()) {
-                link.enqueue(encode_frame_stamped(&s.msg, &envelope), &counters[to]);
+                // Shard-group traffic rides a version-3 frame tagged with
+                // its shard; everything else (including the shared Ω) stays
+                // on version 2.
+                let frame = match s.msg.shard_tag() {
+                    Some(shard) => encode_frame_sharded(&s.msg, shard, &envelope),
+                    None => encode_frame_stamped(&s.msg, &envelope),
+                };
+                link.enqueue(frame, &counters[to]);
             }
         }
         for cmd in taken.timers {

@@ -50,6 +50,28 @@ impl ScrapeRoutes {
             }),
         }
     }
+
+    /// Routes for a sharded node: `/metrics` composes the per-shard
+    /// registries into **one** scrape body — each shard's metrics under a
+    /// `shard{id}_` prefix plus unprefixed cross-shard sums (see
+    /// [`lls_obs::aggregate_shard_registries`]). `/flight` and `/spans`
+    /// come from the recorder bundle as usual. Aggregation happens per
+    /// request, so the scrape always reflects live per-shard state.
+    pub fn for_shard_registries(
+        shards: Vec<(u32, Arc<lls_obs::Registry>)>,
+        recorders: Arc<lls_obs::NodeRecorders>,
+    ) -> Self {
+        let base = ScrapeRoutes::for_recorders(recorders);
+        ScrapeRoutes {
+            metrics: Arc::new(move || {
+                lls_obs::aggregate_shard_registries(
+                    shards.iter().map(|(id, reg)| (*id, reg.as_ref())),
+                )
+                .render_prometheus()
+            }),
+            ..base
+        }
+    }
 }
 
 /// A running scrape server: one accept thread on a loopback port.
@@ -248,6 +270,36 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn sharded_metrics_compose_into_one_scrape() {
+        let recorders = Arc::new(NodeRecorders::new(2, 8));
+        let s0 = Arc::new(lls_obs::Registry::new());
+        let s1 = Arc::new(lls_obs::Registry::new());
+        s0.counter("decided_total").add(3);
+        s1.counter("decided_total").add(5);
+        let server = ScrapeServer::spawn(ScrapeRoutes::for_shard_registries(
+            vec![(0, Arc::clone(&s0)), (1, Arc::clone(&s1))],
+            Arc::clone(&recorders),
+        ))
+        .expect("spawn scrape server");
+
+        let body = scrape(server.addr(), "/metrics").expect("scrape /metrics");
+        assert!(body.contains("shard0_decided_total 3"), "{body}");
+        assert!(body.contains("shard1_decided_total 5"), "{body}");
+        assert!(
+            body.contains("\ndecided_total 8"),
+            "cross-shard sum present: {body}"
+        );
+
+        // The aggregation is live: bump a shard and re-scrape.
+        s0.counter("decided_total").add(1);
+        let body = scrape(server.addr(), "/metrics").expect("re-scrape /metrics");
+        assert!(body.contains("shard0_decided_total 4"), "{body}");
+        assert!(body.contains("\ndecided_total 9"), "{body}");
 
         server.stop();
     }
