@@ -1,4 +1,4 @@
-//! CLI regenerating every experiment table/series (E1–E20).
+//! CLI regenerating every experiment table/series (E1–E21).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
@@ -20,7 +20,8 @@ use std::path::PathBuf;
 use omega_bench::json::{self, JsonValue};
 use omega_bench::table::Table;
 use omega_bench::{
-    e_chaos, e_consensus, e_obs, e_omega, e_shard, e_thread, e_throughput, e_trace, e_wire,
+    e_chaos, e_consensus, e_obs, e_omega, e_recovery, e_shard, e_thread, e_throughput, e_trace,
+    e_wire,
 };
 
 struct Scale {
@@ -211,7 +212,24 @@ fn run(id: &str, s: &Scale) -> bool {
             println!("{}", table.render());
             write_json(s, id, &summary);
         }
-        other => eprintln!("unknown experiment id: {other} (expected e1..e20 or all)"),
+        "e21" => {
+            let (scenarios, commands, wall, ratio_gate) = if s.quick {
+                (1, 160, 1, 3.0)
+            } else {
+                (3, 400, 2, 10.0)
+            };
+            let title = "bounded recovery: snapshot restarts, compacted WALs, state transfer";
+            let (table, summary, violations) =
+                e_recovery::e21_recovery(scenarios, commands, wall, ratio_gate);
+            println!("\n=== {} — {} ===", id.to_uppercase(), title);
+            println!("{}", table.render());
+            write_json(s, id, &summary);
+            if violations > 0 {
+                eprintln!("E21: {violations} gate violation(s) — failing the run");
+                return false;
+            }
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e21 or all)"),
     }
     true
 }
@@ -260,7 +278,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
         ] {
             ok &= run(id, &scale);
         }

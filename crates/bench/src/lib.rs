@@ -27,6 +27,7 @@
 //! | E18 | Causal tracing plane: spans, watchdog alarms, live scrape |
 //! | E19 | Batching + pipelining multiply steady-state throughput (≥ 3× baseline) |
 //! | E20 | Sharded multi-group RSM scales near-linearly with one shared Ω per node |
+//! | E21 | Bounded recovery: snapshots + WAL compaction keep restart cost flat under chaos |
 //!
 //! Run everything with `cargo run -p omega-bench --release --bin experiments -- all`,
 //! or one experiment by id (`-- e3`). Alongside each human table the CLI
@@ -38,6 +39,7 @@ pub mod e_chaos;
 pub mod e_consensus;
 pub mod e_obs;
 pub mod e_omega;
+pub mod e_recovery;
 pub mod e_shard;
 pub mod e_thread;
 pub mod e_throughput;

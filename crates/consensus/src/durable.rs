@@ -31,6 +31,29 @@
 //! all stimuli. A process whose durable storage is broken cannot safely keep
 //! promises, so it must behave like a crashed process — which the protocols
 //! already tolerate.
+//!
+//! # Compaction (the "durable prefix" envelope)
+//!
+//! Snapshots and WAL compaction
+//! ([`ReplicatedLog::compact`](crate::ReplicatedLog::compact)) *remove*
+//! records, so they need their own safety argument on top of the table
+//! above. The invariant is an ordering: **the snapshot is durable first**
+//! (CRC-checked, tmp-then-rename, directory fsync), then the WAL is
+//! rewritten to its *live* records — the latest `OmegaCounter`, the latest
+//! `Promised`, and every `Accepted`/`Chosen` at slots ≥ the snapshot
+//! watermark — and only then is in-memory state pruned. A crash between any
+//! two steps therefore recovers a *superset* of the required state (the
+//! "durable prefix" envelope): old snapshot + full WAL, new snapshot + full
+//! WAL, or new snapshot + compacted WAL, each of which replays to the same
+//! observable state. Nothing an acceptor ever *told the rest of the system*
+//! is dropped: the promise and the accepted suffix stay in the rewritten
+//! WAL verbatim, and the chosen prefix below the watermark is summarized by
+//! the snapshot, whose watermark floors the replica (`low_slot` in
+//! `Promise`) so no peer is ever answered from compacted amnesia. A new
+//! leader treats the maximum promised `low_slot` as its proposal *floor*:
+//! any slot chosen below it had a quorum that intersects the promising
+//! quorum, so the choice is either revealed in a promise or lies below some
+//! reported `low_slot` — never silently contradicted by a fresh proposal.
 
 use lls_primitives::wire::{Wire, WireError, WireReader};
 

@@ -150,6 +150,53 @@ pub enum RsmMsg<V> {
         /// The acknowledged slot.
         slot: u64,
     },
+    /// A laggard asks a peer for everything chosen from `low_slot` on. The
+    /// peer answers with `Decide`s, or with a snapshot transfer when its
+    /// own log was already compacted past `low_slot`.
+    CatchUp {
+        /// The requester's first slot not known chosen.
+        low_slot: u64,
+    },
+    /// Announces an incoming snapshot transfer: `chunks` chunks follow,
+    /// whose concatenation (CRC `crc`) is the serialized application state
+    /// at `watermark`.
+    SnapshotOffer {
+        /// First slot not covered by the snapshot.
+        watermark: u64,
+        /// Number of chunks in the transfer.
+        chunks: u32,
+        /// CRC-32 of the whole reassembled state blob.
+        crc: u32,
+    },
+    /// One chunk of a snapshot transfer. Self-describing (it repeats the
+    /// offer's totals), so a transfer completes even if the offer frame
+    /// was lost.
+    SnapshotChunk {
+        /// First slot not covered by the snapshot.
+        watermark: u64,
+        /// This chunk's index in `0..chunks`.
+        index: u32,
+        /// Number of chunks in the transfer.
+        chunks: u32,
+        /// CRC-32 of the whole reassembled state blob.
+        crc: u32,
+        /// CRC-32 of this chunk's bytes (verified before assembly; the
+        /// frame codec's own checksum already covers transport corruption,
+        /// this one survives re-framing and storage).
+        chunk_crc: u32,
+        /// The chunk's bytes.
+        data: Vec<u8>,
+    },
+    /// Acknowledges one snapshot chunk (silencing its retransmission), or
+    /// — with `index == u32::MAX` — the whole transfer (received or not
+    /// needed), telling the sender to resume Decide streaming at the
+    /// watermark.
+    SnapshotAck {
+        /// The watermark of the transfer being acknowledged.
+        watermark: u64,
+        /// The chunk received, or `u32::MAX` for "transfer complete".
+        index: u32,
+    },
 }
 
 impl<V: Wire> Wire for Entry<V> {
@@ -296,6 +343,41 @@ impl<V: Wire> Wire for RsmMsg<V> {
                 out.push(7);
                 slot.encode(out);
             }
+            RsmMsg::CatchUp { low_slot } => {
+                out.push(8);
+                low_slot.encode(out);
+            }
+            RsmMsg::SnapshotOffer {
+                watermark,
+                chunks,
+                crc,
+            } => {
+                out.push(9);
+                watermark.encode(out);
+                chunks.encode(out);
+                crc.encode(out);
+            }
+            RsmMsg::SnapshotChunk {
+                watermark,
+                index,
+                chunks,
+                crc,
+                chunk_crc,
+                data,
+            } => {
+                out.push(10);
+                watermark.encode(out);
+                index.encode(out);
+                chunks.encode(out);
+                crc.encode(out);
+                chunk_crc.encode(out);
+                data.encode(out);
+            }
+            RsmMsg::SnapshotAck { watermark, index } => {
+                out.push(11);
+                watermark.encode(out);
+                index.encode(out);
+            }
         }
     }
 
@@ -331,6 +413,26 @@ impl<V: Wire> Wire for RsmMsg<V> {
             7 => Ok(RsmMsg::DecideAck {
                 slot: u64::decode(r)?,
             }),
+            8 => Ok(RsmMsg::CatchUp {
+                low_slot: u64::decode(r)?,
+            }),
+            9 => Ok(RsmMsg::SnapshotOffer {
+                watermark: u64::decode(r)?,
+                chunks: u32::decode(r)?,
+                crc: u32::decode(r)?,
+            }),
+            10 => Ok(RsmMsg::SnapshotChunk {
+                watermark: u64::decode(r)?,
+                index: u32::decode(r)?,
+                chunks: u32::decode(r)?,
+                crc: u32::decode(r)?,
+                chunk_crc: u32::decode(r)?,
+                data: Vec::<u8>::decode(r)?,
+            }),
+            11 => Ok(RsmMsg::SnapshotAck {
+                watermark: u64::decode(r)?,
+                index: u32::decode(r)?,
+            }),
             tag => Err(WireError::BadTag {
                 type_name: "RsmMsg",
                 tag,
@@ -364,6 +466,10 @@ pub fn classify_rsm_msg<V>(msg: &RsmMsg<V>) -> &'static str {
         RsmMsg::Nack { .. } => "NACK",
         RsmMsg::Decide { .. } => "DECIDE",
         RsmMsg::DecideAck { .. } => "DECIDE_ACK",
+        RsmMsg::CatchUp { .. } => "CATCH_UP",
+        RsmMsg::SnapshotOffer { .. } => "SNAP_OFFER",
+        RsmMsg::SnapshotChunk { .. } => "SNAP_CHUNK",
+        RsmMsg::SnapshotAck { .. } => "SNAP_ACK",
     }
 }
 
@@ -448,6 +554,24 @@ mod tests {
                 entry: Entry::Noop,
             },
             RsmMsg::DecideAck { slot: 0 },
+            RsmMsg::CatchUp { low_slot: 3 },
+            RsmMsg::SnapshotOffer {
+                watermark: 5,
+                chunks: 2,
+                crc: 0,
+            },
+            RsmMsg::SnapshotChunk {
+                watermark: 5,
+                index: 0,
+                chunks: 2,
+                crc: 0,
+                chunk_crc: 0,
+                data: vec![1],
+            },
+            RsmMsg::SnapshotAck {
+                watermark: 5,
+                index: 0,
+            },
         ];
         let kinds: Vec<_> = msgs.iter().map(classify_rsm_msg).collect();
         assert_eq!(
@@ -460,8 +584,40 @@ mod tests {
                 "ACCEPTED",
                 "NACK",
                 "DECIDE",
-                "DECIDE_ACK"
+                "DECIDE_ACK",
+                "CATCH_UP",
+                "SNAP_OFFER",
+                "SNAP_CHUNK",
+                "SNAP_ACK"
             ]
         );
+    }
+
+    #[test]
+    fn snapshot_messages_round_trip_on_the_wire() {
+        let msgs: Vec<RsmMsg<u64>> = vec![
+            RsmMsg::CatchUp { low_slot: 17 },
+            RsmMsg::SnapshotOffer {
+                watermark: 40,
+                chunks: 3,
+                crc: 0xDEAD_BEEF,
+            },
+            RsmMsg::SnapshotChunk {
+                watermark: 40,
+                index: 1,
+                chunks: 3,
+                crc: 0xDEAD_BEEF,
+                chunk_crc: 0x1234_5678,
+                data: vec![9, 8, 7],
+            },
+            RsmMsg::SnapshotAck {
+                watermark: 40,
+                index: u32::MAX,
+            },
+        ];
+        for msg in msgs {
+            let decoded = RsmMsg::<u64>::from_bytes(&msg.to_bytes()).unwrap();
+            assert_eq!(decoded, msg);
+        }
     }
 }

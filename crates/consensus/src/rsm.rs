@@ -41,13 +41,42 @@
 //! (records durable before the handler returns, hence before any `Accept`
 //! leaves) is preserved verbatim. Experiment E19 measures the resulting
 //! decided-commands/sec and latency percentiles.
+//!
+//! # Bounded recovery: snapshots, compaction, and snapshot-install catch-up
+//!
+//! Without compaction the WAL grows with uptime and a restarted replica
+//! replays its whole history. With a [`SnapshotHandle`] attached
+//! ([`ReplicatedLog::with_storage_and_snapshots`]), the application may call
+//! [`ReplicatedLog::compact`] after applying a prefix: the serialized state
+//! at `watermark` is installed durably *first* (atomic tmp-then-rename in
+//! the file backend), then the WAL is rewritten to only the live records
+//! (latest Ω counter, latest promise, accepted/chosen entries at or above
+//! the watermark), then the in-memory maps drop the covered prefix. A crash
+//! between the two installs replays a superset — never a subset — of the
+//! compacted state, so the durable-prefix safety envelope of
+//! [`crate::durable`] is preserved (see row "compaction" there).
+//!
+//! Catch-up changes shape once logs can be compacted. A laggard whose gap
+//! lies *above* every peer's watermark is served plain `Decide`s via
+//! [`RsmMsg::CatchUp`]; a laggard whose gap dips *below* a peer's watermark
+//! (it was down long enough for the cluster to compact, or it is a fresh
+//! replacement) is served a chunked, CRC-checked snapshot transfer
+//! (`SnapshotOffer`/`SnapshotChunk`/`SnapshotAck`, retransmitted with
+//! jittered exponential backoff), installs it, emits
+//! [`RsmEvent::SnapshotInstalled`], and resumes Decide streaming at the
+//! watermark. Symmetrically, a *new leader* never no-op-fills a slot below
+//! the highest `low_slot` any promiser reported — those slots are chosen
+//! somewhere (possibly compacted away); it fetches them by `CatchUp`
+//! instead. Experiment E21 exercises all of this under sustained chaos.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use lls_obs::{NoopProbe, Probe, ProbeEvent};
+use lls_primitives::wire::crc32;
 use lls_primitives::{
-    Ctx, Effects, Env, Instant, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId, Wire,
+    Ctx, Effects, Env, Instant, ProcessId, Sm, Snapshot, SnapshotHandle, StorageError,
+    StorageHandle, StorageStats, TimerCmd, TimerId, Wire,
 };
 use omega::{CommEffOmega, OmegaMsg};
 use serde::{Deserialize, Serialize};
@@ -70,6 +99,16 @@ pub enum RsmEvent<V> {
         /// The committed command, if not a no-op.
         cmd: Option<V>,
     },
+    /// A snapshot transfer completed: the application must replace its
+    /// materialized state with `state` (its own serialization at
+    /// `watermark`) before consuming any further `Committed` events — the
+    /// log prefix below the watermark will never be emitted here.
+    SnapshotInstalled {
+        /// First slot not covered by the installed state.
+        watermark: u64,
+        /// The application state blob, exactly as a peer serialized it.
+        state: Vec<u8>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -80,6 +119,10 @@ enum LeaderState<V> {
         from_slot: u64,
         promised_by: Vec<bool>,
         gathered: BTreeMap<u64, (Ballot, Entry<V>)>,
+        /// Each promiser's `low_slot` (first slot it does not know chosen).
+        /// Slots below the max over the promising quorum are chosen
+        /// *somewhere* and must never be no-op-filled.
+        low_slots: Vec<u64>,
     },
     Led {
         b: Ballot,
@@ -91,6 +134,49 @@ enum LeaderState<V> {
 struct Inflight<V> {
     entry: Entry<V>,
     acks: Vec<bool>,
+}
+
+/// Bytes per [`RsmMsg::SnapshotChunk`] — small enough to stay far below the
+/// wire codec's frame cap with envelope overhead, large enough that real
+/// state blobs move in few round trips.
+const SNAP_CHUNK_BYTES: usize = 32 * 1024;
+
+/// Retransmission rounds before an outgoing snapshot transfer is abandoned
+/// (a fresh `CatchUp` from the peer restarts it from scratch).
+const SNAP_MAX_ATTEMPTS: u32 = 10;
+
+/// Max `Decide`s served per `CatchUp` request — the laggard re-requests as
+/// it advances, so one huge burst never floods a link.
+const CATCHUP_BURST: usize = 128;
+
+/// splitmix64 — the deterministic hash behind retransmission jitter (no RNG
+/// dependency; the same seeds always produce the same schedule, which keeps
+/// netsim campaigns reproducible).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sender side of one snapshot transfer to one peer.
+#[derive(Debug, Clone)]
+struct OutgoingSnapshot {
+    watermark: u64,
+    crc: u32,
+    chunks: Vec<Vec<u8>>,
+    acked: Vec<bool>,
+    attempt: u32,
+    cooldown: u32,
+}
+
+/// Receiver side of the (single) in-progress snapshot transfer.
+#[derive(Debug, Clone)]
+struct IncomingSnapshot {
+    watermark: u64,
+    chunks: u32,
+    crc: u32,
+    parts: Vec<Option<Vec<u8>>>,
 }
 
 /// A replicated log: repeated consensus with a stable-leader fast path.
@@ -129,9 +215,35 @@ pub struct ReplicatedLog<V, P: Probe = NoopProbe> {
     pending: VecDeque<V>,
     inflight: BTreeMap<u64, Inflight<V>>,
     decide_trackers: BTreeMap<u64, Vec<bool>>,
+    /// Peers that had not acknowledged a Decide when compaction pruned its
+    /// tracker. The Decide bytes no longer exist here, so the next retry
+    /// tick serves these peers a snapshot transfer instead — a peer missing
+    /// the *final* slot has no later chosen slot to trigger its own
+    /// CatchUp, and would otherwise never converge in a quiet cluster.
+    snapshot_debtors: BTreeSet<ProcessId>,
+    /// Highest log frontier overheard from peers: a `CatchUp { low_slot }`
+    /// advertises that its sender has emitted everything below `low_slot`,
+    /// and a snapshot offer advertises its watermark. Evidence that slots
+    /// up to the frontier exist even when we hold nothing above our cursor
+    /// — the case after the decider of our missing suffix crashed (its
+    /// in-memory retransmission state dies with it) and rejoined.
+    known_frontier: u64,
     // Durability (see `crate::durable` for the safety arguments).
     storage: Option<StorageHandle>,
     wedged: bool,
+    // Snapshots + compaction (see the module docs).
+    snapshots: Option<SnapshotHandle>,
+    /// First slot *not* covered by the latest durable snapshot. Everything
+    /// below is chosen, applied, and may be absent from WAL and maps.
+    watermark: u64,
+    /// The snapshot a `with_storage_and_snapshots` constructor recovered,
+    /// for the application to rebuild its state from.
+    recovered_snapshot: Option<Snapshot>,
+    /// Whether this incarnation recovered non-empty durable state (it then
+    /// broadcasts one `CatchUp` on start to find where the log has moved).
+    recovered: bool,
+    outgoing_snaps: BTreeMap<ProcessId, OutgoingSnapshot>,
+    incoming_snap: Option<IncomingSnapshot>,
     // External-leadership mode: the embedded Ω is inert and leadership is
     // injected via `set_leader` (one shared Ω per node drives many groups).
     external: bool,
@@ -180,6 +292,27 @@ where
     ) -> Result<Self, StorageError> {
         ReplicatedLog::with_storage_and_probe(env, params, storage, NoopProbe)
     }
+
+    /// Like [`ReplicatedLog::with_storage`], additionally attaching a
+    /// snapshot store (see
+    /// [`ReplicatedLog::with_storage_snapshots_and_probe`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log or snapshot store cannot be read or the boot record
+    /// cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage_and_snapshots(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        snapshots: SnapshotHandle,
+    ) -> Result<Self, StorageError> {
+        ReplicatedLog::with_storage_snapshots_and_probe(env, params, storage, snapshots, NoopProbe)
+    }
 }
 
 impl<V, P> ReplicatedLog<V, P>
@@ -207,8 +340,16 @@ where
             pending: VecDeque::new(),
             inflight: BTreeMap::new(),
             decide_trackers: BTreeMap::new(),
+            snapshot_debtors: BTreeSet::new(),
+            known_frontier: 0,
             storage: None,
             wedged: false,
+            snapshots: None,
+            watermark: 0,
+            recovered_snapshot: None,
+            recovered: false,
+            outgoing_snaps: BTreeMap::new(),
+            incoming_snap: None,
             external: false,
             believed: None,
             probe,
@@ -291,7 +432,14 @@ where
             node: env.id(),
             records: records.len() as u64,
         });
+        // The WAL bytes just replayed are exactly what snapshots exist to
+        // bound — surfaced as the `recovery_replay_bytes` counter.
+        sm.probe.emit(ProbeEvent::RecoveryReplay {
+            node: env.id(),
+            bytes: storage.stats().live_bytes,
+        });
         let recovering = !records.is_empty();
+        sm.recovered = recovering;
         let mut omega_counter = 0u64;
         for rec in records {
             match rec {
@@ -326,6 +474,206 @@ where
         sm.omega.restore_own_counter(boot_counter);
         sm.storage = Some(storage);
         Ok(sm)
+    }
+
+    /// Like [`ReplicatedLog::with_storage_and_probe`], additionally
+    /// attaching a snapshot store: any snapshot it holds floors the
+    /// replica's watermark before WAL replay semantics apply (records below
+    /// the watermark are covered by the snapshot and ignored), and
+    /// [`ReplicatedLog::compact`] becomes available. The recovered snapshot
+    /// blob is exposed through [`ReplicatedLog::recovered_snapshot`] for the
+    /// application to rebuild its state from.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log or snapshot store cannot be read, or the boot
+    /// record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage_snapshots_and_probe(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        snapshots: SnapshotHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let mut sm = ReplicatedLog::with_storage_and_probe(env, params, storage, probe)?;
+        sm.attach_snapshots(snapshots)?;
+        Ok(sm)
+    }
+
+    /// Like [`ReplicatedLog::with_storage_snapshots_and_probe`], in
+    /// external-leadership mode (see [`ReplicatedLog::new_externally_led`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log or snapshot store cannot be read, or the boot
+    /// record cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid.
+    pub fn with_storage_snapshots_externally_led(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        snapshots: SnapshotHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let mut sm = ReplicatedLog::with_storage_snapshots_and_probe(
+            env, params, storage, snapshots, probe,
+        )?;
+        sm.external = true;
+        Ok(sm)
+    }
+
+    /// Loads the snapshot store's current snapshot (if any), floors the
+    /// replica at its watermark, and keeps the handle for
+    /// [`ReplicatedLog::compact`].
+    fn attach_snapshots(&mut self, snapshots: SnapshotHandle) -> Result<(), StorageError> {
+        if let Some(snap) = snapshots.load()? {
+            self.recovered = true;
+            self.apply_watermark(snap.watermark);
+            // Quiet advance, as in WAL recovery: the pre-crash incarnation
+            // already emitted everything contiguous above the watermark.
+            while self.chosen.contains_key(&self.emitted_upto) {
+                self.emitted_upto += 1;
+            }
+            self.recovered_snapshot = Some(snap);
+        }
+        self.snapshots = Some(snapshots);
+        Ok(())
+    }
+
+    /// Floors the replica at `watermark`: drops acceptor/learner state below
+    /// it (all of it is chosen and covered by a snapshot) and advances the
+    /// emission cursor to at least the watermark. Emits nothing — callers on
+    /// the live path drain committed events themselves *after* announcing
+    /// the snapshot.
+    fn apply_watermark(&mut self, watermark: u64) {
+        if watermark <= self.watermark {
+            return;
+        }
+        self.watermark = watermark;
+        self.accepted = self.accepted.split_off(&watermark);
+        self.chosen = self.chosen.split_off(&watermark);
+        // Pruning a tracker that still has unacknowledged peers would drop
+        // their retransmission silently; remember them as snapshot debtors
+        // so the next retry tick serves them a state transfer instead.
+        let mut owed: Vec<ProcessId> = Vec::new();
+        for (_, acks) in self.decide_trackers.range(..watermark) {
+            for q in self.env.membership().others(self.me()) {
+                if !acks[q.as_usize()] {
+                    owed.push(q);
+                }
+            }
+        }
+        self.snapshot_debtors.extend(owed);
+        self.decide_trackers = self.decide_trackers.split_off(&watermark);
+        if self.emitted_upto < watermark {
+            self.emitted_upto = watermark;
+        }
+    }
+
+    /// The records that must survive a WAL rewrite at the current horizon:
+    /// the latest Ω counter and promise, and every accepted/chosen entry at
+    /// or above the watermark.
+    fn live_records(&self) -> Vec<RsmRecord<V>> {
+        let mut live: Vec<RsmRecord<V>> =
+            Vec::with_capacity(2 + self.accepted.len() + self.chosen.len());
+        live.push(RsmRecord::OmegaCounter(self.omega.own_counter()));
+        live.push(RsmRecord::Promised(self.promised));
+        for (slot, (b, entry)) in &self.accepted {
+            live.push(RsmRecord::Accepted {
+                slot: *slot,
+                b: *b,
+                entry: entry.clone(),
+            });
+        }
+        for (slot, entry) in &self.chosen {
+            live.push(RsmRecord::Chosen {
+                slot: *slot,
+                entry: entry.clone(),
+            });
+        }
+        live
+    }
+
+    /// Durably snapshots the application's serialized `state` at `watermark`
+    /// and truncates the WAL behind it, bounding both disk use and future
+    /// recovery replay. Ordering is the whole safety argument: the snapshot
+    /// is installed durably *first*, then the WAL is rewritten to only the
+    /// live records, then the in-memory maps drop the covered prefix — a
+    /// crash between any two steps recovers a superset of the compacted
+    /// state. `watermark` is clamped to the contiguously committed prefix
+    /// (state can only describe applied slots).
+    ///
+    /// Returns `Ok(false)` (and does nothing) when no snapshot store is
+    /// attached, the replica is wedged, or the clamped watermark does not
+    /// advance. Call it from the application after applying commands — e.g.
+    /// every N applied commands.
+    ///
+    /// # Errors
+    ///
+    /// Fails (wedging the replica, on the WAL-rewrite step) if persistence
+    /// fails — a replica that cannot compact safely must fall silent rather
+    /// than risk serving an uncovered prefix.
+    pub fn compact(&mut self, watermark: u64, state: Vec<u8>) -> Result<bool, StorageError> {
+        if self.wedged {
+            return Ok(false);
+        }
+        let Some(snaps) = self.snapshots.clone() else {
+            return Ok(false);
+        };
+        let watermark = watermark.min(self.emitted_upto);
+        if watermark <= self.watermark {
+            return Ok(false);
+        }
+        // 1. Snapshot durable first.
+        snaps.install(&Snapshot {
+            watermark,
+            data: state,
+        })?;
+        // 2. In-memory horizon defines the live set…
+        self.apply_watermark(watermark);
+        // 3. …and the WAL is rewritten to exactly that set.
+        if let Some(store) = self.storage.clone() {
+            if let Err(e) = store.compact_records(&self.live_records()) {
+                self.probe.emit(ProbeEvent::WalWedge { node: self.me() });
+                self.wedged = true;
+                return Err(e);
+            }
+        }
+        self.probe.emit(ProbeEvent::SnapshotWrite {
+            node: self.me(),
+            watermark,
+            live_bytes: self.wal_stats().live_bytes,
+        });
+        Ok(true)
+    }
+
+    /// First slot not covered by the latest durable snapshot (0 when no
+    /// compaction has happened).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Live/appended byte counts of the attached WAL (zeros when none) —
+    /// what E21 gates its disk-bound claim on.
+    pub fn wal_stats(&self) -> StorageStats {
+        self.storage
+            .as_ref()
+            .map(StorageHandle::stats)
+            .unwrap_or_default()
+    }
+
+    /// The snapshot recovered at construction, if any — the application
+    /// rebuilds its state from this blob, then replays
+    /// [`ReplicatedLog::committed_commands_from`] the watermark on.
+    pub fn recovered_snapshot(&self) -> Option<&Snapshot> {
+        self.recovered_snapshot.as_ref()
     }
 
     /// Appends `rec` to the durable log, if one is attached; wedges the
@@ -454,6 +802,15 @@ where
             .flat_map(|(_, e)| e.commands().iter())
     }
 
+    /// Contiguously committed client commands from slot `from` on — the
+    /// replay iterator for a replica rebuilding state on top of a snapshot
+    /// (pass the snapshot's watermark; slots below it were compacted away).
+    pub fn committed_commands_from(&self, from: u64) -> impl Iterator<Item = &V> {
+        self.chosen
+            .range(from..self.emitted_upto.max(from))
+            .flat_map(|(_, e)| e.commands().iter())
+    }
+
     /// Commands queued locally but not yet committed.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -562,11 +919,14 @@ where
             .range(from_slot..)
             .map(|(s, (ab, e))| (*s, (*ab, e.clone())))
             .collect();
+        let mut low_slots = vec![0u64; self.env.n()];
+        low_slots[self.me().as_usize()] = self.emitted_upto;
         self.state = LeaderState::Preparing {
             b,
             from_slot,
             promised_by,
             gathered,
+            low_slots,
         };
         self.probe.emit(ProbeEvent::PhaseEnter {
             node: self.me(),
@@ -586,6 +946,7 @@ where
             from_slot,
             promised_by,
             gathered,
+            low_slots,
         } = &self.state
         else {
             return;
@@ -595,12 +956,25 @@ where
         }
         let (b, from_slot) = (*b, *from_slot);
         let gathered = gathered.clone();
+        // Safety floor: every slot below some promiser's low_slot is chosen
+        // *somewhere* — any quorum that chose it intersects our promising
+        // quorum, so the choice is either revealed in `gathered` or lies
+        // below the revealer's (compacted) low_slot. Never no-op-fill below
+        // the floor, and never propose fresh commands there: fetch by
+        // CatchUp (answered with Decides or a snapshot transfer) instead.
+        let floor = low_slots
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.watermark);
         let horizon = gathered
             .keys()
             .next_back()
             .map(|s| s + 1)
             .unwrap_or(from_slot)
-            .max(self.chosen.keys().next_back().map(|s| s + 1).unwrap_or(0));
+            .max(self.chosen.keys().next_back().map(|s| s + 1).unwrap_or(0))
+            .max(floor);
         self.state = LeaderState::Led {
             b,
             next_slot: horizon,
@@ -613,13 +987,22 @@ where
         });
         let mut announce: Vec<(u64, Entry<V>)> = Vec::new();
         let mut proposals: Vec<(u64, Entry<V>)> = Vec::new();
+        let mut needs_catchup = false;
         for slot in from_slot..horizon {
             if let Some(entry) = self.chosen.get(&slot).cloned() {
                 announce.push((slot, entry));
             } else if let Some((_, entry)) = gathered.get(&slot).cloned() {
                 proposals.push((slot, entry));
+            } else if slot < floor {
+                needs_catchup = true;
             } else {
                 proposals.push((slot, Entry::Noop));
+            }
+        }
+        if needs_catchup {
+            let low_slot = self.emitted_upto;
+            for q in self.env.membership().others(self.me()) {
+                ctx.send(q, RsmMsg::CatchUp { low_slot });
             }
         }
         // Group commit: one flush covers every inherited/no-op re-proposal.
@@ -755,6 +1138,11 @@ where
     }
 
     fn learn(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, slot: u64, entry: Entry<V>) {
+        if slot < self.watermark {
+            // Covered by the installed snapshot: already applied (possibly
+            // on a peer's behalf), never re-emitted, never re-grown.
+            return;
+        }
         if !self.chosen.contains_key(&slot) {
             // Write-ahead: the choice must be durable before the Committed
             // output (and any Decide broadcast) can be observed.
@@ -771,6 +1159,12 @@ where
                 slot,
             });
         }
+        self.drain_committed(ctx);
+    }
+
+    /// Emits `Committed` for every contiguously chosen slot at the emission
+    /// cursor (one event per command; batches unfold in batch order).
+    fn drain_committed(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
         while let Some(e) = self.chosen.get(&self.emitted_upto) {
             let slot = self.emitted_upto;
             // One Committed event *per command*: a batched slot unfolds into
@@ -795,7 +1189,351 @@ where
         }
     }
 
+    /// Answers a peer that declared everything below `low_slot` known: plain
+    /// `Decide`s when our log still holds the requested range, a snapshot
+    /// transfer when it was compacted away. Any node serves this — catch-up
+    /// is not a leader privilege, which matters when the old leader (the
+    /// only one retransmitting Decides) is itself the process that died.
+    fn serve_catchup(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        peer: ProcessId,
+        low_slot: u64,
+    ) {
+        if peer == self.me() {
+            return;
+        }
+        if low_slot < self.watermark {
+            self.start_snapshot_transfer(ctx, peer);
+            return;
+        }
+        let decides: Vec<(u64, Entry<V>)> = self
+            .chosen
+            .range(low_slot..self.emitted_upto.max(low_slot))
+            .take(CATCHUP_BURST)
+            .map(|(s, e)| (*s, e.clone()))
+            .collect();
+        for (slot, entry) in decides {
+            ctx.send(peer, RsmMsg::Decide { slot, entry });
+        }
+    }
+
+    /// Begins (or restarts a stalled) chunked snapshot transfer to `peer`
+    /// from the latest durable snapshot. A no-op without a loadable
+    /// snapshot, or while a transfer to that peer is still making progress.
+    fn start_snapshot_transfer(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        peer: ProcessId,
+    ) {
+        if let Some(out) = self.outgoing_snaps.get(&peer) {
+            // Every chunk acked but the peer asks again: its reassembly
+            // failed (total-CRC mismatch) or the final ack got lost after a
+            // restart — start over. Otherwise let the backoff retransmit.
+            if !out.acked.iter().all(|a| *a) {
+                return;
+            }
+            self.outgoing_snaps.remove(&peer);
+        }
+        let Some(snaps) = &self.snapshots else {
+            return;
+        };
+        let Ok(Some(snap)) = snaps.load() else {
+            return;
+        };
+        let crc = crc32(&snap.data);
+        let chunks: Vec<Vec<u8>> = if snap.data.is_empty() {
+            vec![Vec::new()]
+        } else {
+            snap.data
+                .chunks(SNAP_CHUNK_BYTES)
+                .map(<[u8]>::to_vec)
+                .collect()
+        };
+        let out = OutgoingSnapshot {
+            watermark: snap.watermark,
+            crc,
+            acked: vec![false; chunks.len()],
+            chunks,
+            attempt: 0,
+            cooldown: 0,
+        };
+        self.send_snapshot_round(ctx, peer, &out);
+        self.outgoing_snaps.insert(peer, out);
+    }
+
+    /// Sends the offer plus every not-yet-acked chunk of one transfer.
+    fn send_snapshot_round(
+        &self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        peer: ProcessId,
+        out: &OutgoingSnapshot,
+    ) {
+        let total = out.chunks.len() as u32;
+        ctx.send(
+            peer,
+            RsmMsg::SnapshotOffer {
+                watermark: out.watermark,
+                chunks: total,
+                crc: out.crc,
+            },
+        );
+        for (i, chunk) in out.chunks.iter().enumerate() {
+            if out.acked[i] {
+                continue;
+            }
+            ctx.send(
+                peer,
+                RsmMsg::SnapshotChunk {
+                    watermark: out.watermark,
+                    index: i as u32,
+                    chunks: total,
+                    crc: out.crc,
+                    chunk_crc: crc32(chunk),
+                    data: chunk.clone(),
+                },
+            );
+        }
+    }
+
+    /// Retry-timer duty for outgoing transfers: retransmit what the peer has
+    /// not acked, spaced by jittered exponential backoff (deterministic —
+    /// the jitter hashes `(me, peer, watermark, attempt)`), and abandon the
+    /// transfer after [`SNAP_MAX_ATTEMPTS`] rounds.
+    fn pump_snapshot_retries(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        let me = self.me().as_usize() as u64;
+        let mut abandoned: Vec<ProcessId> = Vec::new();
+        let mut rounds: Vec<ProcessId> = Vec::new();
+        for (peer, out) in &mut self.outgoing_snaps {
+            if out.cooldown > 0 {
+                out.cooldown -= 1;
+                continue;
+            }
+            if out.attempt >= SNAP_MAX_ATTEMPTS {
+                abandoned.push(*peer);
+                continue;
+            }
+            out.attempt += 1;
+            let backoff = 1u32 << out.attempt.min(4);
+            let seed = me
+                ^ ((peer.as_usize() as u64) << 8)
+                ^ out.watermark.rotate_left(17)
+                ^ ((u64::from(out.attempt)) << 32);
+            let jitter = (mix64(seed) % (u64::from(out.attempt) + 1)) as u32;
+            out.cooldown = backoff + jitter;
+            rounds.push(*peer);
+        }
+        for peer in abandoned {
+            self.outgoing_snaps.remove(&peer);
+        }
+        for peer in rounds {
+            if let Some(out) = self.outgoing_snaps.get(&peer) {
+                let out = out.clone();
+                self.send_snapshot_round(ctx, peer, &out);
+            }
+        }
+    }
+
+    /// Registers an announced transfer on the receiver. Returns `false`
+    /// when the transfer is stale (already covered locally — acked as
+    /// complete so the sender stops) or loses to a further-ahead transfer
+    /// already in progress.
+    fn note_snapshot_offer(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        from: ProcessId,
+        watermark: u64,
+        chunks: u32,
+        crc: u32,
+    ) -> bool {
+        if chunks == 0 || chunks as usize > 4096 {
+            return false;
+        }
+        self.known_frontier = self.known_frontier.max(watermark);
+        if watermark <= self.emitted_upto {
+            ctx.send(
+                from,
+                RsmMsg::SnapshotAck {
+                    watermark,
+                    index: u32::MAX,
+                },
+            );
+            return false;
+        }
+        match &self.incoming_snap {
+            Some(inc) if inc.watermark > watermark => false,
+            Some(inc) if inc.watermark == watermark => inc.chunks == chunks && inc.crc == crc,
+            _ => {
+                self.incoming_snap = Some(IncomingSnapshot {
+                    watermark,
+                    chunks,
+                    crc,
+                    parts: vec![None; chunks as usize],
+                });
+                true
+            }
+        }
+    }
+
+    /// Accepts one chunk (dropping it silently on a per-chunk CRC mismatch
+    /// so the sender retransmits), acks it, and installs the snapshot once
+    /// every part is present.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
+    fn on_snapshot_chunk(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        from: ProcessId,
+        watermark: u64,
+        index: u32,
+        chunks: u32,
+        crc: u32,
+        chunk_crc: u32,
+        data: Vec<u8>,
+    ) {
+        if crc32(&data) != chunk_crc {
+            return;
+        }
+        // Chunks are self-describing, so a lost offer frame cannot stall
+        // the transfer: the first surviving chunk recreates the assembly.
+        if !self.note_snapshot_offer(ctx, from, watermark, chunks, crc) {
+            return;
+        }
+        let Some(inc) = &mut self.incoming_snap else {
+            return;
+        };
+        if inc.watermark != watermark || inc.chunks != chunks {
+            return;
+        }
+        let Some(part) = inc.parts.get_mut(index as usize) else {
+            return;
+        };
+        *part = Some(data);
+        ctx.send(from, RsmMsg::SnapshotAck { watermark, index });
+        if self
+            .incoming_snap
+            .as_ref()
+            .is_some_and(|inc| inc.parts.iter().all(Option::is_some))
+        {
+            self.install_incoming_snapshot(ctx, from);
+        }
+    }
+
+    /// Reassembles and installs the completed transfer: verify the total
+    /// CRC, make the snapshot durable, compact our own WAL behind it, floor
+    /// the in-memory maps, announce [`RsmEvent::SnapshotInstalled`], then
+    /// emit whatever became contiguous above the watermark and ask the
+    /// sender to resume Decide streaming there.
+    fn install_incoming_snapshot(
+        &mut self,
+        ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>,
+        from: ProcessId,
+    ) {
+        let Some(inc) = self.incoming_snap.take() else {
+            return;
+        };
+        let mut data = Vec::new();
+        for part in inc.parts {
+            data.extend_from_slice(&part.unwrap_or_default());
+        }
+        if crc32(&data) != inc.crc {
+            // Poisoned reassembly: drop it. The gap persists, so the next
+            // catch-up round restarts the transfer from scratch (the sender
+            // treats a fully-acked-but-unfinished transfer as restartable).
+            ctx.send(
+                from,
+                RsmMsg::CatchUp {
+                    low_slot: self.emitted_upto,
+                },
+            );
+            return;
+        }
+        let watermark = inc.watermark;
+        // Durable snapshot BEFORE compacting the WAL below: a crash between
+        // the two must find the snapshot. Without a snapshot store the
+        // install is memory-only and the WAL is left alone — a crash then
+        // just re-runs the transfer (equivalent to crashing earlier).
+        if let Some(snaps) = self.snapshots.clone() {
+            if snaps
+                .install(&Snapshot {
+                    watermark,
+                    data: data.clone(),
+                })
+                .is_err()
+            {
+                self.probe.emit(ProbeEvent::WalWedge { node: self.me() });
+                self.wedged = true;
+                return;
+            }
+            self.apply_watermark(watermark);
+            if let Some(store) = self.storage.clone() {
+                if store.compact_records(&self.live_records()).is_err() {
+                    self.probe.emit(ProbeEvent::WalWedge { node: self.me() });
+                    self.wedged = true;
+                    return;
+                }
+            }
+        } else {
+            self.apply_watermark(watermark);
+        }
+        self.probe.emit(ProbeEvent::SnapshotInstall {
+            node: self.me(),
+            at: ctx.now(),
+            watermark,
+        });
+        ctx.output(RsmEvent::SnapshotInstalled {
+            watermark,
+            state: data,
+        });
+        self.drain_committed(ctx);
+        ctx.send(
+            from,
+            RsmMsg::SnapshotAck {
+                watermark,
+                index: u32::MAX,
+            },
+        );
+        ctx.send(
+            from,
+            RsmMsg::CatchUp {
+                low_slot: self.emitted_upto,
+            },
+        );
+    }
+
     fn on_retry(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        self.pump_snapshot_retries(ctx);
+        // Serve peers whose un-acked Decides were compacted away: the
+        // snapshot is the only remaining form of those bytes. An offer to a
+        // peer that was merely slow to ack is self-terminating (a receiver
+        // already past the watermark immediately acks the transfer away).
+        if !self.snapshot_debtors.is_empty() {
+            let owed: Vec<ProcessId> = std::mem::take(&mut self.snapshot_debtors)
+                .into_iter()
+                .collect();
+            for q in owed {
+                self.start_snapshot_transfer(ctx, q);
+            }
+        }
+        // A chosen slot above the emission cursor means a gap below it —
+        // slots we may never see by retransmission (their chooser may have
+        // compacted and restarted). An overheard frontier above the cursor
+        // means the same thing even with nothing local to show for it: the
+        // decider of our missing suffix may have crashed and lost its
+        // retransmission state. Ask the cluster: peers answer with Decides
+        // or a snapshot transfer. Quiet steady state sends nothing.
+        if self.incoming_snap.is_none()
+            && (self
+                .chosen
+                .keys()
+                .next_back()
+                .is_some_and(|s| *s >= self.emitted_upto)
+                || self.known_frontier > self.emitted_upto)
+        {
+            let low_slot = self.emitted_upto;
+            for q in self.env.membership().others(self.me()) {
+                ctx.send(q, RsmMsg::CatchUp { low_slot });
+            }
+        }
         // Retransmit decided slots to peers that have not acknowledged.
         let mut done = Vec::new();
         let trackers: Vec<(u64, Vec<bool>)> = self
@@ -809,6 +1547,17 @@ where
                 continue;
             }
             let Some(entry) = self.chosen.get(&slot).cloned() else {
+                // Defensive: a tracker without its chosen entry can only
+                // mean the slot fell below the watermark — the snapshot
+                // supersedes it, so convert the tracker into debts.
+                let owed: Vec<ProcessId> = self
+                    .env
+                    .membership()
+                    .others(self.me())
+                    .filter(|q| !acks[q.as_usize()])
+                    .collect();
+                self.snapshot_debtors.extend(owed);
+                done.push(slot);
                 continue;
             };
             for q in self.env.membership().others(self.me()) {
@@ -925,25 +1674,22 @@ where
                 accepted,
                 low_slot,
             } => {
-                // Help a lagging promiser catch up on already-chosen slots.
-                // (The promiser may also be *ahead* of us: empty range.)
-                let catchup: Vec<(u64, Entry<V>)> = self
-                    .chosen
-                    .range(low_slot..self.emitted_upto.max(low_slot))
-                    .map(|(s, e)| (*s, e.clone()))
-                    .collect();
-                for (slot, entry) in catchup {
-                    ctx.send(from, RsmMsg::Decide { slot, entry });
-                }
+                // Help a lagging promiser catch up on already-chosen slots —
+                // by Decides, or by snapshot transfer when our log below its
+                // low_slot is compacted away. (The promiser may also be
+                // *ahead* of us: empty range, nothing sent.)
+                self.serve_catchup(ctx, from, low_slot);
                 if let LeaderState::Preparing {
                     b: cur,
                     promised_by,
                     gathered,
+                    low_slots,
                     ..
                 } = &mut self.state
                 {
                     if *cur == b {
                         promised_by[from.as_usize()] = true;
+                        low_slots[from.as_usize()] = low_slots[from.as_usize()].max(low_slot);
                         for (slot, ab, entry) in accepted {
                             match gathered.get(&slot) {
                                 Some((prev, _)) if *prev >= ab => {}
@@ -1018,6 +1764,50 @@ where
                     }
                 }
             }
+            RsmMsg::CatchUp { low_slot } => {
+                // The asker has emitted everything below `low_slot` — that
+                // is frontier evidence for *us* too (we may be the laggard).
+                self.known_frontier = self.known_frontier.max(low_slot);
+                self.serve_catchup(ctx, from, low_slot);
+            }
+            RsmMsg::SnapshotOffer {
+                watermark,
+                chunks,
+                crc,
+            } => {
+                self.note_snapshot_offer(ctx, from, watermark, chunks, crc);
+            }
+            RsmMsg::SnapshotChunk {
+                watermark,
+                index,
+                chunks,
+                crc,
+                chunk_crc,
+                data,
+            } => {
+                self.on_snapshot_chunk(ctx, from, watermark, index, chunks, crc, chunk_crc, data);
+            }
+            RsmMsg::SnapshotAck { watermark, index } => {
+                if index == u32::MAX {
+                    if self
+                        .outgoing_snaps
+                        .get(&from)
+                        .is_some_and(|o| o.watermark <= watermark)
+                    {
+                        self.outgoing_snaps.remove(&from);
+                    }
+                } else if let Some(out) = self.outgoing_snaps.get_mut(&from) {
+                    if out.watermark == watermark {
+                        if let Some(acked) = out.acked.get_mut(index as usize) {
+                            *acked = true;
+                        }
+                        // Progress proves the link: reset the backoff so the
+                        // remainder retransmits promptly if needed.
+                        out.attempt = 0;
+                        out.cooldown = 0;
+                    }
+                }
+            }
         }
     }
 }
@@ -1036,6 +1826,14 @@ where
             return;
         }
         ctx.set_timer(RETRY_TIMER, self.params.retry);
+        // A restarted replica proactively asks where the log has moved: the
+        // cluster may have chosen (and compacted) a long prefix while it was
+        // down, and nobody may be retransmitting that history anymore.
+        if self.recovered {
+            ctx.broadcast(RsmMsg::CatchUp {
+                low_slot: self.emitted_upto,
+            });
+        }
         // In external-leadership mode the embedded Ω never runs: the shared
         // per-node detector injects leadership via `set_leader`.
         if !self.external {
@@ -1815,5 +2613,486 @@ mod tests {
             })
             .collect();
         assert_eq!(committed, vec![1]);
+    }
+
+    /// Decides `slots` commands (value = slot) on `sm` by direct Decide
+    /// delivery, oldest first.
+    fn decide_prefix(env: &Env, sm: &mut Log, slots: u64) {
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        for slot in 0..slots {
+            let mut ctx = Ctx::new(env, Instant::ZERO, &mut fx);
+            sm.on_message(
+                &mut ctx,
+                ProcessId(0),
+                RsmMsg::Decide {
+                    slot,
+                    entry: Entry::Cmd(slot),
+                },
+            );
+            fx.take();
+        }
+    }
+
+    #[test]
+    fn compaction_prunes_the_wal_and_recovery_starts_from_the_snapshot() {
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        let env = Env::new(ProcessId(1), 3);
+        let store = StorageHandle::in_memory();
+        let snaps = SnapshotHandle::in_memory();
+        {
+            let mut sm: Log = ReplicatedLog::with_storage_and_snapshots(
+                &env,
+                ConsensusParams::default(),
+                store.clone(),
+                snaps.clone(),
+            )
+            .unwrap();
+            decide_prefix(&env, &mut sm, 10);
+            let before = sm.wal_stats().live_bytes;
+            assert!(sm.compact(8, vec![0xAB; 4]).unwrap(), "compaction runs");
+            assert_eq!(sm.watermark(), 8);
+            assert!(
+                sm.wal_stats().live_bytes < before,
+                "live bytes shrink: {} -> {}",
+                before,
+                sm.wal_stats().live_bytes
+            );
+            // Re-compacting at a non-advancing watermark declines.
+            assert!(!sm.compact(8, vec![]).unwrap());
+            // Crash.
+        }
+        let sm2: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env,
+            ConsensusParams::default(),
+            store,
+            snaps,
+        )
+        .unwrap();
+        assert_eq!(sm2.watermark(), 8);
+        let snap = sm2.recovered_snapshot().expect("snapshot recovered");
+        assert_eq!((snap.watermark, snap.data.clone()), (8, vec![0xAB; 4]));
+        assert_eq!(
+            sm2.committed_len(),
+            10,
+            "snapshot watermark + replayed WAL tail"
+        );
+        assert_eq!(
+            sm2.committed_commands_from(sm2.watermark())
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![8, 9],
+            "only the post-snapshot tail replays"
+        );
+    }
+
+    #[test]
+    fn compacted_acceptor_still_reveals_its_live_suffix_and_low_slot() {
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        let env = Env::new(ProcessId(1), 3);
+        let mut sm: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env,
+            ConsensusParams::default(),
+            StorageHandle::in_memory(),
+            SnapshotHandle::in_memory(),
+        )
+        .unwrap();
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        decide_prefix(&env, &mut sm, 5);
+        // An accepted-but-undecided entry above the prefix.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(
+            &mut ctx,
+            ProcessId(0),
+            RsmMsg::Accept {
+                b: b(1, 0),
+                slot: 6,
+                entry: Entry::Cmd(60),
+            },
+        );
+        fx.take();
+        sm.compact(5, vec![1]).unwrap();
+        // A higher-ballot Prepare from scratch: the promise must carry the
+        // compaction horizon as low_slot and still reveal the live suffix.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(
+            &mut ctx,
+            ProcessId(2),
+            RsmMsg::Prepare {
+                b: b(9, 2),
+                from_slot: 0,
+            },
+        );
+        let out = fx.take();
+        let (low_slot, accepted) = out
+            .sends
+            .iter()
+            .find_map(|s| match &s.msg {
+                RsmMsg::Promise {
+                    low_slot, accepted, ..
+                } => Some((*low_slot, accepted.clone())),
+                _ => None,
+            })
+            .expect("acceptor promises");
+        assert_eq!(low_slot, 5, "low_slot reports the compacted watermark");
+        assert!(
+            accepted.contains(&(6, b(1, 0), Entry::Cmd(60))),
+            "the live accepted suffix survives compaction: {accepted:?}"
+        );
+    }
+
+    #[test]
+    fn new_leader_floor_never_proposes_below_a_promised_low_slot() {
+        // p0 prepares; p1's promise reports low_slot 4 (its slots 0..4 are
+        // compacted away). The new leader must not Noop-fill below 4.
+        let mut h = Harness::new(0, 3);
+        h.start();
+        let fx = h.deliver(
+            1,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![(5, b(1, 1), Entry::Cmd(50))],
+                low_slot: 4,
+            },
+        );
+        assert!(h.sm.is_established_leader());
+        let proposed: Vec<u64> = fx
+            .sends
+            .iter()
+            .filter_map(|s| match &s.msg {
+                RsmMsg::Accept { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            proposed.iter().all(|slot| *slot >= 4),
+            "no proposal below the floor: {proposed:?}"
+        );
+        assert!(
+            proposed.contains(&5),
+            "the revealed suffix is re-proposed: {proposed:?}"
+        );
+        // The leader asked the compacted peer nothing, but it *did* ask the
+        // cluster to backfill its own gap below the floor.
+        assert!(
+            fx.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::CatchUp { .. })),
+            "leader requests catch-up for slots below its floor"
+        );
+    }
+
+    #[test]
+    fn snapshot_transfer_catches_up_a_far_behind_follower() {
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        let env0 = Env::new(ProcessId(0), 3);
+        // The sender: a compacted leader-side replica with a snapshot.
+        let mut sender: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env0,
+            ConsensusParams::default(),
+            StorageHandle::in_memory(),
+            SnapshotHandle::in_memory(),
+        )
+        .unwrap();
+        decide_prefix(&env0, &mut sender, 12);
+        sender.compact(12, vec![7; 100]).unwrap();
+        // A fresh follower asks for slot 0: below the watermark, so the
+        // sender must offer a snapshot, not stream Decides.
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        let mut ctx = Ctx::new(&env0, Instant::ZERO, &mut fx);
+        sender.on_message(&mut ctx, ProcessId(2), RsmMsg::CatchUp { low_slot: 0 });
+        let out = fx.take();
+        let to_follower: Vec<RsmMsg<u64>> = out
+            .sends
+            .into_iter()
+            .filter(|s| s.to == ProcessId(2))
+            .map(|s| s.msg)
+            .collect();
+        assert!(
+            to_follower
+                .iter()
+                .any(|m| matches!(m, RsmMsg::SnapshotOffer { watermark: 12, .. })),
+            "below-watermark catch-up is served by state transfer"
+        );
+        assert!(
+            to_follower
+                .iter()
+                .any(|m| matches!(m, RsmMsg::SnapshotChunk { .. })),
+            "chunks ride along with the offer"
+        );
+
+        // The receiver: a fresh replica with its own (empty) stores.
+        let env2 = Env::new(ProcessId(2), 3);
+        let store2 = StorageHandle::in_memory();
+        let snaps2 = SnapshotHandle::in_memory();
+        let mut recv: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env2,
+            ConsensusParams::default(),
+            store2.clone(),
+            snaps2.clone(),
+        )
+        .unwrap();
+        let mut acks = Vec::new();
+        let mut installed = Vec::new();
+        for msg in to_follower {
+            let mut ctx = Ctx::new(&env2, Instant::ZERO, &mut fx);
+            recv.on_message(&mut ctx, ProcessId(0), msg);
+            let out = fx.take();
+            for s in out.sends {
+                if let RsmMsg::SnapshotAck { index, .. } = s.msg {
+                    acks.push(index);
+                }
+            }
+            for o in out.outputs {
+                if let RsmEvent::SnapshotInstalled { watermark, state } = o {
+                    installed.push((watermark, state));
+                }
+            }
+        }
+        assert_eq!(
+            installed,
+            vec![(12, vec![7; 100])],
+            "the follower installs the sender's exact state"
+        );
+        assert_eq!(recv.watermark(), 12);
+        assert_eq!(recv.committed_len(), 12);
+        assert!(
+            acks.contains(&u32::MAX),
+            "completion is acked so the sender can retire the transfer: {acks:?}"
+        );
+        // The install is durable: a crash right after recovers from the
+        // installed snapshot.
+        drop(recv);
+        let recv2: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env2,
+            ConsensusParams::default(),
+            store2,
+            snaps2,
+        )
+        .unwrap();
+        assert_eq!(recv2.watermark(), 12, "installed snapshot survives a crash");
+
+        // The completion ack retires the sender's outgoing transfer state.
+        let mut ctx = Ctx::new(&env0, Instant::ZERO, &mut fx);
+        sender.on_message(
+            &mut ctx,
+            ProcessId(2),
+            RsmMsg::SnapshotAck {
+                watermark: 12,
+                index: u32::MAX,
+            },
+        );
+        fx.take();
+        let mut ctx = Ctx::new(&env0, Instant::ZERO, &mut fx);
+        sender.on_timer(&mut ctx, RETRY_TIMER);
+        let out = fx.take();
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::SnapshotChunk { .. })),
+            "no further chunk retries after completion"
+        );
+    }
+
+    #[test]
+    fn compaction_converts_unacked_decides_into_snapshot_transfers() {
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        // Regression: a decider whose un-acked Decide is compacted away must
+        // not go silent — a peer missing the *final* slot has no later
+        // chosen slot to trigger its own CatchUp, so in a quiet cluster the
+        // decider's retry tick is the only remaining delivery path.
+        let env = Env::new(ProcessId(0), 3);
+        let mut sm: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env,
+            ConsensusParams::default(),
+            StorageHandle::in_memory(),
+            SnapshotHandle::in_memory(),
+        )
+        .unwrap();
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_start(&mut ctx);
+        fx.take();
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(
+            &mut ctx,
+            ProcessId(1),
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 0,
+            },
+        );
+        fx.take();
+        assert!(sm.is_established_leader());
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_request(&mut ctx, 7);
+        fx.take();
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(
+            &mut ctx,
+            ProcessId(1),
+            RsmMsg::Accepted {
+                b: b(1, 0),
+                slot: 0,
+            },
+        );
+        fx.take();
+        assert!(sm.decide_trackers.contains_key(&0), "slot 0 is tracked");
+        // p1 acknowledges the Decide; p2 never does.
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(&mut ctx, ProcessId(1), RsmMsg::DecideAck { slot: 0 });
+        fx.take();
+        // Compaction prunes the tracker — but remembers who is still owed.
+        sm.compact(1, vec![9; 64]).unwrap();
+        assert!(sm.decide_trackers.is_empty());
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_timer(&mut ctx, RETRY_TIMER);
+        let out = fx.take();
+        let offered: Vec<ProcessId> = out
+            .sends
+            .iter()
+            .filter(|s| matches!(s.msg, RsmMsg::SnapshotOffer { watermark: 1, .. }))
+            .map(|s| s.to)
+            .collect();
+        assert_eq!(
+            offered,
+            vec![ProcessId(2)],
+            "only the un-acked peer is served a state transfer"
+        );
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Decide { slot: 0, .. })),
+            "the compacted Decide itself is not (and cannot be) resent"
+        );
+    }
+
+    #[test]
+    fn overheard_frontier_triggers_catchup_for_a_silent_gap() {
+        // Regression: p2 misses the final suffix of the log; the decider
+        // crashed, so nobody retransmits. The decider rejoins and broadcasts
+        // CatchUp { low_slot: 5 } (it wants nothing — it *has* everything
+        // below 5). That advert is p2's only evidence the suffix exists.
+        let mut h = Harness::new(2, 3);
+        h.start();
+        // Quiet replica with no local evidence: retry ticks stay silent.
+        let mut ctx = Ctx::new(&h.env, Instant::ZERO, &mut h.fx);
+        h.sm.on_timer(&mut ctx, RETRY_TIMER);
+        assert!(
+            !h.fx
+                .take()
+                .sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::CatchUp { .. })),
+            "no catch-up without evidence of missing slots"
+        );
+        h.deliver(0, RsmMsg::CatchUp { low_slot: 5 });
+        let mut ctx = Ctx::new(&h.env, Instant::ZERO, &mut h.fx);
+        h.sm.on_timer(&mut ctx, RETRY_TIMER);
+        let out = h.fx.take();
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::CatchUp { low_slot: 0 })),
+            "an overheard frontier above the cursor asks the cluster: {:?}",
+            out.sends
+        );
+    }
+
+    #[test]
+    fn corrupt_chunk_is_ignored_and_retried_round_resends_it() {
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        let env0 = Env::new(ProcessId(0), 3);
+        let mut sender: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env0,
+            ConsensusParams::default(),
+            StorageHandle::in_memory(),
+            SnapshotHandle::in_memory(),
+        )
+        .unwrap();
+        decide_prefix(&env0, &mut sender, 4);
+        // A state large enough for several chunks.
+        sender.compact(4, vec![9; 80 * 1024]).unwrap();
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        let mut ctx = Ctx::new(&env0, Instant::ZERO, &mut fx);
+        sender.on_message(&mut ctx, ProcessId(2), RsmMsg::CatchUp { low_slot: 0 });
+        let out = fx.take();
+        let chunks: Vec<RsmMsg<u64>> = out
+            .sends
+            .into_iter()
+            .filter(|s| matches!(s.msg, RsmMsg::SnapshotChunk { .. }))
+            .map(|s| s.msg)
+            .collect();
+        assert!(
+            chunks.len() >= 3,
+            "32 KiB chunking: {} chunks",
+            chunks.len()
+        );
+
+        let env2 = Env::new(ProcessId(2), 3);
+        let mut recv: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env2,
+            ConsensusParams::default(),
+            StorageHandle::in_memory(),
+            SnapshotHandle::in_memory(),
+        )
+        .unwrap();
+        // Corrupt the first chunk's payload; its CRC no longer matches.
+        let mut corrupted = chunks.clone();
+        if let RsmMsg::SnapshotChunk { data, .. } = &mut corrupted[0] {
+            data[0] ^= 0xFF;
+        }
+        for msg in corrupted {
+            let mut ctx = Ctx::new(&env2, Instant::ZERO, &mut fx);
+            recv.on_message(&mut ctx, ProcessId(0), msg);
+            fx.take();
+        }
+        assert_eq!(
+            recv.watermark(),
+            0,
+            "a transfer with a corrupt chunk must not install"
+        );
+        // Redelivering the genuine first chunk completes the transfer.
+        let mut ctx = Ctx::new(&env2, Instant::ZERO, &mut fx);
+        recv.on_message(&mut ctx, ProcessId(0), chunks[0].clone());
+        let out = fx.take();
+        assert!(
+            out.outputs
+                .iter()
+                .any(|o| matches!(o, RsmEvent::SnapshotInstalled { watermark: 4, .. })),
+            "the repaired chunk completes the install"
+        );
+        assert_eq!(recv.watermark(), 4);
+    }
+
+    #[test]
+    fn decides_below_the_watermark_are_dropped() {
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        let env = Env::new(ProcessId(1), 3);
+        let mut sm: Log = ReplicatedLog::with_storage_and_snapshots(
+            &env,
+            ConsensusParams::default(),
+            StorageHandle::in_memory(),
+            SnapshotHandle::in_memory(),
+        )
+        .unwrap();
+        decide_prefix(&env, &mut sm, 6);
+        sm.compact(6, vec![]).unwrap();
+        let mut fx: Effects<RsmMsg<u64>, RsmEvent<u64>> = Effects::new();
+        let mut ctx = Ctx::new(&env, Instant::ZERO, &mut fx);
+        sm.on_message(
+            &mut ctx,
+            ProcessId(0),
+            RsmMsg::Decide {
+                slot: 2,
+                entry: Entry::Cmd(999),
+            },
+        );
+        let out = fx.take();
+        assert!(
+            out.outputs.is_empty(),
+            "a pre-watermark Decide re-emits nothing"
+        );
+        assert_eq!(sm.chosen(2), None, "and is not re-admitted into the log");
     }
 }

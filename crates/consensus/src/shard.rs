@@ -36,7 +36,8 @@ use std::fmt;
 use lls_obs::{NoopProbe, Probe};
 use lls_primitives::wire::{Wire, WireError, WireReader};
 use lls_primitives::{
-    Ctx, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId,
+    Ctx, Effects, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerCmd,
+    TimerId,
 };
 use omega::{CommEffOmega, OmegaMsg};
 use serde::{Deserialize, Serialize};
@@ -278,6 +279,17 @@ pub enum ShardEvent<V> {
         /// The committed command, if not a no-op.
         cmd: Option<V>,
     },
+    /// One shard group completed a snapshot-install state transfer: the
+    /// application must replace that shard's materialized state with
+    /// `state` before consuming its further `Committed` events.
+    SnapshotInstalled {
+        /// The group whose state was replaced.
+        shard: ShardId,
+        /// First slot of that group's log not covered by the state.
+        watermark: u64,
+        /// The application state blob for that shard.
+        state: Vec<u8>,
+    },
 }
 
 /// A client command addressed to one shard group.
@@ -352,6 +364,39 @@ where
     ) -> Result<Self, StorageError> {
         ShardedNode::with_storage_and_probe(env, params, placement, stores, omega_store, NoopProbe)
     }
+
+    /// Like [`ShardedNode::with_storage`], additionally attaching one
+    /// snapshot store per shard (shards missing from `snaps` run without
+    /// compaction). Each group recovers snapshot-first, then WAL — see
+    /// [`ReplicatedLog::with_storage_and_snapshots`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any WAL or snapshot store cannot be read or a boot record
+    /// cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid, or if an attached shard has
+    /// no storage handle in `stores`.
+    pub fn with_storage_and_snapshots(
+        env: &Env,
+        params: ConsensusParams,
+        placement: PlacementManager,
+        stores: &BTreeMap<ShardId, StorageHandle>,
+        snaps: &BTreeMap<ShardId, SnapshotHandle>,
+        omega_store: StorageHandle,
+    ) -> Result<Self, StorageError> {
+        ShardedNode::with_storage_snapshots_and_probe(
+            env,
+            params,
+            placement,
+            stores,
+            snaps,
+            omega_store,
+            NoopProbe,
+        )
+    }
 }
 
 impl<V, P> ShardedNode<V, P>
@@ -411,14 +456,56 @@ where
         omega_store: StorageHandle,
         probe: P,
     ) -> Result<Self, StorageError> {
+        ShardedNode::with_storage_snapshots_and_probe(
+            env,
+            params,
+            placement,
+            stores,
+            &BTreeMap::new(),
+            omega_store,
+            probe,
+        )
+    }
+
+    /// Like [`ShardedNode::with_storage_and_snapshots`], with an
+    /// observability probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any WAL or snapshot store cannot be read or a boot record
+    /// cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid, or if an attached shard has
+    /// no storage handle in `stores`.
+    pub fn with_storage_snapshots_and_probe(
+        env: &Env,
+        params: ConsensusParams,
+        placement: PlacementManager,
+        stores: &BTreeMap<ShardId, StorageHandle>,
+        snaps: &BTreeMap<ShardId, SnapshotHandle>,
+        omega_store: StorageHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
         let mut groups = BTreeMap::new();
         for shard in placement.attached() {
             let store = stores
                 .get(&shard)
                 .unwrap_or_else(|| panic!("no WAL segment for attached {shard}"))
                 .clone();
-            let group =
-                ReplicatedLog::with_storage_externally_led(env, params, store, probe.clone())?;
+            let group = match snaps.get(&shard) {
+                Some(snap) => ReplicatedLog::with_storage_snapshots_externally_led(
+                    env,
+                    params,
+                    store,
+                    snap.clone(),
+                    probe.clone(),
+                )?,
+                None => {
+                    ReplicatedLog::with_storage_externally_led(env, params, store, probe.clone())?
+                }
+            };
             groups.insert(shard, group);
         }
         // The shared Ω counter lives in its own segment: recover the highest
@@ -471,6 +558,27 @@ where
     /// All locally attached groups, in shard order.
     pub fn groups(&self) -> impl Iterator<Item = (ShardId, &ReplicatedLog<V, P>)> {
         self.groups.iter().map(|(s, g)| (*s, g))
+    }
+
+    /// Compacts one attached group: installs `state` as its durable
+    /// snapshot at `watermark` and rewrites its WAL segment to live records
+    /// only (see [`ReplicatedLog::compact`]). Returns `Ok(false)` when the
+    /// shard is not attached locally or the group declined (no snapshot
+    /// store, watermark not advancing, wedged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a WAL rewrite failure; the group is wedged first.
+    pub fn compact_shard(
+        &mut self,
+        shard: ShardId,
+        watermark: u64,
+        state: Vec<u8>,
+    ) -> Result<bool, StorageError> {
+        match self.groups.get_mut(&shard) {
+            Some(group) => group.compact(watermark, state),
+            None => Ok(false),
+        }
     }
 
     /// The leader this node currently believes in (the shared Ω's last
@@ -561,6 +669,13 @@ where
                 RsmEvent::Leader(_) => {}
                 RsmEvent::Committed { slot, cmd } => {
                     ctx.output(ShardEvent::Committed { shard, slot, cmd });
+                }
+                RsmEvent::SnapshotInstalled { watermark, state } => {
+                    ctx.output(ShardEvent::SnapshotInstalled {
+                        shard,
+                        watermark,
+                        state,
+                    });
                 }
             }
         }

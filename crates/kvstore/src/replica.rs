@@ -1,7 +1,10 @@
 //! The replica: a [`ReplicatedLog`] of tagged commands feeding a [`KvState`].
 
 use lls_obs::{NoopProbe, Probe};
-use lls_primitives::{Ctx, Env, ProcessId, Sm, TimerId};
+use lls_primitives::wire::Wire;
+use lls_primitives::{
+    Ctx, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
+};
 use serde::{Deserialize, Serialize};
 
 use consensus::{ConsensusParams, ReplicatedLog, RsmEvent};
@@ -27,6 +30,13 @@ pub enum KvEvent {
         /// The application outcome.
         response: KvResponse,
     },
+    /// A peer's snapshot was installed by state transfer: the store now
+    /// materializes every command below `watermark` without having seen
+    /// the individual `Applied` events.
+    SnapshotInstalled {
+        /// First slot NOT covered by the installed snapshot.
+        watermark: u64,
+    },
 }
 
 /// One replica of the key-value store.
@@ -38,6 +48,8 @@ pub enum KvEvent {
 pub struct KvReplica<P: Probe = NoopProbe> {
     log: ReplicatedLog<Tagged<KvCmd>, P>,
     state: KvState,
+    compact_every: u64,
+    applied_since_compact: u64,
 }
 
 impl KvReplica {
@@ -49,6 +61,47 @@ impl KvReplica {
     pub fn new(env: &Env, params: ConsensusParams) -> Self {
         KvReplica::new_with_probe(env, params, NoopProbe)
     }
+
+    /// Creates a replica that recovers its log from `storage` and rebuilds
+    /// the store by replaying the recovered committed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be
+    /// written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn with_storage(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+    ) -> Result<Self, StorageError> {
+        KvReplica::with_storage_and_probe(env, params, storage, NoopProbe)
+    }
+
+    /// Creates a replica with both a WAL and a snapshot store: recovery
+    /// starts from the durable snapshot's materialized state (if one
+    /// exists) and replays only the WAL tail above its watermark.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log or snapshot store cannot be read, or the boot
+    /// record cannot be written. Fails with [`StorageError::Decode`] if a
+    /// recovered snapshot does not decode as a [`KvState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn with_storage_and_snapshots(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        snapshots: SnapshotHandle,
+    ) -> Result<Self, StorageError> {
+        KvReplica::with_storage_snapshots_and_probe(env, params, storage, snapshots, NoopProbe)
+    }
 }
 
 impl<P: Probe> KvReplica<P> {
@@ -59,10 +112,114 @@ impl<P: Probe> KvReplica<P> {
     ///
     /// Panics if the Ω parameters inside `params` are invalid.
     pub fn new_with_probe(env: &Env, params: ConsensusParams, probe: P) -> Self {
-        KvReplica {
-            log: ReplicatedLog::new_with_probe(env, params, probe),
+        KvReplica::from_log(ReplicatedLog::new_with_probe(env, params, probe))
+    }
+
+    /// Like [`KvReplica::with_storage`], with an observability probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log cannot be read or the boot record cannot be
+    /// written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn with_storage_and_probe(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        Ok(KvReplica::from_log(ReplicatedLog::with_storage_and_probe(
+            env, params, storage, probe,
+        )?))
+    }
+
+    /// Like [`KvReplica::with_storage_and_snapshots`], with an
+    /// observability probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log or snapshot store cannot be read, the boot record
+    /// cannot be written, or a recovered snapshot does not decode as a
+    /// [`KvState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters inside `params` are invalid.
+    pub fn with_storage_snapshots_and_probe(
+        env: &Env,
+        params: ConsensusParams,
+        storage: StorageHandle,
+        snapshots: SnapshotHandle,
+        probe: P,
+    ) -> Result<Self, StorageError> {
+        let log = ReplicatedLog::with_storage_snapshots_and_probe(
+            env, params, storage, snapshots, probe,
+        )?;
+        // Seed the store from the snapshot *before* replaying the WAL tail
+        // above its watermark — the reverse order would clobber the
+        // replayed suffix with the (older) snapshot state.
+        let mut replica = KvReplica {
+            log,
             state: KvState::new(),
+            compact_every: 0,
+            applied_since_compact: 0,
+        };
+        if let Some(snap) = replica.log.recovered_snapshot() {
+            replica.state = KvState::from_bytes(&snap.data).map_err(StorageError::Decode)?;
         }
+        replica.replay_tail();
+        Ok(replica)
+    }
+
+    /// Wraps a (possibly recovered) log, rebuilding the store by replaying
+    /// the committed prefix above the snapshot watermark (0 when no
+    /// snapshot store is attached — the full recovered prefix).
+    fn from_log(log: ReplicatedLog<Tagged<KvCmd>, P>) -> Self {
+        let mut replica = KvReplica {
+            log,
+            state: KvState::new(),
+            compact_every: 0,
+            applied_since_compact: 0,
+        };
+        replica.replay_tail();
+        replica
+    }
+
+    /// Replays every committed command above the log's watermark into the
+    /// store — the recovery path's second half, after `state` was seeded
+    /// from the snapshot (or left empty).
+    fn replay_tail(&mut self) {
+        let from = self.log.watermark();
+        // The iterator borrows the log; buffer the tail (it is exactly the
+        // bounded post-snapshot suffix compaction exists to keep small).
+        let tail: Vec<Tagged<KvCmd>> = self.log.committed_commands_from(from).cloned().collect();
+        for cmd in &tail {
+            self.state.apply(cmd);
+        }
+    }
+
+    /// Enables automatic compaction: after every `every` applied commands
+    /// the replica snapshots its store at the committed prefix and rewrites
+    /// the WAL to live records only. 0 disables (the default). A no-op
+    /// unless the replica was built with a snapshot store.
+    pub fn set_compact_every(&mut self, every: u64) {
+        self.compact_every = every;
+    }
+
+    /// Snapshots the store at the current committed prefix and compacts
+    /// the WAL behind it. Returns `Ok(false)` when the log declined (no
+    /// snapshot store, watermark not advancing, wedged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a WAL rewrite failure; the log is wedged first.
+    pub fn compact_now(&mut self) -> Result<bool, StorageError> {
+        let watermark = self.log.committed_len();
+        let state = self.state.to_bytes();
+        self.log.compact(watermark, state)
     }
 
     /// The materialized store.
@@ -92,6 +249,7 @@ impl<P: Probe> KvReplica<P> {
                 RsmEvent::Committed { slot, cmd } => {
                     if let Some(tagged) = cmd {
                         let response = self.state.apply(&tagged);
+                        self.applied_since_compact += 1;
                         ctx.output(KvEvent::Applied {
                             slot,
                             client: tagged.client,
@@ -100,7 +258,23 @@ impl<P: Probe> KvReplica<P> {
                         });
                     }
                 }
+                RsmEvent::SnapshotInstalled { watermark, state } => {
+                    // The chunk and total CRCs were verified by the log, so
+                    // a decode failure means a sender at an incompatible
+                    // version; keeping the old (now unsound) state would
+                    // silently diverge, so wedge application instead.
+                    self.state = KvState::from_bytes(&state)
+                        .expect("installed snapshot must decode as a KvState");
+                    self.applied_since_compact = 0;
+                    ctx.output(KvEvent::SnapshotInstalled { watermark });
+                }
             }
+        }
+        if self.compact_every > 0 && self.applied_since_compact >= self.compact_every {
+            self.applied_since_compact = 0;
+            // On failure the log wedges itself (and refuses further
+            // mutation); nothing for the replica to unwind.
+            let _ = self.compact_now();
         }
     }
 
@@ -231,5 +405,72 @@ mod tests {
             }
         )));
         assert_eq!(r.state().get("x"), Some("1"));
+    }
+
+    #[test]
+    fn recovery_applies_the_wal_tail_on_top_of_the_snapshot() {
+        // Regression: recovery must seed the store from the snapshot and
+        // *then* replay the WAL tail above the watermark — the reverse
+        // order clobbers the suffix and the store silently reverts to the
+        // snapshot (here: losing k4..k6 and the session high-water mark).
+        use lls_primitives::{SnapshotHandle, StorageHandle};
+        let env = Env::new(ProcessId(2), 3);
+        let store = StorageHandle::in_memory();
+        let snaps = SnapshotHandle::in_memory();
+        {
+            let mut r = KvReplica::with_storage_and_snapshots(
+                &env,
+                ConsensusParams::default(),
+                store.clone(),
+                snaps.clone(),
+            )
+            .unwrap();
+            let mut fx: Effects<_, KvEvent> = Effects::new();
+            for slot in 0..4u64 {
+                r.on_message(
+                    &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+                    ProcessId(0),
+                    consensus::RsmMsg::Decide {
+                        slot,
+                        entry: consensus::Entry::Cmd(tag(
+                            slot + 1,
+                            KvCmd::put(format!("k{slot}"), "v"),
+                        )),
+                    },
+                );
+                fx.take();
+            }
+            assert!(r.compact_now().unwrap(), "snapshot at watermark 4");
+            for slot in 4..7u64 {
+                r.on_message(
+                    &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+                    ProcessId(0),
+                    consensus::RsmMsg::Decide {
+                        slot,
+                        entry: consensus::Entry::Cmd(tag(
+                            slot + 1,
+                            KvCmd::put(format!("k{slot}"), "v"),
+                        )),
+                    },
+                );
+                fx.take();
+            }
+            assert_eq!(r.state().len(), 7);
+        }
+        let recovered =
+            KvReplica::with_storage_and_snapshots(&env, ConsensusParams::default(), store, snaps)
+                .unwrap();
+        assert_eq!(recovered.log().watermark(), 4);
+        assert_eq!(
+            recovered.state().len(),
+            7,
+            "the WAL tail above the snapshot watermark survives recovery"
+        );
+        assert_eq!(recovered.state().get("k6"), Some("v"));
+        assert_eq!(
+            recovered.state().session_seq(ClientId(1)),
+            Some(7),
+            "session dedup state covers the replayed tail"
+        );
     }
 }

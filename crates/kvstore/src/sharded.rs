@@ -24,7 +24,10 @@
 use std::collections::BTreeMap;
 
 use lls_obs::{NoopProbe, Probe};
-use lls_primitives::{Ctx, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerId};
+use lls_primitives::wire::Wire;
+use lls_primitives::{
+    Ctx, Effects, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
+};
 use serde::{Deserialize, Serialize};
 
 use consensus::shard::{
@@ -105,6 +108,38 @@ impl ShardedSubmitQueue {
         settled
     }
 
+    /// Enables automatic re-submission on every shard queue (see
+    /// [`SubmitQueue::set_retry_backoff`]); each shard's jitter stream is
+    /// decorrelated by folding the shard id into `seed`, so S queues
+    /// recovering from the same leader change don't retry in lockstep.
+    pub fn set_retry_backoff(&mut self, base_ticks: u64, seed: u64) {
+        for (shard, q) in &mut self.queues {
+            q.set_retry_backoff(base_ticks, seed ^ (u64::from(shard.0) << 32));
+        }
+    }
+
+    /// Notes a leader change on every shard queue (see
+    /// [`SubmitQueue::on_leader_change`]): all in-flight commands are
+    /// scheduled for re-submission with jittered exponential backoff.
+    pub fn on_leader_change(&mut self) {
+        for q in self.queues.values_mut() {
+            q.on_leader_change();
+        }
+    }
+
+    /// Advances every shard queue's retry clock by one tick and returns
+    /// the commands due for re-delivery, grouped per shard (see
+    /// [`SubmitQueue::on_tick`]).
+    pub fn on_tick(&mut self) -> Vec<(ShardId, Vec<Tagged<KvCmd>>)> {
+        self.queues
+            .iter_mut()
+            .filter_map(|(shard, q)| {
+                let again = q.on_tick();
+                (!again.is_empty()).then_some((*shard, again))
+            })
+            .collect()
+    }
+
     /// Exact copies of every released-but-unsettled command across all
     /// shards, for retry after a timeout or leader change.
     pub fn outstanding(&self) -> Vec<(ShardId, Vec<Tagged<KvCmd>>)> {
@@ -158,6 +193,15 @@ pub enum ShardedKvEvent {
         /// The application outcome.
         response: KvResponse,
     },
+    /// A peer's snapshot of one shard was installed by state transfer:
+    /// that shard's store now materializes every command below
+    /// `watermark` without having seen the individual `Applied` events.
+    SnapshotInstalled {
+        /// The shard whose group installed the snapshot.
+        shard: ShardId,
+        /// First slot NOT covered by the installed snapshot.
+        watermark: u64,
+    },
 }
 
 /// One node of the sharded key-value store: a
@@ -171,6 +215,8 @@ pub enum ShardedKvEvent {
 pub struct ShardedKvNode<P: Probe = NoopProbe> {
     node: ShardedNode<Tagged<KvCmd>, P>,
     states: BTreeMap<ShardId, KvState>,
+    compact_every: u64,
+    applied_since_compact: BTreeMap<ShardId, u64>,
 }
 
 impl ShardedKvNode {
@@ -202,12 +248,42 @@ impl ShardedKvNode {
         omega_store: StorageHandle,
     ) -> Result<Self, StorageError> {
         let node = ShardedNode::with_storage(env, params, placement, stores, omega_store)?;
-        let states = node
-            .placement()
-            .attached()
-            .map(|s| (s, KvState::new()))
-            .collect();
-        Ok(ShardedKvNode { node, states })
+        ShardedKvNode::from_node(node)
+    }
+
+    /// Like [`ShardedKvNode::with_storage`], additionally attaching a
+    /// snapshot store to each shard in `snaps`: those groups recover from
+    /// their durable snapshot plus the WAL tail above its watermark, and
+    /// may be compacted ([`ShardedKvNode::set_compact_every`],
+    /// [`ShardedKvNode::compact_shard_now`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any WAL or snapshot store cannot be read, a boot record
+    /// cannot be written, or a recovered snapshot does not decode as a
+    /// [`KvState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Ω parameters are invalid or an attached shard has no
+    /// storage handle.
+    pub fn with_storage_and_snapshots(
+        env: &Env,
+        params: ConsensusParams,
+        placement: PlacementManager,
+        stores: &BTreeMap<ShardId, StorageHandle>,
+        snaps: &BTreeMap<ShardId, SnapshotHandle>,
+        omega_store: StorageHandle,
+    ) -> Result<Self, StorageError> {
+        let node = ShardedNode::with_storage_and_snapshots(
+            env,
+            params,
+            placement,
+            stores,
+            snaps,
+            omega_store,
+        )?;
+        ShardedKvNode::from_node(node)
     }
 }
 
@@ -230,7 +306,62 @@ impl<P: Probe> ShardedKvNode<P> {
             .attached()
             .map(|s| (s, KvState::new()))
             .collect();
-        ShardedKvNode { node, states }
+        ShardedKvNode {
+            node,
+            states,
+            compact_every: 0,
+            applied_since_compact: BTreeMap::new(),
+        }
+    }
+
+    /// Wraps a recovered sharded node, rebuilding each shard's store from
+    /// its group's recovered snapshot (if any) plus a replay of the
+    /// committed prefix above the snapshot watermark.
+    fn from_node(node: ShardedNode<Tagged<KvCmd>, P>) -> Result<Self, StorageError> {
+        let mut states = BTreeMap::new();
+        for (shard, group) in node.groups() {
+            let mut state = match group.recovered_snapshot() {
+                Some(snap) => KvState::from_bytes(&snap.data).map_err(StorageError::Decode)?,
+                None => KvState::new(),
+            };
+            for cmd in group.committed_commands_from(group.watermark()) {
+                state.apply(cmd);
+            }
+            states.insert(shard, state);
+        }
+        Ok(ShardedKvNode {
+            node,
+            states,
+            compact_every: 0,
+            applied_since_compact: BTreeMap::new(),
+        })
+    }
+
+    /// Enables automatic compaction: a shard that applies `every` commands
+    /// since its last snapshot is snapshotted at its committed prefix and
+    /// its WAL rewritten to live records only. 0 disables (the default). A
+    /// no-op for shards without a snapshot store.
+    pub fn set_compact_every(&mut self, every: u64) {
+        self.compact_every = every;
+    }
+
+    /// Snapshots `shard`'s store at its committed prefix and compacts its
+    /// WAL segment. Returns `Ok(false)` when the shard is not attached or
+    /// its group declined (no snapshot store, watermark not advancing,
+    /// wedged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a WAL rewrite failure; the group is wedged first.
+    pub fn compact_shard_now(&mut self, shard: ShardId) -> Result<bool, StorageError> {
+        let Some(state) = self.states.get(&shard) else {
+            return Ok(false);
+        };
+        let Some(watermark) = self.node.group(shard).map(|g| g.committed_len()) else {
+            return Ok(false);
+        };
+        let bytes = state.to_bytes();
+        self.node.compact_shard(shard, watermark, bytes)
     }
 
     /// The materialized store of `shard`, if attached.
@@ -267,6 +398,7 @@ impl<P: Probe> ShardedKvNode<P> {
                     if let Some(tagged) = cmd {
                         let state = self.states.entry(shard).or_default();
                         let response = state.apply(&tagged);
+                        *self.applied_since_compact.entry(shard).or_default() += 1;
                         ctx.output(ShardedKvEvent::Applied {
                             shard,
                             slot,
@@ -276,6 +408,32 @@ impl<P: Probe> ShardedKvNode<P> {
                         });
                     }
                 }
+                ShardEvent::SnapshotInstalled {
+                    shard,
+                    watermark,
+                    state,
+                } => {
+                    // CRC-checked upstream; an undecodable snapshot means an
+                    // incompatible sender — diverging silently is worse.
+                    let decoded = KvState::from_bytes(&state)
+                        .expect("installed snapshot must decode as a KvState");
+                    self.states.insert(shard, decoded);
+                    self.applied_since_compact.insert(shard, 0);
+                    ctx.output(ShardedKvEvent::SnapshotInstalled { shard, watermark });
+                }
+            }
+        }
+        if self.compact_every > 0 {
+            let due: Vec<ShardId> = self
+                .applied_since_compact
+                .iter()
+                .filter(|(_, n)| **n >= self.compact_every)
+                .map(|(s, _)| *s)
+                .collect();
+            for shard in due {
+                self.applied_since_compact.insert(shard, 0);
+                // On failure the group wedges itself; nothing to unwind.
+                let _ = self.compact_shard_now(shard);
             }
         }
     }

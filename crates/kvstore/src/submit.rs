@@ -64,6 +64,21 @@ pub struct SubmitQueue {
     window: usize,
     queued: VecDeque<Tagged<KvCmd>>,
     released: BTreeMap<(ClientId, u64), Tagged<KvCmd>>,
+    retry_base: u64,
+    retry_seed: u64,
+    ticks: u64,
+    attempt: u32,
+    retry_at: Option<u64>,
+}
+
+/// splitmix64: a cheap deterministic bit mixer for retry jitter (the
+/// workspace has no RNG dependency, and determinism keeps simulated runs
+/// reproducible).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl SubmitQueue {
@@ -75,7 +90,74 @@ impl SubmitQueue {
             window: window.max(1),
             queued: VecDeque::new(),
             released: BTreeMap::new(),
+            retry_base: 0,
+            retry_seed: 0,
+            ticks: 0,
+            attempt: 0,
+            retry_at: None,
         }
+    }
+
+    /// Enables automatic re-submission of in-flight commands: after
+    /// [`on_leader_change`](SubmitQueue::on_leader_change), each
+    /// [`on_tick`](SubmitQueue::on_tick) past the scheduled deadline
+    /// re-issues everything outstanding, with jittered exponential backoff
+    /// between rounds (base delay `base_ticks`, doubling per attempt, plus
+    /// a deterministic jitter derived from `seed` so concurrent clients
+    /// don't retry in lockstep). `base_ticks == 0` disables (the default).
+    pub fn set_retry_backoff(&mut self, base_ticks: u64, seed: u64) {
+        self.retry_base = base_ticks;
+        self.retry_seed = seed;
+    }
+
+    /// The jittered deadline for retry round `attempt`, measured from now.
+    fn backoff(&self, attempt: u32) -> u64 {
+        let delay = self.retry_base << attempt.min(6);
+        let jitter = mix64(self.retry_seed ^ u64::from(attempt)) % (delay / 2 + 1);
+        delay + jitter
+    }
+
+    /// Notes a leader change: every released-but-unsettled command is
+    /// scheduled for re-submission after the base backoff (retries against
+    /// a new leader are safe — replicas deduplicate by `(client, seq)`).
+    /// A no-op unless [`set_retry_backoff`](SubmitQueue::set_retry_backoff)
+    /// enabled retries; with nothing in flight, any pending schedule is
+    /// cancelled.
+    pub fn on_leader_change(&mut self) {
+        if self.retry_base == 0 || self.released.is_empty() {
+            self.retry_at = None;
+            return;
+        }
+        self.attempt = 0;
+        self.retry_at = Some(self.ticks + self.backoff(0));
+    }
+
+    /// Advances the retry clock by one tick. When a scheduled retry comes
+    /// due with commands still in flight, returns exact copies of all of
+    /// them (oldest first) for the caller to re-deliver, and schedules the
+    /// next round with doubled (jittered) backoff. Returns an empty vector
+    /// otherwise.
+    pub fn on_tick(&mut self) -> Vec<Tagged<KvCmd>> {
+        self.ticks += 1;
+        let Some(due) = self.retry_at else {
+            return Vec::new();
+        };
+        if self.ticks < due {
+            return Vec::new();
+        }
+        if self.released.is_empty() {
+            self.retry_at = None;
+            return Vec::new();
+        }
+        self.attempt += 1;
+        self.retry_at = Some(self.ticks + self.backoff(self.attempt));
+        self.outstanding()
+    }
+
+    /// The retry round currently being waited out (0 before the first
+    /// re-submission).
+    pub fn retry_attempt(&self) -> u32 {
+        self.attempt
     }
 
     /// Enqueues a minted command. Nothing is sent; call
@@ -104,10 +186,16 @@ impl SubmitQueue {
     /// the completed pair, or `None` if the tag matches nothing outstanding
     /// (another session's command, or a duplicate completion).
     pub fn settle(&mut self, client: ClientId, seq: u64, response: &KvResponse) -> Option<Settled> {
-        self.released.remove(&(client, seq)).map(|cmd| Settled {
+        let settled = self.released.remove(&(client, seq)).map(|cmd| Settled {
             cmd,
             response: response.clone(),
-        })
+        });
+        if self.released.is_empty() {
+            // Everything in flight has landed: stand down the retry clock.
+            self.retry_at = None;
+            self.attempt = 0;
+        }
+        settled
     }
 
     /// Exact copies of every released-but-unsettled command, oldest first —
@@ -212,6 +300,57 @@ mod tests {
             }
         }
         assert_eq!(seen, vec![1, 2, 3, 4, 5], "every command settles in order");
+    }
+
+    #[test]
+    fn leader_change_schedules_jittered_exponential_resubmission() {
+        let (_, mut q) = queue_with(2, 2);
+        q.set_retry_backoff(8, 42);
+        let burst = q.drain();
+        assert_eq!(burst.len(), 2);
+        q.on_leader_change();
+        // Nothing fires before the (jittered) base deadline.
+        let mut first_round = None;
+        for tick in 1..=200u64 {
+            let again = q.on_tick();
+            if !again.is_empty() {
+                assert_eq!(again, burst, "retries are exact copies, oldest first");
+                first_round = Some(tick);
+                break;
+            }
+        }
+        let first = first_round.expect("a retry round must fire");
+        assert!(first >= 8, "no retry before the base backoff");
+        assert!(first <= 8 + 4, "jitter is bounded by half the delay");
+        assert_eq!(q.retry_attempt(), 1);
+        // The next round waits out a doubled (jittered) delay.
+        let mut second_gap = 0u64;
+        loop {
+            second_gap += 1;
+            if !q.on_tick().is_empty() {
+                break;
+            }
+            assert!(second_gap < 200, "second round must fire");
+        }
+        assert!(second_gap >= 16, "backoff doubles per attempt");
+        // Settling everything stands the retry clock down.
+        for cmd in q.outstanding() {
+            q.settle(cmd.client, cmd.seq, &KvResponse::Applied { previous: None });
+        }
+        assert_eq!(q.retry_attempt(), 0);
+        for _ in 0..300 {
+            assert!(q.on_tick().is_empty(), "no retries after full settlement");
+        }
+    }
+
+    #[test]
+    fn retries_are_disabled_by_default() {
+        let (_, mut q) = queue_with(2, 2);
+        q.drain();
+        q.on_leader_change();
+        for _ in 0..1000 {
+            assert!(q.on_tick().is_empty());
+        }
     }
 
     #[test]

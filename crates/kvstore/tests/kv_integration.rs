@@ -1,8 +1,10 @@
 //! Replicated KV store end-to-end: convergence, exactly-once retries,
 //! failover, and linearizable-prefix agreement across replicas.
 
+use std::collections::BTreeMap;
+
 use consensus::ConsensusParams;
-use kvstore::{ClientId, KvCmd, KvEvent, KvReplica, KvResponse, Tagged};
+use kvstore::{ClientId, KvClient, KvCmd, KvEvent, KvReplica, KvResponse, SubmitQueue, Tagged};
 use lls_primitives::{Duration, Instant, ProcessId};
 use netsim::{SimBuilder, SystemSParams, Topology};
 
@@ -147,6 +149,119 @@ fn store_survives_leader_failover_without_double_apply() {
             Some(4),
             "p{p} session drift"
         );
+    }
+}
+
+/// Satellite regression: a [`SubmitQueue`] with retry backoff enabled,
+/// driven against a cluster whose leader is killed while half the window
+/// is still in flight, must settle every submitted command exactly once —
+/// the queue's jittered re-submission gets the survivors to the new
+/// leader, and the replicas' session tables suppress the duplicates.
+#[test]
+fn mid_window_leader_kill_settles_every_command_exactly_once() {
+    let n = 5;
+    let total = 10u64;
+    let topo = Topology::system_s_multi(
+        n,
+        &[ProcessId(0), ProcessId(1)],
+        SystemSParams {
+            gst: 100,
+            ..SystemSParams::default()
+        },
+    );
+    let mut sim = SimBuilder::new(n)
+        .seed(17)
+        .topology(topo)
+        .build_with(|env| KvReplica::new(env, ConsensusParams::default()));
+    sim.run_until(Instant::from_ticks(8_000));
+    let first = sim.node(ProcessId(2)).omega().leader();
+
+    let mut client = KvClient::new(ClientId(9));
+    let mut queue = SubmitQueue::new(4);
+    queue.set_retry_backoff(500, 0xfeed);
+    for i in 0..total {
+        queue.submit(client.issue(KvCmd::put(format!("k{i}"), format!("v{i}"))));
+    }
+
+    let mut leader = first;
+    let mut killed = false;
+    let mut settled: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut seen_outputs = 0usize;
+    let slice = 100u64;
+    let mut now = 8_000u64;
+    while now < 200_000 && !(queue.is_idle() && killed) {
+        // Deliver whatever the window (or a due retry round) admits.
+        for cmd in queue.drain() {
+            sim.schedule_request(Instant::from_ticks(now + 1), leader, cmd);
+        }
+        for _ in 0..slice {
+            for cmd in queue.on_tick() {
+                sim.schedule_request(Instant::from_ticks(now + 1), leader, cmd);
+            }
+        }
+        now += slice;
+        sim.run_until(Instant::from_ticks(now));
+        // Kill the first leader while the window is half in flight.
+        if !killed && queue.released_len() >= 2 && settled.len() >= 2 {
+            sim.crash_now(first);
+            killed = true;
+        }
+        // Route replies (any replica's view; duplicates settle nothing).
+        let outputs = sim.outputs();
+        for ev in &outputs[seen_outputs..] {
+            if let KvEvent::Applied {
+                client,
+                seq,
+                response,
+                ..
+            } = &ev.output
+            {
+                if queue.settle(*client, *seq, response).is_some() {
+                    *settled.entry(*seq).or_default() += 1;
+                }
+            }
+        }
+        seen_outputs = outputs.len();
+        // Track the survivors' leader; hand the queue the change exactly
+        // once per switch.
+        let probe_node = if first == ProcessId(2) {
+            ProcessId(3)
+        } else {
+            ProcessId(2)
+        };
+        let believed = sim.node(probe_node).omega().leader();
+        if believed != leader && sim.is_alive(believed) {
+            leader = believed;
+            queue.on_leader_change();
+        }
+    }
+
+    assert!(killed, "the fault must actually fire");
+    assert!(
+        queue.is_idle(),
+        "every command must settle: {} queued, {} in flight",
+        queue.queued_len(),
+        queue.released_len()
+    );
+    let counts: Vec<u32> = (1..=total)
+        .map(|s| settled.get(&s).copied().unwrap_or(0))
+        .collect();
+    assert_eq!(
+        counts,
+        vec![1; total as usize],
+        "each command settles exactly once"
+    );
+    // And the survivors agree on the full workload.
+    for p in (0..n as u32).map(ProcessId).filter(|&p| p != first) {
+        let state = sim.node(p).state();
+        for i in 0..total {
+            assert_eq!(
+                state.get(&format!("k{i}")),
+                Some(format!("v{i}").as_str()),
+                "p{p} lost k{i}"
+            );
+        }
+        assert_eq!(state.session_seq(ClientId(9)), Some(total));
     }
 }
 

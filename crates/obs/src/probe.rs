@@ -127,6 +127,36 @@ pub enum ProbeEvent {
         /// Emitting process.
         node: ProcessId,
     },
+    /// A snapshot was durably written and the WAL compacted behind its
+    /// watermark (no clock: compaction runs on the persistence path).
+    SnapshotWrite {
+        /// Emitting process.
+        node: ProcessId,
+        /// First slot not covered by the snapshot.
+        watermark: u64,
+        /// Bytes the WAL retains after compaction (feeds the
+        /// `wal_live_bytes` gauge).
+        live_bytes: u64,
+    },
+    /// A snapshot received by state transfer was installed, replacing the
+    /// local log prefix below its watermark.
+    SnapshotInstall {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the install.
+        at: Instant,
+        /// First slot not covered by the snapshot.
+        watermark: u64,
+    },
+    /// A fresh incarnation replayed this many WAL bytes on construction
+    /// (the quantity snapshots are meant to bound; feeds the
+    /// `recovery_replay_bytes` counter).
+    RecoveryReplay {
+        /// Emitting process.
+        node: ProcessId,
+        /// Bytes of records the recovery scan decoded.
+        bytes: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -143,7 +173,10 @@ impl ProbeEvent {
             | ProbeEvent::BatchCommit { node, .. }
             | ProbeEvent::WalAppend { node }
             | ProbeEvent::WalRecover { node, .. }
-            | ProbeEvent::WalWedge { node } => node,
+            | ProbeEvent::WalWedge { node }
+            | ProbeEvent::SnapshotWrite { node, .. }
+            | ProbeEvent::SnapshotInstall { node, .. }
+            | ProbeEvent::RecoveryReplay { node, .. } => node,
         }
     }
 
@@ -157,11 +190,14 @@ impl ProbeEvent {
             | ProbeEvent::TimeoutAdapt { at, .. }
             | ProbeEvent::PhaseEnter { at, .. }
             | ProbeEvent::Decide { at, .. }
-            | ProbeEvent::BatchCommit { at, .. } => Some(at),
+            | ProbeEvent::BatchCommit { at, .. }
+            | ProbeEvent::SnapshotInstall { at, .. } => Some(at),
             ProbeEvent::IncarnationBump { .. }
             | ProbeEvent::WalAppend { .. }
             | ProbeEvent::WalRecover { .. }
-            | ProbeEvent::WalWedge { .. } => None,
+            | ProbeEvent::WalWedge { .. }
+            | ProbeEvent::SnapshotWrite { .. }
+            | ProbeEvent::RecoveryReplay { .. } => None,
         }
     }
 
@@ -180,6 +216,9 @@ impl ProbeEvent {
             ProbeEvent::WalAppend { .. } => "wal_append",
             ProbeEvent::WalRecover { .. } => "wal_recover",
             ProbeEvent::WalWedge { .. } => "wal_wedge",
+            ProbeEvent::SnapshotWrite { .. } => "snapshot_write",
+            ProbeEvent::SnapshotInstall { .. } => "snapshot_install",
+            ProbeEvent::RecoveryReplay { .. } => "recovery_replay",
         }
     }
 }
@@ -230,6 +269,22 @@ impl fmt::Display for ProbeEvent {
                 write!(f, "---- {node} WAL-RECOVER records={records}")
             }
             ProbeEvent::WalWedge { node } => write!(f, "---- {node} WAL-WEDGE"),
+            ProbeEvent::SnapshotWrite {
+                node,
+                watermark,
+                live_bytes,
+            } => write!(
+                f,
+                "---- {node} SNAP-WRITE watermark={watermark} live_bytes={live_bytes}"
+            ),
+            ProbeEvent::SnapshotInstall {
+                node,
+                at,
+                watermark,
+            } => write!(f, "{at} {node} SNAP-INSTALL watermark={watermark}"),
+            ProbeEvent::RecoveryReplay { node, bytes } => {
+                write!(f, "---- {node} WAL-REPLAY bytes={bytes}")
+            }
         }
     }
 }
@@ -314,6 +369,17 @@ mod tests {
                 records: 4,
             },
             ProbeEvent::WalWedge { node: p },
+            ProbeEvent::SnapshotWrite {
+                node: p,
+                watermark: 10,
+                live_bytes: 128,
+            },
+            ProbeEvent::SnapshotInstall {
+                node: p,
+                at: t,
+                watermark: 10,
+            },
+            ProbeEvent::RecoveryReplay { node: p, bytes: 64 },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len(), "kind tags must be unique");

@@ -175,6 +175,21 @@ impl Probe for RecordingProbe {
             registry
                 .counter(&format!("probe_{}_total", event.kind()))
                 .inc();
+            // Recovery-cost metrics keep their own stable families on top of
+            // the per-kind counters: these are the quantities the snapshot
+            // subsystem exists to bound, scraped as-is from `/metrics`.
+            match event {
+                ProbeEvent::RecoveryReplay { bytes, .. } => {
+                    registry.counter("recovery_replay_bytes").add(bytes);
+                }
+                ProbeEvent::SnapshotInstall { .. } => {
+                    registry.counter("snapshot_install_total").inc();
+                }
+                ProbeEvent::SnapshotWrite { live_bytes, .. } => {
+                    registry.gauge("wal_live_bytes").set(live_bytes as i64);
+                }
+                _ => {}
+            }
         }
         let lamport = self.clock.as_ref().map_or(0, LamportClock::now);
         let mut recorder = self.recorder.lock().unwrap_or_else(|e| e.into_inner());

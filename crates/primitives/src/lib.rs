@@ -94,6 +94,9 @@ pub use clock::LamportClock;
 pub use fault::{Fate, FaultInjector};
 pub use id::{Membership, ProcessId};
 pub use sm::{Ctx, Effects, Env, Send, Sm, TimerCmd, TimerId};
-pub use storage::{FileWal, MemStorage, Storage, StorageError, StorageHandle};
+pub use storage::{
+    FileSnapshotStore, FileWal, MemSnapshotStore, MemStorage, SegmentedWal, Snapshot,
+    SnapshotHandle, SnapshotStore, Storage, StorageError, StorageHandle, StorageStats,
+};
 pub use time::{Duration, Instant};
 pub use wire::{TraceEnvelope, Wire, WireError};

@@ -183,7 +183,7 @@ fn main() {
                     seq,
                     response,
                 } => Some((*slot, *client, *seq, response.clone())),
-                KvEvent::Leader(_) => None,
+                KvEvent::Leader(_) | KvEvent::SnapshotInstalled { .. } => None,
             })
             .collect()
     };
