@@ -1,4 +1,4 @@
-//! CLI regenerating every experiment table/series (E1–E21).
+//! CLI regenerating every experiment table/series (E1–E22).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
@@ -20,8 +20,8 @@ use std::path::PathBuf;
 use omega_bench::json::{self, JsonValue};
 use omega_bench::table::Table;
 use omega_bench::{
-    e_chaos, e_consensus, e_obs, e_omega, e_recovery, e_shard, e_thread, e_throughput, e_trace,
-    e_wire,
+    e_chaos, e_consensus, e_latency, e_obs, e_omega, e_recovery, e_shard, e_thread, e_throughput,
+    e_trace, e_wire,
 };
 
 struct Scale {
@@ -54,6 +54,11 @@ impl Scale {
 }
 
 fn write_json(s: &Scale, id: &str, value: &JsonValue) {
+    // Every writer must keep the shared machine-readable floor
+    // (`{experiment, pass, rows, registry?}`) as the format grows.
+    if let Err(e) = json::validate_bench_summary(value) {
+        eprintln!("BENCH json for {id} violates the shared summary shape: {e}");
+    }
     match json::write_bench_json_in(s.out_dir.as_deref(), id, value) {
         Ok(path) => println!("[wrote {}]", path.display()),
         Err(e) => eprintln!("failed to write BENCH json for {id}: {e}"),
@@ -229,7 +234,15 @@ fn run(id: &str, s: &Scale) -> bool {
                 return false;
             }
         }
-        other => eprintln!("unknown experiment id: {other} (expected e1..e21 or all)"),
+        "e22" => {
+            let (n, commands) = if s.quick { (3, 160) } else { (3, 400) };
+            let title = "command-lifecycle latency attribution + live timeline plane";
+            let (table, summary) = e_latency::e22_latency(n, commands, 7, s.quick);
+            println!("\n=== {} — {} ===", id.to_uppercase(), title);
+            println!("{}", table.render());
+            write_json(s, id, &summary);
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e22 or all)"),
     }
     true
 }
@@ -278,7 +291,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
         ] {
             ok &= run(id, &scale);
         }

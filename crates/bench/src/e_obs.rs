@@ -305,10 +305,8 @@ pub fn e17_observability(n: usize, horizon: u64, seed: u64) -> (Table, JsonValue
         ("seed", JsonValue::U64(seed)),
         ("n", JsonValue::U64(n as u64)),
         ("horizon_ticks", JsonValue::U64(horizon)),
-        (
-            "substrates",
-            JsonValue::Arr(rows.iter().map(row_json).collect()),
-        ),
+        ("pass", JsonValue::Bool(rows.iter().all(|r| r.pass))),
+        ("rows", JsonValue::Arr(rows.iter().map(row_json).collect())),
     ]);
     (t, json)
 }

@@ -952,8 +952,14 @@ pub fn e21_recovery(
     let total_kills = snap_tally.kills + full_tally.kills + thread_tally.kills + wire_tally.kills;
     let total_installs = snap_tally.installs + thread_tally.installs + wire_tally.installs;
 
+    let wal_pass = snap_wal_max <= WAL_BOUND;
     let summary = JsonValue::obj(vec![
         ("experiment", JsonValue::str("e21")),
+        (
+            "pass",
+            JsonValue::Bool(ratio_pass && wal_pass && total_violations == 0),
+        ),
+        ("rows", json::table_rows_json(&t)),
         (
             "title",
             JsonValue::str(

@@ -128,6 +128,12 @@ pub fn table_json(table: &Table) -> JsonValue {
 
 /// The generic per-experiment summary the CLI writes: experiment id, title,
 /// the scenario scale it ran at, and the rendered table.
+///
+/// Emits the shared `{experiment, pass, rows}` shape every BENCH writer
+/// conforms to (see [`validate_bench_summary`]): `rows` are the table's
+/// data rows, and `pass` is `true` — experiments without an inline gate
+/// report through their tables and fail the CLI out-of-band (E16/E21
+/// style) rather than here.
 pub fn experiment_summary(
     id: &str,
     title: &str,
@@ -138,8 +144,62 @@ pub fn experiment_summary(
         ("experiment", JsonValue::str(id)),
         ("title", JsonValue::str(title)),
         ("scenario", JsonValue::obj(scenario)),
+        ("pass", JsonValue::Bool(true)),
+        ("rows", table_rows_json(table)),
         ("table", table_json(table)),
     ])
+}
+
+/// Just a [`Table`]'s data rows as a JSON array of string arrays — the
+/// `rows` field experiments whose results live in their table use to meet
+/// the shared summary shape.
+pub fn table_rows_json(table: &Table) -> JsonValue {
+    JsonValue::Arr(
+        table
+            .rows()
+            .iter()
+            .map(|r| JsonValue::Arr(r.iter().map(JsonValue::str).collect()))
+            .collect(),
+    )
+}
+
+/// Checks that a BENCH summary has the machine-readable shape regression
+/// tooling depends on: a top-level object with `experiment` (string),
+/// `pass` (bool), and `rows` (array), plus — when present — an object or
+/// raw splice under `registry`/`metrics`. Everything else may vary per
+/// experiment; this floor is what keeps E15–E22 outputs parseable as the
+/// format grows.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn validate_bench_summary(v: &JsonValue) -> Result<(), String> {
+    let JsonValue::Obj(pairs) = v else {
+        return Err("summary must be a JSON object".to_owned());
+    };
+    let field = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match field("experiment") {
+        Some(JsonValue::Str(_)) => {}
+        Some(_) => return Err("`experiment` must be a string".to_owned()),
+        None => return Err("missing `experiment`".to_owned()),
+    }
+    match field("pass") {
+        Some(JsonValue::Bool(_)) => {}
+        Some(_) => return Err("`pass` must be a bool".to_owned()),
+        None => return Err("missing `pass`".to_owned()),
+    }
+    match field("rows") {
+        Some(JsonValue::Arr(_)) => {}
+        Some(_) => return Err("`rows` must be an array".to_owned()),
+        None => return Err("missing `rows`".to_owned()),
+    }
+    for name in ["registry", "metrics"] {
+        match field(name) {
+            None | Some(JsonValue::Obj(_) | JsonValue::Raw(_)) => {}
+            Some(_) => return Err(format!("`{name}` must be an object or raw splice")),
+        }
+    }
+    Ok(())
 }
 
 /// Writes `value` to `BENCH_<ID>.json` (id upper-cased) in the current
@@ -220,6 +280,57 @@ mod tests {
         assert_eq!(
             j,
             "{\"header\":[\"n\",\"value\"],\"rows\":[[\"3\",\"ok\"]]}"
+        );
+    }
+
+    #[test]
+    fn generic_summary_conforms_to_the_shared_shape() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.row(vec!["3", "ok"]);
+        let v = experiment_summary("e1", "title", vec![("seeds", JsonValue::U64(3))], &t);
+        validate_bench_summary(&v).expect("generic summary must validate");
+    }
+
+    #[test]
+    fn validator_names_the_first_defect() {
+        let ok = JsonValue::obj(vec![
+            ("experiment", JsonValue::str("e22")),
+            ("pass", JsonValue::Bool(true)),
+            ("rows", JsonValue::Arr(vec![])),
+            ("metrics", JsonValue::Raw("{}".into())),
+        ]);
+        assert_eq!(validate_bench_summary(&ok), Ok(()));
+
+        assert_eq!(
+            validate_bench_summary(&JsonValue::Arr(vec![])),
+            Err("summary must be a JSON object".to_owned())
+        );
+        let no_pass = JsonValue::obj(vec![
+            ("experiment", JsonValue::str("e22")),
+            ("rows", JsonValue::Arr(vec![])),
+        ]);
+        assert_eq!(
+            validate_bench_summary(&no_pass),
+            Err("missing `pass`".to_owned())
+        );
+        let bad_rows = JsonValue::obj(vec![
+            ("experiment", JsonValue::str("e22")),
+            ("pass", JsonValue::Bool(false)),
+            ("rows", JsonValue::U64(3)),
+        ]);
+        assert_eq!(
+            validate_bench_summary(&bad_rows),
+            Err("`rows` must be an array".to_owned())
+        );
+        let bad_registry = JsonValue::obj(vec![
+            ("experiment", JsonValue::str("e22")),
+            ("pass", JsonValue::Bool(true)),
+            ("rows", JsonValue::Arr(vec![])),
+            ("registry", JsonValue::str("not an object")),
+        ]);
+        assert_eq!(
+            validate_bench_summary(&bad_registry),
+            Err("`registry` must be an object or raw splice".to_owned())
         );
     }
 }

@@ -28,6 +28,7 @@
 //! | E19 | Batching + pipelining multiply steady-state throughput (≥ 3× baseline) |
 //! | E20 | Sharded multi-group RSM scales near-linearly with one shared Ω per node |
 //! | E21 | Bounded recovery: snapshots + WAL compaction keep restart cost flat under chaos |
+//! | E22 | Per-command latency attribution adds up; the timeline plane serves live frames |
 //!
 //! Run everything with `cargo run -p omega-bench --release --bin experiments -- all`,
 //! or one experiment by id (`-- e3`). Alongside each human table the CLI
@@ -37,6 +38,7 @@
 
 pub mod e_chaos;
 pub mod e_consensus;
+pub mod e_latency;
 pub mod e_obs;
 pub mod e_omega;
 pub mod e_recovery;

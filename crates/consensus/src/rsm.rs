@@ -72,7 +72,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use lls_obs::{NoopProbe, Probe, ProbeEvent};
+use lls_obs::{CmdId, CmdStage, NoopProbe, Probe, ProbeEvent};
 use lls_primitives::wire::crc32;
 use lls_primitives::{
     Ctx, Effects, Env, Instant, ProcessId, Sm, Snapshot, SnapshotHandle, StorageError,
@@ -85,6 +85,27 @@ use crate::ballot::Ballot;
 use crate::durable::RsmRecord;
 use crate::msg::{Entry, RsmMsg};
 use crate::single::{ConsensusParams, OMEGA_TIMER_BASE, RETRY_TIMER};
+
+/// Extracts a client-visible [`CmdId`] from a command payload, letting the
+/// replicated log emit per-command [`CmdStage`] lifecycle events without
+/// knowing the application's command shape. Payloads without a meaningful
+/// identity return `None` and stay invisible to latency attribution (their
+/// slots still decide and commit exactly as before).
+pub trait LifecycleId {
+    /// The command's lifecycle identity, if it has one.
+    fn lifecycle_id(&self) -> Option<CmdId>;
+}
+
+/// Bare `u64` payloads (the benches and consensus tests) use the value
+/// itself as the sequence number under a synthetic client 0.
+impl LifecycleId for u64 {
+    fn lifecycle_id(&self) -> Option<CmdId> {
+        Some(CmdId {
+            client: 0,
+            seq: *self,
+        })
+    }
+}
 
 /// Observable events of a [`ReplicatedLog`] run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -250,11 +271,14 @@ pub struct ReplicatedLog<V, P: Probe = NoopProbe> {
     believed: Option<ProcessId>,
     /// Observability sink; `NoopProbe` by default (zero cost).
     probe: P,
+    /// Wall of the last stimulus (`ctx.now()` at handler entry) — gives the
+    /// persistence path a timestamp without threading `ctx` through it.
+    clock: Instant,
 }
 
 impl<V> ReplicatedLog<V>
 where
-    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + LifecycleId + 'static,
 {
     /// Creates a replica.
     ///
@@ -317,7 +341,7 @@ where
 
 impl<V, P> ReplicatedLog<V, P>
 where
-    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + LifecycleId + 'static,
     P: Probe,
 {
     /// Like [`ReplicatedLog::new`], with an observability probe (shared
@@ -353,6 +377,7 @@ where
             external: false,
             believed: None,
             probe,
+            clock: Instant::ZERO,
         }
     }
 
@@ -430,12 +455,14 @@ where
         let records: Vec<RsmRecord<V>> = storage.load_records()?;
         sm.probe.emit(ProbeEvent::WalRecover {
             node: env.id(),
+            at: Instant::ZERO,
             records: records.len() as u64,
         });
         // The WAL bytes just replayed are exactly what snapshots exist to
         // bound — surfaced as the `recovery_replay_bytes` counter.
         sm.probe.emit(ProbeEvent::RecoveryReplay {
             node: env.id(),
+            at: Instant::ZERO,
             bytes: storage.stats().live_bytes,
         });
         let recovering = !records.is_empty();
@@ -641,13 +668,17 @@ where
         // 3. …and the WAL is rewritten to exactly that set.
         if let Some(store) = self.storage.clone() {
             if let Err(e) = store.compact_records(&self.live_records()) {
-                self.probe.emit(ProbeEvent::WalWedge { node: self.me() });
+                self.probe.emit(ProbeEvent::WalWedge {
+                    node: self.me(),
+                    at: self.clock,
+                });
                 self.wedged = true;
                 return Err(e);
             }
         }
         self.probe.emit(ProbeEvent::SnapshotWrite {
             node: self.me(),
+            at: self.clock,
             watermark,
             live_bytes: self.wal_stats().live_bytes,
         });
@@ -688,11 +719,13 @@ where
                 if store.append_record(rec).is_ok() {
                     self.probe.emit(ProbeEvent::WalAppend {
                         node: self.env.id(),
+                        at: self.clock,
                     });
                     true
                 } else {
                     self.probe.emit(ProbeEvent::WalWedge {
                         node: self.env.id(),
+                        at: self.clock,
                     });
                     self.wedged = true;
                     false
@@ -721,18 +754,61 @@ where
                     for _ in recs {
                         self.probe.emit(ProbeEvent::WalAppend {
                             node: self.env.id(),
+                            at: self.clock,
                         });
                     }
                     true
                 } else {
                     self.probe.emit(ProbeEvent::WalWedge {
                         node: self.env.id(),
+                        at: self.clock,
                     });
                     self.wedged = true;
                     false
                 }
             }
         }
+    }
+
+    /// Emits one [`CmdStage`] lifecycle event per identifiable command in
+    /// `entry`. Guarded by [`Probe::ENABLED`] so `NoopProbe` builds never
+    /// walk batch payloads — the command hot path stays exactly as wide as
+    /// before this instrumentation existed.
+    fn emit_stage(&mut self, at: Instant, entry: &Entry<V>, stage: CmdStage) {
+        if !P::ENABLED {
+            return;
+        }
+        match entry {
+            Entry::Noop => {}
+            Entry::Cmd(v) => self.emit_cmd_stage(at, v, stage),
+            Entry::Batch(vs) => {
+                for v in vs {
+                    self.emit_cmd_stage(at, v, stage);
+                }
+            }
+        }
+    }
+
+    fn emit_cmd_stage(&mut self, at: Instant, v: &V, stage: CmdStage) {
+        if let Some(cmd) = v.lifecycle_id() {
+            self.probe.emit(ProbeEvent::CmdLifecycle {
+                node: self.me(),
+                at,
+                cmd,
+                stage,
+                // The log is shard-agnostic; the client-side router stamps
+                // the true shard on its ShardRoute event and path
+                // reconstruction takes the max over a command's events.
+                shard: 0,
+            });
+        }
+    }
+
+    /// The attached observability probe — layered emitters (e.g. the KV
+    /// replica stamping the `Apply` lifecycle stage) share the log's sink
+    /// so one recorder sees a command's whole path.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// The embedded Ω detector (for instrumentation).
@@ -753,6 +829,7 @@ where
     /// in-flight proposals. Repeated injections of the same leader are
     /// no-ops. Ignored unless the log is in external-leadership mode.
     pub fn set_leader(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, leader: ProcessId) {
+        self.clock = ctx.now();
         if !self.external || self.wedged || self.believed == Some(leader) {
             return;
         }
@@ -1056,6 +1133,11 @@ where
         if planned.is_empty() {
             return;
         }
+        if P::ENABLED {
+            for (_, entry) in &planned {
+                self.emit_stage(ctx.now(), entry, CmdStage::BatchSeal);
+            }
+        }
         // Write-ahead, once: all records of this pump become durable with a
         // single flush before any Accept can leave.
         let records: Vec<RsmRecord<V>> = planned
@@ -1066,8 +1148,33 @@ where
                 entry: e.clone(),
             })
             .collect();
+        let flushed_before = if P::ENABLED {
+            self.storage.as_ref().map(StorageHandle::flush_stats)
+        } else {
+            None
+        };
         if !self.persist_group(&records) {
             return;
+        }
+        if P::ENABLED {
+            // One WalFsync per pump: the group commit is the unit the disk
+            // saw, and its duration is what the fsync-spike detector and the
+            // wal_commit lifecycle stage attribute.
+            if let (Some(before), Some(store)) = (flushed_before, &self.storage) {
+                let micros = store
+                    .flush_stats()
+                    .total_micros
+                    .saturating_sub(before.total_micros);
+                self.probe.emit(ProbeEvent::WalFsync {
+                    node: self.env.id(),
+                    at: ctx.now(),
+                    micros,
+                    records: records.len() as u64,
+                });
+            }
+            for (_, entry) in &planned {
+                self.emit_stage(ctx.now(), entry, CmdStage::WalCommit);
+            }
         }
         if let LeaderState::Led { next_slot, .. } = &mut self.state {
             *next_slot = slot;
@@ -1101,6 +1208,7 @@ where
                 acks,
             },
         );
+        self.emit_stage(ctx.now(), &entry, CmdStage::Propose);
         ctx.broadcast(RsmMsg::Accept { b, slot, entry });
         self.try_choose(ctx, slot);
     }
@@ -1152,6 +1260,7 @@ where
             }) {
                 return;
             }
+            self.emit_stage(ctx.now(), &entry, CmdStage::Decide);
             self.chosen.insert(slot, entry);
             self.probe.emit(ProbeEvent::Decide {
                 node: self.me(),
@@ -1460,14 +1569,20 @@ where
                 })
                 .is_err()
             {
-                self.probe.emit(ProbeEvent::WalWedge { node: self.me() });
+                self.probe.emit(ProbeEvent::WalWedge {
+                    node: self.me(),
+                    at: ctx.now(),
+                });
                 self.wedged = true;
                 return;
             }
             self.apply_watermark(watermark);
             if let Some(store) = self.storage.clone() {
                 if store.compact_records(&self.live_records()).is_err() {
-                    self.probe.emit(ProbeEvent::WalWedge { node: self.me() });
+                    self.probe.emit(ProbeEvent::WalWedge {
+                        node: self.me(),
+                        at: ctx.now(),
+                    });
                     self.wedged = true;
                     return;
                 }
@@ -1814,7 +1929,7 @@ where
 
 impl<V, P> Sm for ReplicatedLog<V, P>
 where
-    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + LifecycleId + 'static,
     P: Probe,
 {
     type Msg = RsmMsg<V>;
@@ -1822,6 +1937,7 @@ where
     type Request = V;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }
@@ -1847,6 +1963,7 @@ where
         from: ProcessId,
         msg: Self::Msg,
     ) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }
@@ -1863,6 +1980,7 @@ where
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, timer: TimerId) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }
@@ -1886,6 +2004,7 @@ where
     /// leadership, or for a pipeline slot to free up (clients of a real
     /// deployment would resubmit to the actual leader).
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: V) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }

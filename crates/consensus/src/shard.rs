@@ -44,7 +44,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::durable::RsmRecord;
 use crate::msg::{classify_rsm_msg, RsmMsg};
-use crate::rsm::{ReplicatedLog, RsmEvent};
+use crate::rsm::{LifecycleId, ReplicatedLog, RsmEvent};
 use crate::single::{ConsensusParams, OMEGA_TIMER_BASE, RETRY_TIMER};
 
 /// Identifier of one shard group. Shard ids are dense: `0..shard_count`.
@@ -329,7 +329,7 @@ pub struct ShardedNode<V, P: Probe = NoopProbe> {
 
 impl<V> ShardedNode<V>
 where
-    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + LifecycleId + 'static,
 {
     /// Creates a node hosting every shard attached in `placement`, all
     /// groups sharing `params` (per-group parameter overrides go through
@@ -401,7 +401,7 @@ where
 
 impl<V, P> ShardedNode<V, P>
 where
-    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + LifecycleId + 'static,
     P: Probe,
 {
     /// Like [`ShardedNode::new`], with an observability probe shared by the
@@ -750,7 +750,7 @@ where
 
 impl<V, P> Sm for ShardedNode<V, P>
 where
-    V: Clone + Eq + fmt::Debug + Send + Wire + 'static,
+    V: Clone + Eq + fmt::Debug + Send + Wire + LifecycleId + 'static,
     P: Probe,
 {
     type Msg = ShardMsg<V>;

@@ -17,8 +17,8 @@ use std::fmt;
 
 use lls_obs::{NoopProbe, Probe, ProbeEvent};
 use lls_primitives::{
-    Ctx, Duration, Effects, Env, ProcessId, Sm, StorageError, StorageHandle, TimerCmd, TimerId,
-    Wire,
+    Ctx, Duration, Effects, Env, Instant, ProcessId, Sm, StorageError, StorageHandle, TimerCmd,
+    TimerId, Wire,
 };
 use omega::{BatchParams, CommEffOmega, OmegaMsg, OmegaParams};
 use serde::{Deserialize, Serialize};
@@ -109,6 +109,9 @@ pub struct Consensus<V, P: Probe = NoopProbe> {
     wedged: bool,
     /// Observability sink; `NoopProbe` by default (zero cost).
     probe: P,
+    /// Wall of the last stimulus (`ctx.now()` at handler entry) — gives the
+    /// persistence path a timestamp without threading `ctx` through it.
+    clock: Instant,
 }
 
 impl<V> Consensus<V>
@@ -186,6 +189,7 @@ where
             storage: None,
             wedged: false,
             probe,
+            clock: Instant::ZERO,
         }
     }
 
@@ -209,6 +213,7 @@ where
         let records: Vec<AcceptorRecord<V>> = storage.load_records()?;
         sm.probe.emit(ProbeEvent::WalRecover {
             node: env.id(),
+            at: Instant::ZERO,
             records: records.len() as u64,
         });
         let recovering = !records.is_empty();
@@ -255,11 +260,13 @@ where
                 if store.append_record(rec).is_ok() {
                     self.probe.emit(ProbeEvent::WalAppend {
                         node: self.env.id(),
+                        at: self.clock,
                     });
                     true
                 } else {
                     self.probe.emit(ProbeEvent::WalWedge {
                         node: self.env.id(),
+                        at: self.clock,
                     });
                     self.wedged = true;
                     false
@@ -618,6 +625,7 @@ where
     type Request = V;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }
@@ -631,6 +639,7 @@ where
         from: ProcessId,
         msg: Self::Msg,
     ) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }
@@ -643,6 +652,7 @@ where
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, timer: TimerId) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }
@@ -658,6 +668,7 @@ where
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: V) {
+        self.clock = ctx.now();
         if self.wedged {
             return;
         }

@@ -40,7 +40,9 @@
 //! experiment harness.
 
 use lls_obs::{NoopProbe, Probe, ProbeEvent};
-use lls_primitives::{Ctx, Duration, Env, ProcessId, Sm, StorageError, StorageHandle, TimerId};
+use lls_primitives::{
+    Ctx, Duration, Env, Instant, ProcessId, Sm, StorageError, StorageHandle, TimerId,
+};
 
 use crate::msg::OmegaMsg;
 use crate::params::OmegaParams;
@@ -203,6 +205,7 @@ impl<P: Probe> CommEffOmega<P> {
         storage.append_record(&boot_counter)?;
         sm.probe.emit(ProbeEvent::WalRecover {
             node: sm.me,
+            at: Instant::ZERO,
             records: records.len() as u64,
         });
         sm.restore_own_counter(boot_counter);
@@ -348,7 +351,10 @@ impl<P: Probe> Sm for CommEffOmega<P> {
                         if store.append_record(&next).is_err() {
                             return;
                         }
-                        self.probe.emit(ProbeEvent::WalAppend { node: self.me });
+                        self.probe.emit(ProbeEvent::WalAppend {
+                            node: self.me,
+                            at: ctx.now(),
+                        });
                     }
                     self.accusations_received += 1;
                     self.table.bump_auth(self.me);

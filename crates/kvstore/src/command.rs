@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use consensus::LifecycleId;
+use lls_obs::CmdId;
 use lls_primitives::wire::{Wire, WireError, WireReader};
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +89,19 @@ pub struct Tagged<C> {
     pub seq: u64,
     /// The command.
     pub cmd: C,
+}
+
+/// Every tagged command is lifecycle-visible: the `(client, seq)` session
+/// tag *is* its identity across the latency-attribution plane, so the same
+/// pair that deduplicates retries also threads a command's probe events
+/// from `Enqueue` to `Reply`.
+impl<C> LifecycleId for Tagged<C> {
+    fn lifecycle_id(&self) -> Option<CmdId> {
+        Some(CmdId {
+            client: self.client.0,
+            seq: self.seq,
+        })
+    }
 }
 
 /// The outcome of applying one command.

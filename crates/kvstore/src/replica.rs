@@ -1,6 +1,6 @@
 //! The replica: a [`ReplicatedLog`] of tagged commands feeding a [`KvState`].
 
-use lls_obs::{NoopProbe, Probe};
+use lls_obs::{CmdStage, NoopProbe, Probe, ProbeEvent};
 use lls_primitives::wire::Wire;
 use lls_primitives::{
     Ctx, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
@@ -250,6 +250,18 @@ impl<P: Probe> KvReplica<P> {
                     if let Some(tagged) = cmd {
                         let response = self.state.apply(&tagged);
                         self.applied_since_compact += 1;
+                        if P::ENABLED {
+                            self.log.probe().emit(ProbeEvent::CmdLifecycle {
+                                node: ctx.id(),
+                                at: ctx.now(),
+                                cmd: lls_obs::CmdId {
+                                    client: tagged.client.0,
+                                    seq: tagged.seq,
+                                },
+                                stage: CmdStage::Apply,
+                                shard: 0,
+                            });
+                        }
                         ctx.output(KvEvent::Applied {
                             slot,
                             client: tagged.client,

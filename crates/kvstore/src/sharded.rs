@@ -23,10 +23,10 @@
 
 use std::collections::BTreeMap;
 
-use lls_obs::{NoopProbe, Probe};
+use lls_obs::{CmdStage, NoopProbe, Probe, ProbeEvent};
 use lls_primitives::wire::Wire;
 use lls_primitives::{
-    Ctx, Effects, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
+    Ctx, Effects, Env, Instant, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -48,9 +48,9 @@ use crate::submit::{Settled, SubmitQueue};
 /// point of sharding: S pipelines fill in parallel), and routes every reply
 /// back to the queue of the shard that owns it.
 #[derive(Debug, Clone)]
-pub struct ShardedSubmitQueue {
+pub struct ShardedSubmitQueue<P: Probe = NoopProbe> {
     map: PlacementMap,
-    queues: BTreeMap<ShardId, SubmitQueue>,
+    queues: BTreeMap<ShardId, SubmitQueue<P>>,
     routes: BTreeMap<(ClientId, u64), ShardId>,
 }
 
@@ -58,14 +58,32 @@ impl ShardedSubmitQueue {
     /// Creates a queue over `map` with a `window` of in-flight commands
     /// **per shard**.
     pub fn new(map: PlacementMap, window: usize) -> Self {
+        ShardedSubmitQueue::with_probe(map, window, ProcessId(0), NoopProbe)
+    }
+}
+
+impl<P: Probe> ShardedSubmitQueue<P> {
+    /// Like [`ShardedSubmitQueue::new`], with a lifecycle probe shared by
+    /// every per-shard queue: each submitted command is stamped
+    /// `Enqueue` → `ShardRoute` (carrying the owning shard id — the only
+    /// place the key→shard decision is visible) and `Reply` on settlement.
+    pub fn with_probe(map: PlacementMap, window: usize, node: ProcessId, probe: P) -> Self {
         let queues = map
             .shard_ids()
-            .map(|shard| (shard, SubmitQueue::new(window)))
+            .map(|shard| (shard, SubmitQueue::with_probe(window, node, probe.clone())))
             .collect();
         ShardedSubmitQueue {
             map,
             queues,
             routes: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the timestamp stamped on subsequent lifecycle events, on every
+    /// per-shard queue (see [`SubmitQueue::set_now`]).
+    pub fn set_now(&mut self, now: Instant) {
+        for q in self.queues.values_mut() {
+            q.set_now(now);
         }
     }
 
@@ -77,11 +95,14 @@ impl ShardedSubmitQueue {
     /// Enqueues a minted command on the queue of the shard owning its key.
     pub fn submit(&mut self, cmd: Tagged<KvCmd>) {
         let shard = self.shard_of(&cmd);
-        self.routes.insert((cmd.client, cmd.seq), shard);
-        self.queues
+        let (client, seq) = (cmd.client, cmd.seq);
+        self.routes.insert((client, seq), shard);
+        let q = self
+            .queues
             .get_mut(&shard)
-            .expect("router is total over the map's shards")
-            .submit(cmd);
+            .expect("router is total over the map's shards");
+        q.submit(cmd);
+        q.note_route(client, seq, shard.0);
     }
 
     /// Releases queued commands up to each shard's free window and returns
@@ -399,6 +420,20 @@ impl<P: Probe> ShardedKvNode<P> {
                         let state = self.states.entry(shard).or_default();
                         let response = state.apply(&tagged);
                         *self.applied_since_compact.entry(shard).or_default() += 1;
+                        if P::ENABLED {
+                            if let Some(group) = self.node.group(shard) {
+                                group.probe().emit(ProbeEvent::CmdLifecycle {
+                                    node: ctx.id(),
+                                    at: ctx.now(),
+                                    cmd: lls_obs::CmdId {
+                                        client: tagged.client.0,
+                                        seq: tagged.seq,
+                                    },
+                                    stage: CmdStage::Apply,
+                                    shard: shard.0,
+                                });
+                            }
+                        }
                         ctx.output(ShardedKvEvent::Applied {
                             shard,
                             slot,

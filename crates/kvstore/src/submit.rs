@@ -42,6 +42,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use lls_obs::{CmdId, CmdStage, NoopProbe, Probe, ProbeEvent};
+use lls_primitives::{Instant, ProcessId};
+
 use crate::command::{ClientId, KvCmd, KvResponse, Tagged};
 
 /// One command released to the transport and awaiting its reply.
@@ -60,7 +63,7 @@ pub struct Settled {
 /// command is matched back to its originator by [`SubmitQueue::settle`] —
 /// even when many commands ride in one batched slot.
 #[derive(Debug, Clone, Default)]
-pub struct SubmitQueue {
+pub struct SubmitQueue<P: Probe = NoopProbe> {
     window: usize,
     queued: VecDeque<Tagged<KvCmd>>,
     released: BTreeMap<(ClientId, u64), Tagged<KvCmd>>,
@@ -69,6 +72,13 @@ pub struct SubmitQueue {
     ticks: u64,
     attempt: u32,
     retry_at: Option<u64>,
+    // Lifecycle instrumentation: the queue is where a command's latency
+    // story starts (Enqueue) and ends (Reply), so it stamps both stages
+    // through the same probe plane the replicas feed. `NoopProbe` (the
+    // default) compiles all of it away.
+    probe: P,
+    node: ProcessId,
+    now: Instant,
 }
 
 /// splitmix64: a cheap deterministic bit mixer for retry jitter (the
@@ -86,6 +96,17 @@ impl SubmitQueue {
     /// transport at once (0 is treated as 1: a window that can never open
     /// would deadlock the session).
     pub fn new(window: usize) -> Self {
+        SubmitQueue::with_probe(window, ProcessId(0), NoopProbe)
+    }
+}
+
+impl<P: Probe> SubmitQueue<P> {
+    /// Like [`SubmitQueue::new`], with a lifecycle probe: the queue emits
+    /// [`CmdStage::Enqueue`] when a command is submitted and
+    /// [`CmdStage::Reply`] when its response settles, attributed to `node`
+    /// (the process the client session is co-located with). Advance the
+    /// event clock with [`SubmitQueue::set_now`].
+    pub fn with_probe(window: usize, node: ProcessId, probe: P) -> Self {
         SubmitQueue {
             window: window.max(1),
             queued: VecDeque::new(),
@@ -95,7 +116,40 @@ impl SubmitQueue {
             ticks: 0,
             attempt: 0,
             retry_at: None,
+            probe,
+            node,
+            now: Instant::ZERO,
         }
+    }
+
+    /// Sets the timestamp stamped on subsequent lifecycle events (the
+    /// queue is sans-io and has no clock of its own; the driving harness
+    /// owns time).
+    pub fn set_now(&mut self, now: Instant) {
+        self.now = now;
+    }
+
+    fn emit_stage(&self, client: ClientId, seq: u64, stage: CmdStage, shard: u32) {
+        if !P::ENABLED {
+            return;
+        }
+        self.probe.emit(ProbeEvent::CmdLifecycle {
+            node: self.node,
+            at: self.now,
+            cmd: CmdId {
+                client: client.0,
+                seq,
+            },
+            stage,
+            shard,
+        });
+    }
+
+    /// Stamps the [`CmdStage::ShardRoute`] stage for a command this queue
+    /// owns — called by the sharded router, which is the only layer that
+    /// knows the key→shard mapping.
+    pub(crate) fn note_route(&self, client: ClientId, seq: u64, shard: u32) {
+        self.emit_stage(client, seq, CmdStage::ShardRoute, shard);
     }
 
     /// Enables automatic re-submission of in-flight commands: after
@@ -163,6 +217,7 @@ impl SubmitQueue {
     /// Enqueues a minted command. Nothing is sent; call
     /// [`SubmitQueue::drain`] to obtain the commands the window admits.
     pub fn submit(&mut self, cmd: Tagged<KvCmd>) {
+        self.emit_stage(cmd.client, cmd.seq, CmdStage::Enqueue, 0);
         self.queued.push_back(cmd);
     }
 
@@ -190,6 +245,9 @@ impl SubmitQueue {
             cmd,
             response: response.clone(),
         });
+        if settled.is_some() {
+            self.emit_stage(client, seq, CmdStage::Reply, 0);
+        }
         if self.released.is_empty() {
             // Everything in flight has landed: stand down the retry clock.
             self.retry_at = None;

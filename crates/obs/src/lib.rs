@@ -29,7 +29,18 @@
 //! * **[`Watchdog`]** — an online invariant monitor over the live probe
 //!   stream: once armed (stabilization declared) it raises structured
 //!   [`Alarm`]s — flight dump attached — the moment a steady-state property
-//!   (no flaps, flat accusation counters, leader-only senders) degrades.
+//!   (no flaps, flat accusation counters, leader-only senders) degrades,
+//!   plus stage-stall detectors over the command path (fsync p99 spikes,
+//!   batch-seal stalls, catch-up stalls).
+//! * **[`lifecycle`]** — per-command latency attribution: reconstructs each
+//!   client command's critical path from its [`probe::CmdStage`] events
+//!   (enqueue → … → reply) and folds the telescoping per-stage deltas into
+//!   per-shard log2 histograms; E22 gates on the attribution summing to the
+//!   independently measured end-to-end latency.
+//! * **[`timeline`]** — a bounded-ring time-series sampler: periodic
+//!   registry snapshots diffed into frames of per-window counter rates and
+//!   interpolated p50/p99, served live by wirenet's `/timeline` route and
+//!   embedded in `BENCH_E*.json`.
 //!
 //! # Example
 //!
@@ -51,17 +62,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod lifecycle;
 pub mod metrics;
 pub mod probe;
 pub mod recorder;
+pub mod timeline;
 pub mod trace;
 pub mod watchdog;
 
+pub use lifecycle::{attribute, fold_into_registry, reconstruct_paths, Attribution, CmdPath};
 pub use metrics::{
     aggregate_shard_registries, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
-    HISTOGRAM_BUCKETS,
+    RegistrySnapshot, HISTOGRAM_BUCKETS,
 };
-pub use probe::{NoopProbe, Probe, ProbeEvent};
+pub use probe::{CmdId, CmdStage, NoopProbe, Probe, ProbeEvent};
 pub use recorder::{FlightRecorder, NodeRecorders, RecordedEvent, RecordingProbe};
+pub use timeline::{TimelineFrame, TimelineSampler, WindowQuantiles};
 pub use trace::{reconstruct_spans, spans_json, SpanHop, SpanKind, SpanRecord};
 pub use watchdog::{Alarm, AlarmKind, Watchdog, WatchdogConfig, WatchdogProbe};

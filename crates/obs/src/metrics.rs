@@ -140,6 +140,13 @@ impl Histogram {
         self.count.fetch_add(snap.count, Ordering::Relaxed);
         self.sum.fetch_add(snap.sum, Ordering::Relaxed);
     }
+
+    /// Interpolated `q`-quantile of the live distribution — the estimator
+    /// experiments and the watchdog use instead of hand-rolling percentile
+    /// math. See [`HistogramSnapshot::quantile_interpolated`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile_interpolated(q)
+    }
 }
 
 /// A frozen copy of a [`Histogram`]'s distribution.
@@ -196,6 +203,37 @@ impl HistogramSnapshot {
     /// Mean of recorded values, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Interpolated `q`-quantile (`0.0 ≤ q ≤ 1.0`), or `None` when empty.
+    ///
+    /// Unlike [`HistogramSnapshot::quantile`] (which reports the containing
+    /// bucket's power-of-two ceiling — up to 2× above the true value), this
+    /// interpolates the quantile's rank linearly *within* its log2 bucket,
+    /// assuming values spread uniformly across the bucket span. For smooth
+    /// distributions the estimate lands well inside the bucket instead of
+    /// at its edge, which is what per-window p50/p99 timeline frames need
+    /// to be comparable across windows.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1e-12);
+        let mut seen = 0.0f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c as f64;
+            if next >= rank {
+                let lo = if i == 0 { 0 } else { bucket_bound(i - 1) } as f64;
+                let hi = bucket_bound(i) as f64;
+                let frac = ((rank - seen) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + frac * (hi - lo));
+            }
+            seen = next;
+        }
+        Some(bucket_bound(HISTOGRAM_BUCKETS - 1) as f64)
     }
 }
 
@@ -363,6 +401,28 @@ impl Registry {
         format!("{{{}}}", parts.join(", "))
     }
 
+    /// A point-in-time structured copy of every metric — the form the
+    /// timeline sampler diffs frame-to-frame. Counters and gauges copy
+    /// their values; histograms freeze their full distributions.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let table = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in table.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
     /// Folds every metric of `other` into this registry under
     /// `{prefix}{name}`: counters and gauges add their current values,
     /// histograms absorb their distributions, and help text is carried
@@ -397,6 +457,19 @@ impl Registry {
             self.describe(&format!("{prefix}{name}"), &help);
         }
     }
+}
+
+/// A structured point-in-time copy of a whole [`Registry`], keyed by metric
+/// name. Produced by [`Registry::snapshot`]; the timeline sampler keeps the
+/// previous frame's snapshot and subtracts to get per-window deltas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → frozen distribution.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// Composes per-shard registries into one: every metric of shard `id`
@@ -498,6 +571,76 @@ mod tests {
         assert_eq!(s.quantile(1.0), Some(1024));
         assert_eq!(s.mean(), Some(1107.0 / 5.0));
         assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn interpolated_quantile_on_known_distributions() {
+        // Uniform 1..=1000: the true p50 is 500, p90 is 900. The bucket
+        // ceiling estimator can only answer 512 / 1024; interpolation must
+        // land within one bucket's span of the truth.
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_interpolated(0.5).unwrap();
+        assert!((300.0..=520.0).contains(&p50), "p50={p50}");
+        let p90 = s.quantile_interpolated(0.9).unwrap();
+        assert!((700.0..=1024.0).contains(&p90), "p90={p90}");
+        // Interpolation beats the bucket-bound estimator on p90: the
+        // ceiling answer is 1024, > 13% high; interpolation stays closer.
+        assert!((p90 - 900.0).abs() < (1024.0_f64 - 900.0).abs());
+        // Extremes pin to the distribution's support.
+        assert!(s.quantile_interpolated(0.0).unwrap() <= 1.0);
+        assert!(s.quantile_interpolated(1.0).unwrap() <= 1024.0);
+        // Degenerate distribution: every value in one bucket interpolates
+        // inside that bucket.
+        let d = Histogram::default();
+        for _ in 0..100 {
+            d.record(6); // bucket (4, 8]
+        }
+        let p = d.quantile(0.5).unwrap();
+        assert!((4.0..=8.0).contains(&p), "p={p}");
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::default().quantile(0.99), None);
+        assert_eq!(
+            HistogramSnapshot::default().quantile_interpolated(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn interpolated_quantile_is_monotone_in_q() {
+        let h = Histogram::default();
+        for v in [1u64, 3, 3, 7, 20, 90, 400, 5000, 5000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0.0f64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = s.quantile_interpolated(q).unwrap();
+            assert!(
+                v >= last,
+                "quantile must be monotone: q={q} v={v} last={last}"
+            );
+            last = v;
+        }
+    }
+
+    #[test]
+    fn structured_snapshot_copies_every_metric() {
+        let r = Registry::new();
+        r.counter("a_total").add(3);
+        r.gauge("b").set(-2);
+        r.histogram("c").record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("a_total"), Some(&3));
+        assert_eq!(snap.gauges.get("b"), Some(&-2));
+        assert_eq!(snap.histograms.get("c").unwrap().count, 1);
+        // The snapshot is frozen: later mutation does not alter it.
+        r.counter("a_total").add(10);
+        assert_eq!(snap.counters.get("a_total"), Some(&3));
     }
 
     #[test]

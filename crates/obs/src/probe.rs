@@ -9,16 +9,117 @@
 //! call monomorphizes to an empty inline function and the protocol code is
 //! exactly as fast as before; with a recording probe the events land in a
 //! flight recorder and a metrics registry (see [`crate::recorder`]).
+//!
+//! Per-command latency attribution (E22) rides on the same channel: the
+//! client path tags every command with a [`CmdId`] and the machines emit one
+//! [`ProbeEvent::CmdLifecycle`] per [`CmdStage`] the command crosses. Loops
+//! that emit per-command events are guarded with `if P::ENABLED`, so a
+//! `NoopProbe` build does not even iterate the batch.
 
 use lls_primitives::{Duration, Instant, ProcessId};
 use std::fmt;
 
+/// Identity of one client command, stable across every stage of its life.
+///
+/// Assigned at `SubmitQueue::submit`: `client` is the submitting client's id
+/// and `seq` its per-client sequence number — the same pair the KV layer
+/// already uses for exactly-once reply routing, so the id needs no extra
+/// wire bytes. Raw `u64` command streams (the bench harnesses) use
+/// `client = 0` and the command value as `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmdId {
+    /// Submitting client (0 for untagged bench values).
+    pub client: u64,
+    /// Per-client sequence number (or the raw value for bench streams).
+    pub seq: u64,
+}
+
+impl fmt::Display for CmdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}#{}", self.client, self.seq)
+    }
+}
+
+/// One stage of the command lifecycle, in path order.
+///
+/// The stages telescope: the latency attributed to a stage is the gap since
+/// the command's *previous* stage event, so summing the per-stage deltas of
+/// one command reproduces its end-to-end latency (the E22 gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmdStage {
+    /// Client enqueued the command into its submit window.
+    Enqueue,
+    /// The sharded router picked a group for the command's key.
+    ShardRoute,
+    /// The leader sealed the command into a batch slot.
+    BatchSeal,
+    /// The leader proposed the sealed slot to the acceptors.
+    Propose,
+    /// The leader's WAL group-commit covering the command flushed.
+    WalCommit,
+    /// The slot carrying the command was chosen.
+    Decide,
+    /// The state machine applied the command.
+    Apply,
+    /// The client matched the reply and retired the command.
+    Reply,
+}
+
+impl CmdStage {
+    /// All stages in path order.
+    pub const ALL: [CmdStage; 8] = [
+        CmdStage::Enqueue,
+        CmdStage::ShardRoute,
+        CmdStage::BatchSeal,
+        CmdStage::Propose,
+        CmdStage::WalCommit,
+        CmdStage::Decide,
+        CmdStage::Apply,
+        CmdStage::Reply,
+    ];
+
+    /// Stable snake-case label — the key lifecycle histograms are named by.
+    pub fn label(self) -> &'static str {
+        match self {
+            CmdStage::Enqueue => "enqueue",
+            CmdStage::ShardRoute => "shard_route",
+            CmdStage::BatchSeal => "batch_seal",
+            CmdStage::Propose => "propose",
+            CmdStage::WalCommit => "wal_commit",
+            CmdStage::Decide => "decide",
+            CmdStage::Apply => "apply",
+            CmdStage::Reply => "reply",
+        }
+    }
+
+    /// Position in the canonical path (0 = `Enqueue` … 7 = `Reply`).
+    pub fn index(self) -> usize {
+        match self {
+            CmdStage::Enqueue => 0,
+            CmdStage::ShardRoute => 1,
+            CmdStage::BatchSeal => 2,
+            CmdStage::Propose => 3,
+            CmdStage::WalCommit => 4,
+            CmdStage::Decide => 5,
+            CmdStage::Apply => 6,
+            CmdStage::Reply => 7,
+        }
+    }
+}
+
+impl fmt::Display for CmdStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One structured protocol event, tagged with the emitting process.
 ///
-/// Events emitted from message/timer handlers carry the virtual time `at`
-/// (the handler's `ctx.now()`); events emitted from construction or
-/// persistence paths — which run outside any handler and have no clock —
-/// omit it.
+/// Every event carries the virtual time `at`. Handler-emitted events use
+/// the handler's `ctx.now()`; events emitted from construction or recovery
+/// paths — which run before any clock exists — use [`Instant::ZERO`], and
+/// persistence-path events reuse the time of the mutating handler that
+/// triggered them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeEvent {
     /// The process's `leader()` output changed.
@@ -107,17 +208,52 @@ pub enum ProbeEvent {
         /// How many client commands the batch carried.
         cmds: u64,
     },
-    /// One record was appended to the write-ahead log (no clock: persistence
-    /// runs inside the mutating handler, timing belongs to the handler's
-    /// own events).
+    /// A client command crossed one [`CmdStage`] of its lifecycle (the E22
+    /// latency-attribution plane). One event per command per stage; batch
+    /// operations emit one per carried command, guarded by
+    /// [`Probe::ENABLED`] so `NoopProbe` builds skip the loop entirely.
+    CmdLifecycle {
+        /// Emitting process (the client's process id for `Enqueue`,
+        /// `ShardRoute` and `Reply`; the replica otherwise).
+        node: ProcessId,
+        /// Virtual time the stage was crossed.
+        at: Instant,
+        /// Which command.
+        cmd: CmdId,
+        /// Which stage.
+        stage: CmdStage,
+        /// Consensus group the command routed to (0 when unsharded).
+        shard: u32,
+    },
+    /// One record was appended to the write-ahead log. `at` is the virtual
+    /// time of the mutating handler whose persistence triggered the append.
     WalAppend {
         /// Emitting process.
         node: ProcessId,
+        /// Virtual time of the triggering handler.
+        at: Instant,
     },
-    /// A fresh incarnation replayed its write-ahead log on construction.
+    /// A WAL group-commit flushed: one durable `flush` covering a pumped
+    /// burst of records. `micros` is wall-clock device time (0 on the
+    /// in-memory backends), feeding the `wal_fsync_micros` histogram and
+    /// the watchdog's fsync-spike detector.
+    WalFsync {
+        /// Emitting process.
+        node: ProcessId,
+        /// Virtual time of the triggering handler.
+        at: Instant,
+        /// Wall-clock microseconds the flush took on the storage backend.
+        micros: u64,
+        /// Records the flushed group carried.
+        records: u64,
+    },
+    /// A fresh incarnation replayed its write-ahead log on construction
+    /// (`at` is [`Instant::ZERO`]: recovery runs before any clock exists).
     WalRecover {
         /// Emitting process.
         node: ProcessId,
+        /// Virtual time of the recovery scan (the clock origin).
+        at: Instant,
         /// How many records the recovery scan yielded.
         records: u64,
     },
@@ -126,12 +262,17 @@ pub enum ProbeEvent {
     WalWedge {
         /// Emitting process.
         node: ProcessId,
+        /// Virtual time of the failed persistence.
+        at: Instant,
     },
     /// A snapshot was durably written and the WAL compacted behind its
-    /// watermark (no clock: compaction runs on the persistence path).
+    /// watermark. `at` is the virtual time of the handler that scheduled
+    /// the compaction.
     SnapshotWrite {
         /// Emitting process.
         node: ProcessId,
+        /// Virtual time of the compaction.
+        at: Instant,
         /// First slot not covered by the snapshot.
         watermark: u64,
         /// Bytes the WAL retains after compaction (feeds the
@@ -150,10 +291,12 @@ pub enum ProbeEvent {
     },
     /// A fresh incarnation replayed this many WAL bytes on construction
     /// (the quantity snapshots are meant to bound; feeds the
-    /// `recovery_replay_bytes` counter).
+    /// `recovery_replay_bytes` counter; `at` is [`Instant::ZERO`]).
     RecoveryReplay {
         /// Emitting process.
         node: ProcessId,
+        /// Virtual time of the replay (the clock origin).
+        at: Instant,
         /// Bytes of records the recovery scan decoded.
         bytes: u64,
     },
@@ -171,9 +314,11 @@ impl ProbeEvent {
             | ProbeEvent::PhaseEnter { node, .. }
             | ProbeEvent::Decide { node, .. }
             | ProbeEvent::BatchCommit { node, .. }
-            | ProbeEvent::WalAppend { node }
+            | ProbeEvent::CmdLifecycle { node, .. }
+            | ProbeEvent::WalAppend { node, .. }
+            | ProbeEvent::WalFsync { node, .. }
             | ProbeEvent::WalRecover { node, .. }
-            | ProbeEvent::WalWedge { node }
+            | ProbeEvent::WalWedge { node, .. }
             | ProbeEvent::SnapshotWrite { node, .. }
             | ProbeEvent::SnapshotInstall { node, .. }
             | ProbeEvent::RecoveryReplay { node, .. } => node,
@@ -181,7 +326,9 @@ impl ProbeEvent {
     }
 
     /// Virtual time of the event, when it was emitted from a clocked
-    /// handler.
+    /// handler. Only [`ProbeEvent::IncarnationBump`] predates every clock
+    /// and returns `None`; all storage events carry a usable timestamp so
+    /// the timeline can plot them.
     pub fn at(&self) -> Option<Instant> {
         match *self {
             ProbeEvent::LeaderChange { at, .. }
@@ -191,13 +338,15 @@ impl ProbeEvent {
             | ProbeEvent::PhaseEnter { at, .. }
             | ProbeEvent::Decide { at, .. }
             | ProbeEvent::BatchCommit { at, .. }
-            | ProbeEvent::SnapshotInstall { at, .. } => Some(at),
-            ProbeEvent::IncarnationBump { .. }
-            | ProbeEvent::WalAppend { .. }
-            | ProbeEvent::WalRecover { .. }
-            | ProbeEvent::WalWedge { .. }
-            | ProbeEvent::SnapshotWrite { .. }
-            | ProbeEvent::RecoveryReplay { .. } => None,
+            | ProbeEvent::CmdLifecycle { at, .. }
+            | ProbeEvent::WalAppend { at, .. }
+            | ProbeEvent::WalFsync { at, .. }
+            | ProbeEvent::WalRecover { at, .. }
+            | ProbeEvent::WalWedge { at, .. }
+            | ProbeEvent::SnapshotWrite { at, .. }
+            | ProbeEvent::SnapshotInstall { at, .. }
+            | ProbeEvent::RecoveryReplay { at, .. } => Some(at),
+            ProbeEvent::IncarnationBump { .. } => None,
         }
     }
 
@@ -213,7 +362,9 @@ impl ProbeEvent {
             ProbeEvent::PhaseEnter { .. } => "phase_enter",
             ProbeEvent::Decide { .. } => "decide",
             ProbeEvent::BatchCommit { .. } => "batch_commit",
+            ProbeEvent::CmdLifecycle { .. } => "cmd_lifecycle",
             ProbeEvent::WalAppend { .. } => "wal_append",
+            ProbeEvent::WalFsync { .. } => "wal_fsync",
             ProbeEvent::WalRecover { .. } => "wal_recover",
             ProbeEvent::WalWedge { .. } => "wal_wedge",
             ProbeEvent::SnapshotWrite { .. } => "snapshot_write",
@@ -264,26 +415,40 @@ impl fmt::Display for ProbeEvent {
                 slot,
                 cmds,
             } => write!(f, "{at} {node} BATCH     slot={slot} cmds={cmds}"),
-            ProbeEvent::WalAppend { node } => write!(f, "---- {node} WAL-APPEND"),
-            ProbeEvent::WalRecover { node, records } => {
-                write!(f, "---- {node} WAL-RECOVER records={records}")
+            ProbeEvent::CmdLifecycle {
+                node,
+                at,
+                cmd,
+                stage,
+                shard,
+            } => write!(f, "{at} {node} CMD       {cmd} {stage} shard={shard}"),
+            ProbeEvent::WalAppend { node, at } => write!(f, "{at} {node} WAL-APPEND"),
+            ProbeEvent::WalFsync {
+                node,
+                at,
+                micros,
+                records,
+            } => write!(f, "{at} {node} WAL-FSYNC {micros}us records={records}"),
+            ProbeEvent::WalRecover { node, at, records } => {
+                write!(f, "{at} {node} WAL-RECOVER records={records}")
             }
-            ProbeEvent::WalWedge { node } => write!(f, "---- {node} WAL-WEDGE"),
+            ProbeEvent::WalWedge { node, at } => write!(f, "{at} {node} WAL-WEDGE"),
             ProbeEvent::SnapshotWrite {
                 node,
+                at,
                 watermark,
                 live_bytes,
             } => write!(
                 f,
-                "---- {node} SNAP-WRITE watermark={watermark} live_bytes={live_bytes}"
+                "{at} {node} SNAP-WRITE watermark={watermark} live_bytes={live_bytes}"
             ),
             ProbeEvent::SnapshotInstall {
                 node,
                 at,
                 watermark,
             } => write!(f, "{at} {node} SNAP-INSTALL watermark={watermark}"),
-            ProbeEvent::RecoveryReplay { node, bytes } => {
-                write!(f, "---- {node} WAL-REPLAY bytes={bytes}")
+            ProbeEvent::RecoveryReplay { node, at, bytes } => {
+                write!(f, "{at} {node} WAL-REPLAY bytes={bytes}")
             }
         }
     }
@@ -295,6 +460,13 @@ impl fmt::Display for ProbeEvent {
 /// machine and the nested machines it drives — `Consensus` clones its probe
 /// into the embedded `CommEffOmega`, so one recorder sees both layers.
 pub trait Probe: Clone + Send + fmt::Debug + 'static {
+    /// Whether this probe observes anything at all. Per-command emission
+    /// loops (one event per command of a batch) are guarded with
+    /// `if P::ENABLED { .. }`, so with [`NoopProbe`] the loop body is a
+    /// compile-time `if false` and the optimizer removes the iteration —
+    /// the hot path pays nothing, not even the batch walk.
+    const ENABLED: bool = true;
+
     /// Records one event. Must be cheap and non-blocking; called from inside
     /// protocol handlers.
     fn emit(&self, event: ProbeEvent);
@@ -302,11 +474,14 @@ pub trait Probe: Clone + Send + fmt::Debug + 'static {
 
 /// The default probe: does nothing, costs nothing. Monomorphization turns
 /// every `probe.emit(..)` through this type into an empty inline call that
-/// the optimizer deletes.
+/// the optimizer deletes, and `ENABLED = false` removes per-command
+/// emission loops wholesale.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoopProbe;
 
 impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+
     #[inline(always)]
     fn emit(&self, _event: ProbeEvent) {}
 }
@@ -363,14 +538,29 @@ mod tests {
                 slot: 0,
                 cmds: 8,
             },
-            ProbeEvent::WalAppend { node: p },
-            ProbeEvent::WalRecover {
+            ProbeEvent::CmdLifecycle {
                 node: p,
+                at: t,
+                cmd: CmdId { client: 3, seq: 9 },
+                stage: CmdStage::BatchSeal,
+                shard: 0,
+            },
+            ProbeEvent::WalAppend { node: p, at: t },
+            ProbeEvent::WalFsync {
+                node: p,
+                at: t,
+                micros: 120,
                 records: 4,
             },
-            ProbeEvent::WalWedge { node: p },
+            ProbeEvent::WalRecover {
+                node: p,
+                at: Instant::ZERO,
+                records: 4,
+            },
+            ProbeEvent::WalWedge { node: p, at: t },
             ProbeEvent::SnapshotWrite {
                 node: p,
+                at: t,
                 watermark: 10,
                 live_bytes: 128,
             },
@@ -379,7 +569,11 @@ mod tests {
                 at: t,
                 watermark: 10,
             },
-            ProbeEvent::RecoveryReplay { node: p, bytes: 64 },
+            ProbeEvent::RecoveryReplay {
+                node: p,
+                at: Instant::ZERO,
+                bytes: 64,
+            },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len(), "kind tags must be unique");
@@ -390,7 +584,7 @@ mod tests {
     }
 
     #[test]
-    fn clocked_events_expose_at() {
+    fn every_storage_event_is_plottable() {
         let p = ProcessId(0);
         let t = Instant::from_ticks(7);
         assert_eq!(
@@ -402,6 +596,57 @@ mod tests {
             .at(),
             Some(t)
         );
-        assert_eq!(ProbeEvent::WalAppend { node: p }.at(), None);
+        // Satellite of E22: the storage events used to return None and were
+        // unplottable on the timeline. Now only the pre-clock incarnation
+        // bump lacks a timestamp.
+        assert_eq!(ProbeEvent::WalAppend { node: p, at: t }.at(), Some(t));
+        assert_eq!(
+            ProbeEvent::WalRecover {
+                node: p,
+                at: Instant::ZERO,
+                records: 0
+            }
+            .at(),
+            Some(Instant::ZERO)
+        );
+        assert_eq!(ProbeEvent::WalWedge { node: p, at: t }.at(), Some(t));
+        assert_eq!(
+            ProbeEvent::SnapshotWrite {
+                node: p,
+                at: t,
+                watermark: 1,
+                live_bytes: 2
+            }
+            .at(),
+            Some(t)
+        );
+        assert_eq!(
+            ProbeEvent::RecoveryReplay {
+                node: p,
+                at: Instant::ZERO,
+                bytes: 0
+            }
+            .at(),
+            Some(Instant::ZERO)
+        );
+        assert_eq!(
+            ProbeEvent::IncarnationBump {
+                node: p,
+                counter: 1
+            }
+            .at(),
+            None
+        );
+    }
+
+    #[test]
+    fn stage_order_is_total_and_labels_unique() {
+        let labels: std::collections::BTreeSet<&str> =
+            CmdStage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), CmdStage::ALL.len());
+        for (i, s) in CmdStage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "ALL must list stages in path order");
+        }
+        assert!(CmdStage::Enqueue < CmdStage::Reply);
     }
 }

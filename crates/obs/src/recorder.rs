@@ -188,6 +188,11 @@ impl Probe for RecordingProbe {
                 ProbeEvent::SnapshotWrite { live_bytes, .. } => {
                     registry.gauge("wal_live_bytes").set(live_bytes as i64);
                 }
+                // Group-commit flush timing feeds a histogram the timeline
+                // and the watchdog's fsync-spike detector both read.
+                ProbeEvent::WalFsync { micros, .. } => {
+                    registry.histogram("wal_fsync_micros").record(micros);
+                }
                 _ => {}
             }
         }

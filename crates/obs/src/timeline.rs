@@ -1,0 +1,295 @@
+//! Time-series telemetry: a bounded-ring sampler over the registry.
+//!
+//! Counters and histograms in a [`Registry`] only ever accumulate — good
+//! for end-of-run totals, useless for "what happened *during* the run".
+//! [`TimelineSampler`] closes the gap: call [`TimelineSampler::sample`]
+//! periodically and each call freezes a [`Registry::snapshot`], subtracts
+//! the previous one, and stores the delta as one [`TimelineFrame`] —
+//! per-window counter rates, point-in-time gauges, and per-window p50/p99
+//! (via [`crate::HistogramSnapshot::quantile_interpolated`]) of every
+//! histogram that saw samples in the window.
+//!
+//! The ring is bounded like the flight recorder: when full, the oldest
+//! frame is evicted and counted, so a sampler left running forever holds
+//! the most recent history at fixed memory. [`TimelineSampler::to_json`]
+//! renders the retained frames for the `/timeline` scrape route and for
+//! embedding in `BENCH_E*.json`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::metrics::{Registry, RegistrySnapshot};
+
+/// Per-window view of one histogram: how many samples landed in the window
+/// and where the window's distribution sat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowQuantiles {
+    /// Samples recorded during the window.
+    pub count: u64,
+    /// Interpolated median of the window's samples.
+    pub p50: f64,
+    /// Interpolated 99th percentile of the window's samples.
+    pub p99: f64,
+}
+
+/// One sampling window: everything that changed in the registry between two
+/// consecutive [`TimelineSampler::sample`] calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineFrame {
+    /// Monotonic frame number (survives ring eviction, like recorder seqs).
+    pub index: u64,
+    /// Caller-supplied timestamp of the sample (ticks or anchored millis —
+    /// whatever clock the harness runs on).
+    pub at: u64,
+    /// Counter name → increase during the window (unchanged counters are
+    /// omitted, so quiet frames stay small).
+    pub counter_deltas: BTreeMap<String, u64>,
+    /// Gauge name → value at sample time (gauges are levels, not rates).
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → the window's sample count and p50/p99. Only
+    /// histograms that recorded during the window appear.
+    pub quantiles: BTreeMap<String, WindowQuantiles>,
+}
+
+/// A bounded ring of [`TimelineFrame`]s plus the previous snapshot to diff
+/// against. Single-writer: wrap in a mutex to sample from one thread while
+/// another serves [`TimelineSampler::to_json`].
+#[derive(Debug)]
+pub struct TimelineSampler {
+    capacity: usize,
+    frames: VecDeque<TimelineFrame>,
+    prev: RegistrySnapshot,
+    next_index: u64,
+    dropped: u64,
+}
+
+impl TimelineSampler {
+    /// A sampler retaining at most `capacity` frames (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TimelineSampler {
+            capacity,
+            frames: VecDeque::with_capacity(capacity),
+            prev: RegistrySnapshot::default(),
+            next_index: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Takes one sample: snapshots `registry`, diffs against the previous
+    /// sample, and appends the delta frame (evicting the oldest when full).
+    /// Returns the new frame's index. The *first* sample's window covers
+    /// everything since the registry was born.
+    pub fn sample(&mut self, registry: &Registry, at: u64) -> u64 {
+        let cur = registry.snapshot();
+        let mut frame = TimelineFrame {
+            index: self.next_index,
+            at,
+            counter_deltas: BTreeMap::new(),
+            gauges: cur.gauges.clone(),
+            quantiles: BTreeMap::new(),
+        };
+        for (name, &value) in &cur.counters {
+            let before = self.prev.counters.get(name).copied().unwrap_or(0);
+            let delta = value.saturating_sub(before);
+            if delta > 0 {
+                frame.counter_deltas.insert(name.clone(), delta);
+            }
+        }
+        for (name, snap) in &cur.histograms {
+            let before = self.prev.histograms.get(name);
+            let mut window = *snap;
+            if let Some(b) = before {
+                for (i, bucket) in window.buckets.iter_mut().enumerate() {
+                    *bucket = bucket.saturating_sub(b.buckets[i]);
+                }
+                window.count = window.count.saturating_sub(b.count);
+                window.sum = window.sum.saturating_sub(b.sum);
+            }
+            if window.count > 0 {
+                frame.quantiles.insert(
+                    name.clone(),
+                    WindowQuantiles {
+                        count: window.count,
+                        p50: window.quantile_interpolated(0.5).unwrap_or(0.0),
+                        p99: window.quantile_interpolated(0.99).unwrap_or(0.0),
+                    },
+                );
+            }
+        }
+        self.prev = cur;
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+            self.dropped += 1;
+        }
+        let index = frame.index;
+        self.frames.push_back(frame);
+        self.next_index += 1;
+        index
+    }
+
+    /// The retained frames, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &TimelineFrame> {
+        self.frames.iter()
+    }
+
+    /// Frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frame has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total frames ever sampled.
+    pub fn total(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Frames evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained frames as one JSON object — the body of the
+    /// `/timeline` scrape route and the `timeline` field of BENCH JSON:
+    /// `{"total": …, "dropped": …, "frames": [{"index", "at", "counters",
+    /// "gauges", "histograms": {name: {"count", "p50", "p99"}}}, …]}`.
+    /// Hand-rolled like the registry's snapshot (names are identifier-like,
+    /// values numeric).
+    pub fn to_json(&self) -> String {
+        let mut frames = Vec::with_capacity(self.frames.len());
+        for f in &self.frames {
+            let counters: Vec<String> = f
+                .counter_deltas
+                .iter()
+                .map(|(n, v)| format!("\"{n}\": {v}"))
+                .collect();
+            let gauges: Vec<String> = f
+                .gauges
+                .iter()
+                .map(|(n, v)| format!("\"{n}\": {v}"))
+                .collect();
+            let hists: Vec<String> = f
+                .quantiles
+                .iter()
+                .map(|(n, q)| {
+                    format!(
+                        "\"{n}\": {{\"count\": {}, \"p50\": {:.3}, \"p99\": {:.3}}}",
+                        q.count, q.p50, q.p99
+                    )
+                })
+                .collect();
+            frames.push(format!(
+                "{{\"index\": {}, \"at\": {}, \"counters\": {{{}}}, \"gauges\": {{{}}}, \"histograms\": {{{}}}}}",
+                f.index,
+                f.at,
+                counters.join(", "),
+                gauges.join(", "),
+                hists.join(", ")
+            ));
+        }
+        format!(
+            "{{\"total\": {}, \"dropped\": {}, \"frames\": [{}]}}",
+            self.next_index,
+            self.dropped,
+            frames.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_carry_window_deltas_not_totals() {
+        let reg = Registry::new();
+        let mut tl = TimelineSampler::new(8);
+        reg.counter("ops_total").add(5);
+        reg.gauge("inflight").set(3);
+        tl.sample(&reg, 100);
+        reg.counter("ops_total").add(2);
+        reg.gauge("inflight").set(1);
+        tl.sample(&reg, 200);
+        // A quiet window: nothing changed.
+        tl.sample(&reg, 300);
+        let frames: Vec<&TimelineFrame> = tl.frames().collect();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].counter_deltas["ops_total"], 5);
+        assert_eq!(frames[1].counter_deltas["ops_total"], 2, "delta, not 7");
+        assert_eq!(frames[1].gauges["inflight"], 1, "gauges are levels");
+        assert!(frames[2].counter_deltas.is_empty(), "quiet windows omit");
+        assert_eq!(frames[2].at, 300);
+    }
+
+    #[test]
+    fn histogram_windows_report_per_window_quantiles() {
+        let reg = Registry::new();
+        let mut tl = TimelineSampler::new(8);
+        let h = reg.histogram("latency");
+        // Window 1: fast ops around 4 ticks.
+        for _ in 0..50 {
+            h.record(4);
+        }
+        tl.sample(&reg, 1);
+        // Window 2: a slowdown to ~1000 ticks. Cumulative quantiles would
+        // still answer "4"; the window must say ~1000.
+        for _ in 0..50 {
+            h.record(1000);
+        }
+        tl.sample(&reg, 2);
+        let frames: Vec<&TimelineFrame> = tl.frames().collect();
+        let w1 = frames[0].quantiles["latency"];
+        let w2 = frames[1].quantiles["latency"];
+        assert_eq!(w1.count, 50);
+        assert_eq!(w2.count, 50);
+        assert!(w1.p50 <= 4.0, "window 1 median is fast: {}", w1.p50);
+        assert!(
+            w2.p50 > 500.0,
+            "window 2 median shows the spike: {}",
+            w2.p50
+        );
+        // An idle histogram window disappears from the frame.
+        tl.sample(&reg, 3);
+        let last = tl.frames().last().unwrap();
+        assert!(last.quantiles.is_empty());
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_frames_and_counts_drops() {
+        let reg = Registry::new();
+        let mut tl = TimelineSampler::new(4);
+        for i in 0..10 {
+            reg.counter("ticks_total").inc();
+            tl.sample(&reg, i);
+        }
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.total(), 10);
+        assert_eq!(tl.dropped(), 6);
+        let indices: Vec<u64> = tl.frames().map(|f| f.index).collect();
+        assert_eq!(indices, vec![6, 7, 8, 9], "only the newest survive");
+        // Deltas survive eviction intact: every retained frame saw one inc.
+        assert!(tl.frames().all(|f| f.counter_deltas["ticks_total"] == 1));
+        let json = tl.to_json();
+        assert!(json.contains("\"total\": 10"));
+        assert!(json.contains("\"dropped\": 6"));
+        assert!(json.contains("\"index\": 9"));
+        assert!(!json.contains("\"index\": 5"), "evicted frames are gone");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let reg = Registry::new();
+        let mut tl = TimelineSampler::new(2);
+        reg.counter("a").inc();
+        reg.histogram("h").record(7);
+        tl.sample(&reg, 42);
+        let json = tl.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"at\": 42"));
+        assert!(json.contains("\"counters\": {\"a\": 1}"));
+        assert!(json.contains("\"histograms\": {\"h\": {\"count\": 1, \"p50\":"));
+    }
+}

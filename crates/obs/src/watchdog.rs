@@ -27,9 +27,16 @@ use std::sync::{Arc, Mutex};
 
 use lls_primitives::ProcessId;
 
-use crate::metrics::Registry;
-use crate::probe::{Probe, ProbeEvent};
+use crate::metrics::{Histogram, Registry};
+use crate::probe::{CmdStage, Probe, ProbeEvent};
 use crate::recorder::NodeRecorders;
+
+/// Rolling fsync samples kept for the spike detector's window.
+const FSYNC_WINDOW: usize = 64;
+
+/// Minimum window samples before the fsync-spike detector may fire (used
+/// when [`WatchdogConfig::fsync_min_samples`] is 0).
+const FSYNC_MIN_SAMPLES_DEFAULT: usize = 16;
 
 /// Tuning for the watchdog's windows and budgets.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,6 +50,25 @@ pub struct WatchdogConfig {
     /// Width (in event-time ticks) of the sliding window flaps are counted
     /// in. 0 means "the whole armed period".
     pub flap_window_ticks: u64,
+    /// Fsync p99 threshold in microseconds: when armed and the rolling
+    /// window's interpolated p99 of `WalFsync` durations exceeds this, an
+    /// [`AlarmKind::FsyncSpike`] fires. 0 disables the detector.
+    pub fsync_spike_micros: u64,
+    /// Minimum fsync samples in the rolling window before the spike
+    /// detector may fire (0 means a default of 16) — one slow flush on a
+    /// cold cache is noise, a slow p99 over a window is a signal.
+    pub fsync_min_samples: u32,
+    /// Batch-seal stall threshold in ticks: when armed and commands have
+    /// been enqueued but none sealed for this long (checked by
+    /// [`Watchdog::check_stage_stalls`]), an [`AlarmKind::BatchSealStall`]
+    /// fires. 0 disables the detector.
+    pub batch_seal_stall_ticks: u64,
+    /// Catch-up lag threshold in slots: when armed and the highest decided
+    /// slot observed from some node trails the cluster maximum by more than
+    /// this (checked by [`Watchdog::check_stage_stalls`]), an
+    /// [`AlarmKind::CatchUpStall`] fires on the laggard. 0 disables the
+    /// detector.
+    pub catch_up_lag_slots: u64,
 }
 
 /// Which invariant degraded.
@@ -57,6 +83,17 @@ pub enum AlarmKind {
     /// A process other than the unanimous leader sent protocol traffic
     /// after stabilization.
     NonLeaderSender,
+    /// The rolling p99 of WAL group-commit flush durations exceeded the
+    /// configured threshold (a degrading disk stalls the whole pipeline at
+    /// the `wal_commit` stage).
+    FsyncSpike,
+    /// Commands were enqueued but the leader sealed no batch for longer
+    /// than the configured window (a wedged or absent leader starves the
+    /// `batch_seal` stage).
+    BatchSealStall,
+    /// A node's highest decided slot trails the cluster maximum by more
+    /// than the configured lag (a laggard that stopped catching up).
+    CatchUpStall,
 }
 
 impl AlarmKind {
@@ -67,6 +104,9 @@ impl AlarmKind {
             AlarmKind::AccusationGrowth => "accusation_growth",
             AlarmKind::CounterRegression => "counter_regression",
             AlarmKind::NonLeaderSender => "non_leader_sender",
+            AlarmKind::FsyncSpike => "fsync_spike",
+            AlarmKind::BatchSealStall => "batch_seal_stall",
+            AlarmKind::CatchUpStall => "catch_up_stall",
         }
     }
 }
@@ -95,6 +135,22 @@ struct WatchdogState {
     leaders: Vec<Option<ProcessId>>,
     /// Highest accusation counter seen per node.
     counters: Vec<u64>,
+    /// Rolling window of recent WAL flush durations (micros).
+    fsync_window: VecDeque<u64>,
+    /// Latched while the fsync p99 sits above threshold (one alarm per
+    /// excursion, not one per flush).
+    fsync_spiking: bool,
+    /// Commands enqueued vs sealed so far (CmdLifecycle stage counts).
+    enqueued: u64,
+    sealed: u64,
+    /// When the current unsealed backlog started (ticks), if any.
+    backlog_since: Option<u64>,
+    /// Latched while a seal stall stands.
+    seal_stalled: bool,
+    /// Highest decided slot observed per node (None = no decide seen).
+    decided_high: Vec<Option<u64>>,
+    /// Latched while a catch-up stall stands.
+    catch_up_stalled: bool,
     alarms: Vec<Alarm>,
 }
 
@@ -117,6 +173,7 @@ impl Watchdog {
             state: Arc::new(Mutex::new(WatchdogState {
                 leaders: vec![None; n],
                 counters: vec![0; n],
+                decided_high: vec![None; n],
                 ..WatchdogState::default()
             })),
             recorders: None,
@@ -255,7 +312,138 @@ impl Watchdog {
                     s.counters[slot] = counter;
                 }
             }
+            ProbeEvent::Decide { node, slot, .. } => {
+                let idx = node.as_usize();
+                if idx < s.decided_high.len() {
+                    let high = s.decided_high[idx].map_or(slot, |h| h.max(slot));
+                    s.decided_high[idx] = Some(high);
+                }
+            }
+            ProbeEvent::CmdLifecycle { at, stage, .. } => match stage {
+                CmdStage::Enqueue => {
+                    s.enqueued += 1;
+                    if s.backlog_since.is_none() {
+                        s.backlog_since = Some(at.ticks());
+                    }
+                }
+                CmdStage::BatchSeal => {
+                    s.sealed += 1;
+                    // Progress: restart the stall clock — either the backlog
+                    // cleared, or whatever remains was waited on from now.
+                    s.backlog_since = (s.sealed < s.enqueued).then(|| at.ticks());
+                    s.seal_stalled = false;
+                }
+                _ => {}
+            },
+            ProbeEvent::WalFsync {
+                node, at, micros, ..
+            } => {
+                if s.fsync_window.len() == FSYNC_WINDOW {
+                    s.fsync_window.pop_front();
+                }
+                s.fsync_window.push_back(micros);
+                let threshold = self.config.fsync_spike_micros;
+                if !s.armed || threshold == 0 {
+                    return;
+                }
+                let min_samples = match self.config.fsync_min_samples {
+                    0 => FSYNC_MIN_SAMPLES_DEFAULT,
+                    n => n as usize,
+                };
+                if s.fsync_window.len() < min_samples {
+                    return;
+                }
+                // Fold the window through the shared log2 estimator instead
+                // of hand-rolling percentile math (satellite of E22).
+                let h = Histogram::default();
+                for &v in &s.fsync_window {
+                    h.record(v);
+                }
+                let p99 = h.quantile(0.99).unwrap_or(0.0);
+                if p99 > threshold as f64 {
+                    if !s.fsync_spiking {
+                        s.fsync_spiking = true;
+                        let detail = format!(
+                            "fsync p99 {p99:.0}us over {} samples exceeds {threshold}us \
+                             (latest flush {micros}us at {at})",
+                            s.fsync_window.len()
+                        );
+                        self.raise(&mut s, AlarmKind::FsyncSpike, node, detail);
+                    }
+                } else {
+                    s.fsync_spiking = false;
+                }
+            }
             _ => {}
+        }
+    }
+
+    /// Periodic stage-stall sweep, driven by the harness clock: raises
+    /// [`AlarmKind::BatchSealStall`] when enqueued commands have waited
+    /// longer than the configured window with no seal, and
+    /// [`AlarmKind::CatchUpStall`] when some node's highest decided slot
+    /// trails the cluster maximum by more than the configured lag. No-op
+    /// while disarmed. Each stall raises once and re-arms when the stage
+    /// makes progress again.
+    pub fn check_stage_stalls(&self, now_ticks: u64) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !s.armed {
+            return;
+        }
+        let stall = self.config.batch_seal_stall_ticks;
+        if stall > 0 && !s.seal_stalled && s.sealed < s.enqueued {
+            if let Some(since) = s.backlog_since {
+                if now_ticks.saturating_sub(since) > stall {
+                    s.seal_stalled = true;
+                    let backlog = s.enqueued - s.sealed;
+                    let detail = format!(
+                        "{backlog} enqueued command(s) unsealed for {} ticks (budget {stall})",
+                        now_ticks.saturating_sub(since)
+                    );
+                    // The leader owns sealing, but which node that is may be
+                    // contested during the stall — attribute to the current
+                    // unanimous leader if any, else node 0.
+                    let node = {
+                        let first = s.leaders.first().copied().flatten();
+                        first
+                            .filter(|l| s.leaders.iter().all(|x| *x == Some(*l)))
+                            .unwrap_or(ProcessId(0))
+                    };
+                    self.raise(&mut s, AlarmKind::BatchSealStall, node, detail);
+                }
+            }
+        }
+        let lag_budget = self.config.catch_up_lag_slots;
+        if lag_budget > 0 {
+            let max = s.decided_high.iter().flatten().copied().max();
+            if let Some(max) = max {
+                let laggard = s
+                    .decided_high
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, h)| h.map(|h| (i, h)))
+                    .min_by_key(|&(_, h)| h);
+                if let Some((idx, low)) = laggard {
+                    let lag = max.saturating_sub(low);
+                    if lag > lag_budget {
+                        if !s.catch_up_stalled {
+                            s.catch_up_stalled = true;
+                            let detail = format!(
+                                "decided slot {low} trails cluster max {max} by {lag} \
+                                 slots (budget {lag_budget})"
+                            );
+                            self.raise(
+                                &mut s,
+                                AlarmKind::CatchUpStall,
+                                ProcessId(idx as u32),
+                                detail,
+                            );
+                        }
+                    } else {
+                        s.catch_up_stalled = false;
+                    }
+                }
+            }
         }
     }
 
@@ -420,6 +608,160 @@ mod tests {
         assert_eq!(w.alarms()[0].node, ProcessId(1));
     }
 
+    fn fsync(at: u64, micros: u64) -> ProbeEvent {
+        ProbeEvent::WalFsync {
+            node: ProcessId(0),
+            at: Instant::from_ticks(at),
+            micros,
+            records: 1,
+        }
+    }
+
+    fn lifecycle(at: u64, seq: u64, stage: CmdStage) -> ProbeEvent {
+        ProbeEvent::CmdLifecycle {
+            node: ProcessId(0),
+            at: Instant::from_ticks(at),
+            cmd: crate::probe::CmdId { client: 0, seq },
+            stage,
+            shard: 0,
+        }
+    }
+
+    #[test]
+    fn fsync_spike_fires_once_per_excursion() {
+        let w = Watchdog::new(
+            1,
+            WatchdogConfig {
+                fsync_spike_micros: 1000,
+                fsync_min_samples: 8,
+                ..WatchdogConfig::default()
+            },
+        );
+        w.arm();
+        // Healthy flushes: well under threshold, no alarm.
+        for i in 0..20 {
+            w.observe(&fsync(i, 100));
+        }
+        assert_eq!(w.alarm_count(), 0);
+        // A sustained spike pushes the window p99 over 1000us...
+        for i in 20..40 {
+            w.observe(&fsync(i, 8000));
+        }
+        assert_eq!(w.alarm_count(), 1, "one alarm per excursion, not per flush");
+        assert_eq!(w.alarms()[0].kind, AlarmKind::FsyncSpike);
+        // ...recovery resets the latch, a second spike fires again.
+        for i in 40..110 {
+            w.observe(&fsync(i, 50));
+        }
+        for i in 110..180 {
+            w.observe(&fsync(i, 9000));
+        }
+        assert_eq!(w.alarm_count(), 2);
+    }
+
+    #[test]
+    fn fsync_spike_needs_minimum_samples_and_arming() {
+        let w = Watchdog::new(
+            1,
+            WatchdogConfig {
+                fsync_spike_micros: 10,
+                fsync_min_samples: 8,
+                ..WatchdogConfig::default()
+            },
+        );
+        // Disarmed: slow flushes are recorded but never alarm.
+        for i in 0..20 {
+            w.observe(&fsync(i, 100_000));
+        }
+        assert_eq!(w.alarm_count(), 0, "disarmed");
+        let w2 = Watchdog::new(
+            1,
+            WatchdogConfig {
+                fsync_spike_micros: 10,
+                fsync_min_samples: 8,
+                ..WatchdogConfig::default()
+            },
+        );
+        w2.arm();
+        for i in 0..7 {
+            w2.observe(&fsync(i, 100_000));
+        }
+        assert_eq!(w2.alarm_count(), 0, "below the sample floor");
+        w2.observe(&fsync(7, 100_000));
+        assert_eq!(w2.alarm_count(), 1, "floor reached");
+    }
+
+    #[test]
+    fn batch_seal_stall_fires_and_clears_on_progress() {
+        let w = Watchdog::new(
+            1,
+            WatchdogConfig {
+                batch_seal_stall_ticks: 100,
+                ..WatchdogConfig::default()
+            },
+        );
+        w.arm();
+        w.observe(&lifecycle(10, 0, CmdStage::Enqueue));
+        w.observe(&lifecycle(12, 1, CmdStage::Enqueue));
+        w.check_stage_stalls(50);
+        assert_eq!(w.alarm_count(), 0, "inside the budget");
+        w.check_stage_stalls(200);
+        assert_eq!(w.alarm_count(), 1, "backlog of 2 unsealed for 190 ticks");
+        assert_eq!(w.alarms()[0].kind, AlarmKind::BatchSealStall);
+        w.check_stage_stalls(300);
+        assert_eq!(w.alarm_count(), 1, "latched until progress");
+        // A seal clears the latch; remaining backlog restarts the clock.
+        w.observe(&lifecycle(310, 0, CmdStage::BatchSeal));
+        w.check_stage_stalls(350);
+        assert_eq!(w.alarm_count(), 1, "clock restarted at the seal");
+        w.check_stage_stalls(500);
+        assert_eq!(w.alarm_count(), 2, "the second command is still unsealed");
+    }
+
+    #[test]
+    fn catch_up_stall_flags_the_laggard() {
+        let w = Watchdog::new(
+            3,
+            WatchdogConfig {
+                catch_up_lag_slots: 10,
+                ..WatchdogConfig::default()
+            },
+        );
+        w.arm();
+        let decide = |node: u32, slot: u64| ProbeEvent::Decide {
+            node: ProcessId(node),
+            at: Instant::from_ticks(slot),
+            slot,
+        };
+        for slot in 0..30 {
+            w.observe(&decide(0, slot));
+            w.observe(&decide(1, slot));
+        }
+        // Node 2 stopped at slot 5.
+        for slot in 0..=5 {
+            w.observe(&decide(2, slot));
+        }
+        w.check_stage_stalls(1000);
+        assert_eq!(w.alarm_count(), 1);
+        let alarm = &w.alarms()[0];
+        assert_eq!(alarm.kind, AlarmKind::CatchUpStall);
+        assert_eq!(alarm.node, ProcessId(2));
+        // Latched while the lag stands...
+        w.check_stage_stalls(1100);
+        assert_eq!(w.alarm_count(), 1);
+        // ...cleared when the laggard catches up, re-fires on a new lag.
+        for slot in 6..30 {
+            w.observe(&decide(2, slot));
+        }
+        w.check_stage_stalls(1200);
+        for slot in 30..60 {
+            w.observe(&decide(0, slot));
+            w.observe(&decide(1, slot));
+        }
+        w.check_stage_stalls(1300);
+        assert_eq!(w.alarm_count(), 2);
+    }
+
     #[test]
     fn flap_budget_and_window_are_respected() {
         let w = Watchdog::new(
@@ -427,6 +769,7 @@ mod tests {
             WatchdogConfig {
                 max_flaps: 1,
                 flap_window_ticks: 50,
+                ..WatchdogConfig::default()
             },
         );
         w.arm();

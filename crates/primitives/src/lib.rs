@@ -95,7 +95,7 @@ pub use fault::{Fate, FaultInjector};
 pub use id::{Membership, ProcessId};
 pub use sm::{Ctx, Effects, Env, Send, Sm, TimerCmd, TimerId};
 pub use storage::{
-    FileSnapshotStore, FileWal, MemSnapshotStore, MemStorage, SegmentedWal, Snapshot,
+    FileSnapshotStore, FileWal, FlushStats, MemSnapshotStore, MemStorage, SegmentedWal, Snapshot,
     SnapshotHandle, SnapshotStore, Storage, StorageError, StorageHandle, StorageStats,
 };
 pub use time::{Duration, Instant};

@@ -125,6 +125,8 @@ pub struct Cluster<S: Sm> {
     router_handle: Option<JoinHandle<()>>,
     outputs: Arc<Mutex<Vec<TimedOutput<S::Output>>>>,
     traffic: Arc<Mutex<TrafficStats>>,
+    start: StdInstant,
+    tick: StdDuration,
 }
 
 impl<S: Sm> std::fmt::Debug for Cluster<S> {
@@ -233,12 +235,29 @@ impl<S: Sm + Send + 'static> Cluster<S> {
             router_handle: Some(router_handle),
             outputs,
             traffic,
+            start,
+            tick: config.tick,
         }
     }
 
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The wall-clock instant every node's virtual clock counts ticks from.
+    /// An external client (e.g. a latency harness's submit queue) maps its
+    /// own timestamps into the same tick domain with
+    /// `(now - epoch) / tick`, so client- and replica-side probe events
+    /// share one timeline.
+    pub fn epoch(&self) -> StdInstant {
+        self.start
+    }
+
+    /// The configured tick length — the granularity of every node's
+    /// virtual clock.
+    pub fn tick(&self) -> StdDuration {
+        self.tick
     }
 
     /// Crashes `p` (crash-stop): its thread exits and all further traffic to

@@ -353,6 +353,21 @@ where
         self.addrs[p.as_usize()]
     }
 
+    /// The wall-clock instant every node's virtual clock counts ticks
+    /// from. An external client (e.g. a latency harness's submit queue)
+    /// maps its own timestamps into the same tick domain with
+    /// `(now - epoch) / tick`, so client- and replica-side probe events
+    /// share one timeline.
+    pub fn epoch(&self) -> StdInstant {
+        self.start
+    }
+
+    /// The configured tick length — the granularity of every node's
+    /// virtual clock.
+    pub fn tick(&self) -> StdDuration {
+        self.config.tick
+    }
+
     /// Delivers an external request to `p`. Dropped if `p` is dead, like a
     /// request sent to a crashed server.
     pub fn request(&self, p: ProcessId, req: S::Request) {

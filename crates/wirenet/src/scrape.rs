@@ -7,7 +7,10 @@
 //!   [`Registry`](lls_obs::Registry) snapshot;
 //! * `/flight` — the flight-recorder dump of every node (the post-mortem
 //!   view, on demand while the run is still going);
-//! * `/spans` — recently reconstructed causal spans as JSON.
+//! * `/spans` — recently reconstructed causal spans as JSON;
+//! * `/timeline` — the bounded-ring time-series frames of an attached
+//!   [`TimelineSampler`](lls_obs::TimelineSampler) as JSON (per-window
+//!   counter rates and interpolated p50/p99).
 //!
 //! The server is deliberately minimal: it parses only the request line of a
 //! `GET`, answers with `HTTP/1.0` + `Connection: close`, and serves each
@@ -32,6 +35,10 @@ pub struct ScrapeRoutes {
     pub flight: Arc<dyn Fn() -> String + Send + Sync>,
     /// Body of `GET /spans` (reconstructed spans, JSON).
     pub spans: Arc<dyn Fn() -> String + Send + Sync>,
+    /// Body of `GET /timeline` (time-series frames, JSON). Defaults to an
+    /// empty frame ring until [`ScrapeRoutes::with_timeline`] attaches a
+    /// live sampler.
+    pub timeline: Arc<dyn Fn() -> String + Send + Sync>,
 }
 
 impl ScrapeRoutes {
@@ -48,6 +55,24 @@ impl ScrapeRoutes {
             spans: Arc::new(move || {
                 lls_obs::spans_json(&lls_obs::reconstruct_spans(&r3.all_events()))
             }),
+            timeline: Arc::new(|| lls_obs::TimelineSampler::new(1).to_json()),
+        }
+    }
+
+    /// Attaches a live [`TimelineSampler`](lls_obs::TimelineSampler):
+    /// `GET /timeline` renders whatever frames the harness has sampled so
+    /// far, per request — scraping mid-run sees the ring exactly as the
+    /// in-process sampler holds it.
+    #[must_use]
+    pub fn with_timeline(self, sampler: Arc<std::sync::Mutex<lls_obs::TimelineSampler>>) -> Self {
+        ScrapeRoutes {
+            timeline: Arc::new(move || {
+                sampler
+                    .lock()
+                    .expect("timeline sampler lock poisoned")
+                    .to_json()
+            }),
+            ..self
         }
     }
 
@@ -175,6 +200,7 @@ fn serve_one(mut stream: TcpStream, routes: &ScrapeRoutes) {
             ),
             "/flight" => http_response(200, "text/plain; charset=utf-8", &(routes.flight)()),
             "/spans" => http_response(200, "application/json", &(routes.spans)()),
+            "/timeline" => http_response(200, "application/json", &(routes.timeline)()),
             _ => http_response(404, "text/plain; charset=utf-8", "not found\n"),
         }
     };
@@ -300,6 +326,43 @@ mod tests {
         let body = scrape(server.addr(), "/metrics").expect("re-scrape /metrics");
         assert!(body.contains("shard0_decided_total 4"), "{body}");
         assert!(body.contains("\ndecided_total 9"), "{body}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn timeline_route_serves_live_sampler_state() {
+        use lls_obs::{Registry, TimelineSampler};
+        use std::sync::Mutex;
+
+        let recorders = Arc::new(NodeRecorders::new(2, 8));
+        let registry = Registry::new();
+        let sampler = Arc::new(Mutex::new(TimelineSampler::new(4)));
+        let routes = test_routes(&recorders).with_timeline(Arc::clone(&sampler));
+        let server = ScrapeServer::spawn(routes).expect("spawn scrape server");
+        let addr = server.addr();
+
+        // Before any sample: an empty ring, still valid JSON.
+        let body = scrape(addr, "/timeline").expect("scrape empty /timeline");
+        assert!(body.contains("\"frames\": []"), "{body}");
+
+        // Mid-run: the scrape body equals the in-process sampler's JSON at
+        // every step, including after the ring wraps (capacity 4, 6 frames).
+        for i in 0..6u64 {
+            registry.counter("decided_total").add(i + 1);
+            sampler.lock().unwrap().sample(&registry, i * 10);
+            let served = scrape(addr, "/timeline").expect("scrape /timeline");
+            assert_eq!(served, sampler.lock().unwrap().to_json());
+            // /metrics stays consistent with the same in-process registry
+            // used by the recorder bundle (E18-style equality).
+            let metrics = scrape(addr, "/metrics").expect("scrape /metrics");
+            assert_eq!(metrics, recorders.registry().render_prometheus());
+        }
+        {
+            let s = sampler.lock().unwrap();
+            assert_eq!(s.len(), 4, "ring holds only the last 4 frames");
+            assert_eq!(s.dropped(), 2, "two oldest frames evicted");
+        }
 
         server.stop();
     }

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use consensus::{ConsensusParams, ReplicatedLog, RsmEvent};
+use consensus::{ConsensusParams, LifecycleId, ReplicatedLog, RsmEvent};
 use lls_primitives::wire::{Wire, WireError, WireReader};
 use lls_primitives::{Instant, ProcessId};
 use netsim::{SimBuilder, SystemSParams, Topology};
@@ -27,6 +27,14 @@ impl Put {
             key: key.to_string(),
             value,
         }
+    }
+}
+
+// The example's commands have no client session; they stay invisible to
+// latency attribution.
+impl LifecycleId for Put {
+    fn lifecycle_id(&self) -> Option<lls_obs::CmdId> {
+        None
     }
 }
 
