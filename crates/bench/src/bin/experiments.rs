@@ -1,4 +1,4 @@
-//! CLI regenerating every experiment table/series (E1–E22).
+//! CLI regenerating every experiment table/series (E1–E23).
 //!
 //! Usage:
 //!   cargo run -p omega-bench --release --bin experiments -- all
@@ -12,16 +12,19 @@
 //! directory as one artifact. E17/E18 additionally embed metrics snapshots
 //! and span statistics.
 //!
-//! The process exits non-zero when E16's chaos campaign reports checker or
-//! watchdog violations, so the campaign gates CI directly.
+//! The process exits non-zero when E16's chaos campaign, E21's recovery
+//! gates, or E23's read-path gates report violations, so they gate CI
+//! directly. The special `e23-violation` id runs E23's *induced* lease
+//! violation and exits non-zero when the StaleRead watchdog fires as
+//! intended — CI asserts that non-zero exit.
 
 use std::path::PathBuf;
 
 use omega_bench::json::{self, JsonValue};
 use omega_bench::table::Table;
 use omega_bench::{
-    e_chaos, e_consensus, e_latency, e_obs, e_omega, e_recovery, e_shard, e_thread, e_throughput,
-    e_trace, e_wire,
+    e_chaos, e_consensus, e_latency, e_obs, e_omega, e_read, e_recovery, e_shard, e_thread,
+    e_throughput, e_trace, e_wire,
 };
 
 struct Scale {
@@ -242,7 +245,34 @@ fn run(id: &str, s: &Scale) -> bool {
             println!("{}", table.render());
             write_json(s, id, &summary);
         }
-        other => eprintln!("unknown experiment id: {other} (expected e1..e22 or all)"),
+        "e23" => {
+            let (n, reads, rounds) = if s.quick { (3, 240, 4) } else { (3, 960, 8) };
+            let title = "leader leases: fast linearizable reads, zero stale, flat Ω traffic";
+            let (table, summary, violations) = e_read::e23_read(n, reads, rounds, 7);
+            println!("\n=== {} — {} ===", id.to_uppercase(), title);
+            println!("{}", table.render());
+            write_json(s, id, &summary);
+            if violations > 0 {
+                eprintln!("E23: {violations} gate violation(s) — failing the run");
+                return false;
+            }
+        }
+        "e23-violation" => {
+            // The induced lease violation: sabotaged skew margins under the
+            // partition adversary MUST trip the StaleRead watchdog, and this
+            // run exits non-zero when it does — CI asserts that exit, so a
+            // silently broken detector fails the pipeline.
+            let (stale, total, dump) = e_read::e23_violation(7);
+            println!("\n=== E23-VIOLATION — induced lease violation (detector check) ===");
+            println!("stale-read alarms: {stale} (total alarms: {total})");
+            if stale > 0 {
+                eprintln!("{dump}");
+                eprintln!("E23-VIOLATION: StaleRead fired as induced — exiting non-zero");
+                return false;
+            }
+            eprintln!("E23-VIOLATION: the sabotaged run did NOT trip StaleRead — detector broken");
+        }
+        other => eprintln!("unknown experiment id: {other} (expected e1..e23 or all)"),
     }
     true
 }
@@ -291,7 +321,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         for id in [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
         ] {
             ok &= run(id, &scale);
         }

@@ -29,6 +29,7 @@
 //! | E20 | Sharded multi-group RSM scales near-linearly with one shared Ω per node |
 //! | E21 | Bounded recovery: snapshots + WAL compaction keep restart cost flat under chaos |
 //! | E22 | Per-command latency attribution adds up; the timeline plane serves live frames |
+//! | E23 | Leader leases: lease/read-index reads are fast, never stale, and Ω-traffic-neutral |
 //!
 //! Run everything with `cargo run -p omega-bench --release --bin experiments -- all`,
 //! or one experiment by id (`-- e3`). Alongside each human table the CLI
@@ -41,6 +42,7 @@ pub mod e_consensus;
 pub mod e_latency;
 pub mod e_obs;
 pub mod e_omega;
+pub mod e_read;
 pub mod e_recovery;
 pub mod e_shard;
 pub mod e_thread;

@@ -74,7 +74,7 @@ pub use shard::{
     classify_shard_msg, PlacementManager, PlacementMap, ShardEvent, ShardId, ShardMsg,
     ShardRequest, ShardedNode,
 };
-pub use single::{Consensus, ConsensusEvent, ConsensusParams};
+pub use single::{Consensus, ConsensusEvent, ConsensusParams, LeaseParams};
 // Re-exported so callers can tune the log's throughput path without
 // depending on the Ω crate directly.
 pub use omega::BatchParams;

@@ -197,6 +197,39 @@ pub enum RsmMsg<V> {
         /// The chunk received, or `u32::MAX` for "transfer complete".
         index: u32,
     },
+    /// The established leader of ballot `b` asks for a lease of round `seq`:
+    /// each granter promises to hold off competing elections (Nack any
+    /// `Prepare` from a different proposer) for the lease duration plus the
+    /// skew bound on its own clock.
+    LeaseGrant {
+        /// The leader's established ballot.
+        b: Ballot,
+        /// Monotone renewal-round number under this ballot.
+        seq: u64,
+    },
+    /// A granter's acknowledgement of `LeaseGrant { b, seq }`.
+    LeaseAck {
+        /// The granted ballot (echoed).
+        b: Ballot,
+        /// The granted renewal round (echoed).
+        seq: u64,
+    },
+    /// A follower asks the believed leader for a read watermark: "at what
+    /// committed length is a read issued now linearizable?"
+    ReadIndex {
+        /// The follower's opaque request token (echoed in the reply).
+        req: u64,
+    },
+    /// The leaseholder's answer to `ReadIndex { req }`: the read is safe
+    /// once the asker has applied `index` contiguous slots. Only a leader
+    /// with an *active* lease answers — without the lease its committed
+    /// length could be stale.
+    ReadIndexReply {
+        /// The echoed request token.
+        req: u64,
+        /// The committed length to wait for before serving the read.
+        index: u64,
+    },
 }
 
 impl<V: Wire> Wire for Entry<V> {
@@ -378,6 +411,25 @@ impl<V: Wire> Wire for RsmMsg<V> {
                 watermark.encode(out);
                 index.encode(out);
             }
+            RsmMsg::LeaseGrant { b, seq } => {
+                out.push(12);
+                b.encode(out);
+                seq.encode(out);
+            }
+            RsmMsg::LeaseAck { b, seq } => {
+                out.push(13);
+                b.encode(out);
+                seq.encode(out);
+            }
+            RsmMsg::ReadIndex { req } => {
+                out.push(14);
+                req.encode(out);
+            }
+            RsmMsg::ReadIndexReply { req, index } => {
+                out.push(15);
+                req.encode(out);
+                index.encode(out);
+            }
         }
     }
 
@@ -433,6 +485,21 @@ impl<V: Wire> Wire for RsmMsg<V> {
                 watermark: u64::decode(r)?,
                 index: u32::decode(r)?,
             }),
+            12 => Ok(RsmMsg::LeaseGrant {
+                b: Ballot::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            13 => Ok(RsmMsg::LeaseAck {
+                b: Ballot::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            14 => Ok(RsmMsg::ReadIndex {
+                req: u64::decode(r)?,
+            }),
+            15 => Ok(RsmMsg::ReadIndexReply {
+                req: u64::decode(r)?,
+                index: u64::decode(r)?,
+            }),
             tag => Err(WireError::BadTag {
                 type_name: "RsmMsg",
                 tag,
@@ -470,6 +537,10 @@ pub fn classify_rsm_msg<V>(msg: &RsmMsg<V>) -> &'static str {
         RsmMsg::SnapshotOffer { .. } => "SNAP_OFFER",
         RsmMsg::SnapshotChunk { .. } => "SNAP_CHUNK",
         RsmMsg::SnapshotAck { .. } => "SNAP_ACK",
+        RsmMsg::LeaseGrant { .. } => "LEASE_GRANT",
+        RsmMsg::LeaseAck { .. } => "LEASE_ACK",
+        RsmMsg::ReadIndex { .. } => "READ_INDEX",
+        RsmMsg::ReadIndexReply { .. } => "READ_INDEX_REPLY",
     }
 }
 
@@ -572,6 +643,10 @@ mod tests {
                 watermark: 5,
                 index: 0,
             },
+            RsmMsg::LeaseGrant { b, seq: 1 },
+            RsmMsg::LeaseAck { b, seq: 1 },
+            RsmMsg::ReadIndex { req: 9 },
+            RsmMsg::ReadIndexReply { req: 9, index: 4 },
         ];
         let kinds: Vec<_> = msgs.iter().map(classify_rsm_msg).collect();
         assert_eq!(
@@ -588,7 +663,11 @@ mod tests {
                 "CATCH_UP",
                 "SNAP_OFFER",
                 "SNAP_CHUNK",
-                "SNAP_ACK"
+                "SNAP_ACK",
+                "LEASE_GRANT",
+                "LEASE_ACK",
+                "READ_INDEX",
+                "READ_INDEX_REPLY"
             ]
         );
     }
@@ -613,6 +692,24 @@ mod tests {
             RsmMsg::SnapshotAck {
                 watermark: 40,
                 index: u32::MAX,
+            },
+        ];
+        for msg in msgs {
+            let decoded = RsmMsg::<u64>::from_bytes(&msg.to_bytes()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn lease_and_read_messages_round_trip_on_the_wire() {
+        let b = Ballot::new(3, ProcessId(1));
+        let msgs: Vec<RsmMsg<u64>> = vec![
+            RsmMsg::LeaseGrant { b, seq: 7 },
+            RsmMsg::LeaseAck { b, seq: 7 },
+            RsmMsg::ReadIndex { req: 0xAB_CDEF },
+            RsmMsg::ReadIndexReply {
+                req: 0xAB_CDEF,
+                index: 42,
             },
         ];
         for msg in msgs {

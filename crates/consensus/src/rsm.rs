@@ -75,7 +75,7 @@ use std::fmt;
 use lls_obs::{CmdId, CmdStage, NoopProbe, Probe, ProbeEvent};
 use lls_primitives::wire::crc32;
 use lls_primitives::{
-    Ctx, Effects, Env, Instant, ProcessId, Sm, Snapshot, SnapshotHandle, StorageError,
+    Ctx, Duration, Effects, Env, Instant, ProcessId, Sm, Snapshot, SnapshotHandle, StorageError,
     StorageHandle, StorageStats, TimerCmd, TimerId, Wire,
 };
 use omega::{CommEffOmega, OmegaMsg};
@@ -129,6 +129,16 @@ pub enum RsmEvent<V> {
         watermark: u64,
         /// The application state blob, exactly as a peer serialized it.
         state: Vec<u8>,
+    },
+    /// Answer to [`ReplicatedLog::request_read_index`]: the read tagged
+    /// `req` is linearizable once this replica has applied `index`
+    /// contiguous slots. Produced locally by a leaseholding leader, or on
+    /// receipt of the leaseholder's [`RsmMsg::ReadIndexReply`].
+    ReadIndexAt {
+        /// The request token passed to `request_read_index`.
+        req: u64,
+        /// The committed length to wait for before serving the read.
+        index: u64,
     },
 }
 
@@ -269,6 +279,27 @@ pub struct ReplicatedLog<V, P: Probe = NoopProbe> {
     // injected via `set_leader` (one shared Ω per node drives many groups).
     external: bool,
     believed: Option<ProcessId>,
+    // Leader leases (see `LeaseParams`). All of this state is *volatile by
+    // design*: a restarted replica forgets both sides of every lease, and
+    // the boot blackout in `on_start` covers the forgotten promises.
+    /// Granter side: until when this replica refuses to promise (or start)
+    /// a ballot from anyone but `holdoff_for` on its own clock.
+    holdoff_until: Instant,
+    /// The leaseholder the current holdoff protects (`None` during the
+    /// boot blackout, which protects *whoever* held a lease pre-crash).
+    holdoff_for: Option<ProcessId>,
+    /// Leader side: conservative local expiry of the active lease.
+    lease_until: Option<Instant>,
+    /// Grant-round number, monotone within this incarnation and ballot.
+    lease_seq: u64,
+    /// Start of the in-flight grant round on this (leader) clock — the
+    /// anchor the serving window is measured from.
+    lease_round_start: Instant,
+    /// Per-process acks of the in-flight grant round.
+    lease_acks: Vec<bool>,
+    /// Shard tag stamped on lease/read probe events (0 when unsharded; a
+    /// log embedded in a sharded node doesn't otherwise know its group).
+    probe_shard: u32,
     /// Observability sink; `NoopProbe` by default (zero cost).
     probe: P,
     /// Wall of the last stimulus (`ctx.now()` at handler entry) — gives the
@@ -376,6 +407,13 @@ where
             incoming_snap: None,
             external: false,
             believed: None,
+            holdoff_until: Instant::ZERO,
+            holdoff_for: None,
+            lease_until: None,
+            lease_seq: 0,
+            lease_round_start: Instant::ZERO,
+            lease_acks: vec![false; env.n()],
+            probe_shard: 0,
             probe,
             clock: Instant::ZERO,
         }
@@ -865,6 +903,156 @@ where
         self.emitted_upto
     }
 
+    /// Stamps lease/read probe events with `shard`. Sharded nodes call this
+    /// once per group at construction; unsharded logs stay at 0.
+    pub fn set_probe_shard(&mut self, shard: u32) {
+        self.probe_shard = shard;
+    }
+
+    /// Whether the lease plane is configured on at all (see
+    /// [`crate::LeaseParams::enabled`]); the fast read path is only wired
+    /// up when it is.
+    pub fn lease_enabled(&self) -> bool {
+        self.params.lease.enabled
+    }
+
+    /// Whether this replica may serve a linearizable read locally *right
+    /// now*: leases are on, it is an established leader, and its
+    /// quorum-acked lease has not reached its conservative local expiry.
+    pub fn lease_read_allowed(&self, now: Instant) -> bool {
+        self.params.lease.enabled
+            && matches!(self.state, LeaderState::Led { .. })
+            && self.lease_until.is_some_and(|until| now < until)
+    }
+
+    /// Conservative local expiry of the active lease, if one is held.
+    pub fn lease_active_until(&self) -> Option<Instant> {
+        self.lease_until
+    }
+
+    /// Starts (or re-starts) a follower read: asks the believed leader at
+    /// what committed length a read issued now is linearizable; the answer
+    /// arrives as [`RsmEvent::ReadIndexAt`] (synchronously when this
+    /// replica itself holds the lease). A no-op without a believed leader,
+    /// and the request travels over fair-lossy links — callers re-issue on
+    /// their own retry cadence until the event arrives.
+    pub fn request_read_index(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, req: u64) {
+        self.clock = ctx.now();
+        if self.wedged {
+            return;
+        }
+        if self.lease_read_allowed(ctx.now()) {
+            let index = self.emitted_upto;
+            ctx.output(RsmEvent::ReadIndexAt { req, index });
+            return;
+        }
+        let believed = if self.external {
+            self.believed
+        } else {
+            Some(self.omega.leader())
+        };
+        if let Some(leader) = believed {
+            if leader != self.me() {
+                ctx.send(leader, RsmMsg::ReadIndex { req });
+            }
+        }
+    }
+
+    /// Leader-side serving margin: how far past a grant round's start the
+    /// leader may serve lease-reads. Conservative by `skew` — unless the
+    /// test-only sabotage switch inverts the margin (see
+    /// [`crate::LeaseParams::unsafe_skew_inversion`]).
+    fn lease_serve_margin(&self) -> Duration {
+        let lease = &self.params.lease;
+        if lease.unsafe_skew_inversion {
+            lease.duration + lease.skew
+        } else {
+            lease.duration - lease.skew
+        }
+    }
+
+    /// Granter-side holdoff margin: how long past a grant's receipt the
+    /// granter refuses competing elections. Generous by `skew` (inverted by
+    /// the sabotage switch).
+    fn lease_grant_margin(&self) -> Duration {
+        let lease = &self.params.lease;
+        if lease.unsafe_skew_inversion {
+            lease.duration - lease.skew
+        } else {
+            lease.duration + lease.skew
+        }
+    }
+
+    /// Whether this replica is currently holding off elections on behalf of
+    /// a leaseholder other than itself — in which case it must neither
+    /// promise a competing ballot nor start one (its own self-promise would
+    /// bypass the `Prepare` gate and break quorum intersection).
+    fn holding_off_for_other(&self, now: Instant) -> bool {
+        now < self.holdoff_until && self.holdoff_for != Some(self.me())
+    }
+
+    /// One lease grant/renewal round, riding every retry tick while `Led`:
+    /// a fresh `seq`, a fresh ack vector, a fresh expiry anchored at *this*
+    /// round's start. Also lets an already-expired lease lapse observably
+    /// before the new round begins.
+    fn lease_tick(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>, b: Ballot) {
+        if !self.params.lease.enabled {
+            return;
+        }
+        self.note_lease_lapse(ctx.now());
+        self.lease_seq += 1;
+        self.lease_round_start = ctx.now();
+        self.lease_acks = vec![false; self.env.n()];
+        let me = self.me().as_usize();
+        self.lease_acks[me] = true;
+        // The leader grants to itself on the same terms as everyone else:
+        // its own acceptor must block competing ballots while its lease
+        // runs, or a quorum intersecting only at the leader would not
+        // intersect the holdoff at all.
+        let self_holdoff = ctx.now() + self.lease_grant_margin();
+        self.holdoff_until = self.holdoff_until.max(self_holdoff);
+        self.holdoff_for = Some(self.me());
+        let seq = self.lease_seq;
+        for q in self.env.membership().others(self.me()) {
+            ctx.send(q, RsmMsg::LeaseGrant { b, seq });
+        }
+        // n == 1: the self-ack already is a quorum.
+        self.try_activate_lease(ctx.now());
+    }
+
+    /// Activates (or extends) the lease once the current grant round has a
+    /// majority of acks. Emitted once per activating round — every renewal
+    /// advances the window, so the watchdog's `until` tracking stays fresh.
+    fn try_activate_lease(&mut self, now: Instant) {
+        if self.lease_acks.iter().filter(|a| **a).count() < self.majority() {
+            return;
+        }
+        let until = self.lease_round_start + self.lease_serve_margin();
+        if self.lease_until.is_none_or(|u| until > u) {
+            self.lease_until = Some(until);
+            self.probe.emit(ProbeEvent::LeaseAcquired {
+                node: self.me(),
+                at: now,
+                shard: self.probe_shard,
+                seq: self.lease_seq,
+                until,
+            });
+        }
+    }
+
+    /// Observably drops a lease whose conservative expiry has passed.
+    fn note_lease_lapse(&mut self, now: Instant) {
+        if self.lease_until.is_some_and(|until| now >= until) {
+            self.lease_until = None;
+            self.probe.emit(ProbeEvent::LeaseExpired {
+                node: self.me(),
+                at: now,
+                shard: self.probe_shard,
+                seq: self.lease_seq,
+            });
+        }
+    }
+
     /// The chosen entry of `slot`, if this replica learned it.
     pub fn chosen(&self, slot: u64) -> Option<&Entry<V>> {
         self.chosen.get(&slot)
@@ -978,9 +1166,26 @@ where
         }
         self.state = LeaderState::Follower;
         self.inflight.clear();
+        // A deposed leader must stop serving lease-reads immediately — the
+        // Nack that deposed it proves a higher ballot exists.
+        if self.lease_until.take().is_some() {
+            self.probe.emit(ProbeEvent::LeaseExpired {
+                node: self.me(),
+                at: now,
+                shard: self.probe_shard,
+                seq: self.lease_seq,
+            });
+        }
     }
 
     fn start_prepare(&mut self, ctx: &mut Ctx<'_, RsmMsg<V>, RsmEvent<V>>) {
+        // A granter inside someone else's holdoff must not elect itself:
+        // its self-promise would bypass the `Prepare` gate below and break
+        // the quorum-intersection argument. Retry ticks re-attempt after
+        // the holdoff expires.
+        if self.holding_off_for_other(self.clock) {
+            return;
+        }
         let b = self.highest_seen.max(self.promised).next_for(self.me());
         if !self.persist(&RsmRecord::Promised(b)) {
             return;
@@ -1740,6 +1945,10 @@ where
                 // arriving (e.g. acks were satisfied by retransmissions),
                 // keep the pipeline full.
                 self.pump(ctx);
+                // Lease renewal rides the same cadence: one grant round per
+                // retry tick keeps the serving window continuously ahead of
+                // `now` while the quorum keeps answering.
+                self.lease_tick(ctx, b);
             }
         }
     }
@@ -1754,6 +1963,19 @@ where
             RsmMsg::Omega(_) => unreachable!("routed by caller"),
             RsmMsg::Prepare { b, from_slot } => {
                 self.highest_seen = self.highest_seen.max(b);
+                // Lease holdoff: while a granted lease (or the boot
+                // blackout) runs, refuse ballots from anyone but the
+                // leaseholder — this is the promise a `LeaseAck` made.
+                if self.holdoff_until > ctx.now() && self.holdoff_for != Some(b.leader()) {
+                    ctx.send(
+                        from,
+                        RsmMsg::Nack {
+                            b,
+                            higher: self.promised,
+                        },
+                    );
+                    return;
+                }
                 if b >= self.promised {
                     // Write-ahead: the promise must be durable before the
                     // Promise reply can leave.
@@ -1923,6 +2145,57 @@ where
                     }
                 }
             }
+            RsmMsg::LeaseGrant { b, seq } => {
+                self.highest_seen = self.highest_seen.max(b);
+                if b >= self.promised {
+                    let until = ctx.now() + self.lease_grant_margin();
+                    self.holdoff_until = self.holdoff_until.max(until);
+                    self.holdoff_for = Some(b.leader());
+                    self.probe.emit(ProbeEvent::LeaseGranted {
+                        node: self.me(),
+                        at: ctx.now(),
+                        shard: self.probe_shard,
+                        seq,
+                        holder: b.leader(),
+                    });
+                    ctx.send(from, RsmMsg::LeaseAck { b, seq });
+                } else {
+                    // A deposed leader renewing its lease learns here that
+                    // a higher ballot exists and abdicates on the Nack.
+                    ctx.send(
+                        from,
+                        RsmMsg::Nack {
+                            b,
+                            higher: self.promised,
+                        },
+                    );
+                }
+            }
+            RsmMsg::LeaseAck { b, seq } => {
+                if let LeaderState::Led { b: cur, .. } = self.state {
+                    if cur == b && seq == self.lease_seq {
+                        self.lease_acks[from.as_usize()] = true;
+                        self.try_activate_lease(ctx.now());
+                    }
+                }
+            }
+            RsmMsg::ReadIndex { req } => {
+                // Answer only while holding the lease: without it, this
+                // replica's committed length could trail a newer leader's
+                // decisions, and the index would certify a stale read.
+                if self.lease_read_allowed(ctx.now()) {
+                    ctx.send(
+                        from,
+                        RsmMsg::ReadIndexReply {
+                            req,
+                            index: self.emitted_upto,
+                        },
+                    );
+                }
+            }
+            RsmMsg::ReadIndexReply { req, index } => {
+                ctx.output(RsmEvent::ReadIndexAt { req, index });
+            }
         }
     }
 }
@@ -1942,6 +2215,18 @@ where
             return;
         }
         ctx.set_timer(RETRY_TIMER, self.params.retry);
+        // Boot blackout: lease promises are volatile, so a restarted
+        // granter no longer remembers a holdoff it may owe. Refusing *all*
+        // elections for one full lease + skew after boot conservatively
+        // covers any lease a previous incarnation granted — and, applied
+        // unconditionally, also guarantees a restarted *leader* can never
+        // resume serving an expired lease (it re-elects and re-acquires
+        // from scratch). Costs one lease worth of election delay at boot.
+        if self.params.lease.enabled {
+            let blackout = ctx.now() + self.params.lease.duration + self.params.lease.skew;
+            self.holdoff_until = self.holdoff_until.max(blackout);
+            self.holdoff_for = None;
+        }
         // A restarted replica proactively asks where the log has moved: the
         // cluster may have chosen (and compacted) a long prefix while it was
         // down, and nobody may be retransmitting that history anymore.
@@ -2056,6 +2341,26 @@ mod tests {
         fn request(&mut self, v: u64) -> Effects<RsmMsg<u64>, RsmEvent<u64>> {
             let mut ctx = Ctx::new(&self.env, Instant::ZERO, &mut self.fx);
             self.sm.on_request(&mut ctx, v);
+            self.fx.take()
+        }
+
+        /// Like [`Harness::deliver`], at an explicit wall — the lease tests
+        /// are all about *when* things happen.
+        fn deliver_at(
+            &mut self,
+            now: Instant,
+            from: u32,
+            msg: RsmMsg<u64>,
+        ) -> Effects<RsmMsg<u64>, RsmEvent<u64>> {
+            let mut ctx = Ctx::new(&self.env, now, &mut self.fx);
+            self.sm.on_message(&mut ctx, ProcessId(from), msg);
+            self.fx.take()
+        }
+
+        /// Fires the retry timer at an explicit wall.
+        fn retry_at(&mut self, now: Instant) -> Effects<RsmMsg<u64>, RsmEvent<u64>> {
+            let mut ctx = Ctx::new(&self.env, now, &mut self.fx);
+            self.sm.on_timer(&mut ctx, RETRY_TIMER);
             self.fx.take()
         }
     }
@@ -3213,5 +3518,319 @@ mod tests {
             "a pre-watermark Decide re-emits nothing"
         );
         assert_eq!(sm.chosen(2), None, "and is not re-admitted into the log");
+    }
+
+    // ---- Leader leases and the fast read path ----
+
+    use crate::single::LeaseParams;
+
+    fn t(ticks: u64) -> Instant {
+        Instant::from_ticks(ticks)
+    }
+
+    /// Defaults with leases on: duration 120, skew 8 — blackout ends at
+    /// tick 128, serving margin 112, holdoff margin 128.
+    fn lease_params() -> ConsensusParams {
+        ConsensusParams {
+            lease: LeaseParams::enabled(),
+            ..ConsensusParams::default()
+        }
+    }
+
+    /// Drives p0 to `Led` *after* the boot blackout (leases delay the first
+    /// election by one lease + skew): start at 0, retry tick at 200 starts
+    /// the prepare, p1's promise completes the quorum.
+    fn led_leaseholder() -> Harness {
+        let mut h = Harness::with_params(0, 3, lease_params());
+        h.start();
+        let out = h.retry_at(t(200));
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Prepare { .. })),
+            "the blackout has expired; the retry tick starts the prepare"
+        );
+        h.deliver_at(
+            t(201),
+            1,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 0,
+            },
+        );
+        assert!(h.sm.is_established_leader());
+        h
+    }
+
+    #[test]
+    fn boot_blackout_delays_the_first_election() {
+        let mut h = Harness::with_params(0, 3, lease_params());
+        let out = h.start();
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Prepare { .. })),
+            "no prepare may start inside the boot blackout"
+        );
+        let out = h.retry_at(t(40));
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Prepare { .. })),
+            "still inside the blackout at tick 40"
+        );
+        let out = h.retry_at(t(129));
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Prepare { .. })),
+            "the first tick past duration+skew may elect"
+        );
+    }
+
+    #[test]
+    fn lease_activates_on_quorum_ack_and_expires_conservatively() {
+        let mut h = led_leaseholder();
+        assert!(!h.sm.lease_read_allowed(t(201)), "no grant round yet");
+        let out = h.retry_at(t(210));
+        let grants = out
+            .sends
+            .iter()
+            .filter(|s| matches!(s.msg, RsmMsg::LeaseGrant { seq: 1, .. }))
+            .count();
+        assert_eq!(grants, 2, "one grant per peer, riding the retry tick");
+        assert!(
+            !h.sm.lease_read_allowed(t(210)),
+            "a self-ack alone is not a quorum at n=3"
+        );
+        h.deliver_at(t(211), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        assert!(h.sm.lease_read_allowed(t(211)));
+        // Serving window: round_start (210) + duration (120) - skew (8).
+        assert_eq!(h.sm.lease_active_until(), Some(t(322)));
+        assert!(h.sm.lease_read_allowed(t(321)));
+        assert!(
+            !h.sm.lease_read_allowed(t(322)),
+            "the conservative local expiry is exclusive"
+        );
+    }
+
+    #[test]
+    fn stale_lease_acks_do_not_activate() {
+        let mut h = led_leaseholder();
+        h.retry_at(t(210));
+        h.retry_at(t(250)); // seq 2 supersedes seq 1
+        h.deliver_at(t(251), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        assert!(
+            !h.sm.lease_read_allowed(t(251)),
+            "an ack of a superseded round must not activate the lease"
+        );
+        h.deliver_at(t(252), 2, RsmMsg::LeaseAck { b: b(1, 0), seq: 2 });
+        assert!(h.sm.lease_read_allowed(t(252)));
+    }
+
+    #[test]
+    fn granter_nacks_competing_prepares_until_holdoff_expires() {
+        let mut h = Harness::with_params(1, 3, lease_params());
+        h.start();
+        // p0's established leader grants at tick 200: holdoff until
+        // 200 + 120 + 8 = 328 on p1's clock.
+        let out = h.deliver_at(t(200), 0, RsmMsg::LeaseGrant { b: b(1, 0), seq: 1 });
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(0) && matches!(s.msg, RsmMsg::LeaseAck { seq: 1, .. })),
+            "the grant is acked"
+        );
+        // A competing prepare from p2 is refused while the holdoff runs...
+        let out = h.deliver_at(
+            t(250),
+            2,
+            RsmMsg::Prepare {
+                b: b(2, 2),
+                from_slot: 0,
+            },
+        );
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(2) && matches!(s.msg, RsmMsg::Nack { .. })),
+            "competing prepare must be nacked during the holdoff"
+        );
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Promise { .. })),
+            "and certainly not promised"
+        );
+        // ...while the holder itself may re-prepare (e.g. after a view
+        // change bumps its round)...
+        let out = h.deliver_at(
+            t(251),
+            0,
+            RsmMsg::Prepare {
+                b: b(3, 0),
+                from_slot: 0,
+            },
+        );
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(0) && matches!(s.msg, RsmMsg::Promise { .. })),
+            "the leaseholder's own prepare passes the gate"
+        );
+        // ...and once the holdoff expires, anyone may.
+        let out = h.deliver_at(
+            t(400),
+            2,
+            RsmMsg::Prepare {
+                b: b(4, 2),
+                from_slot: 0,
+            },
+        );
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(2) && matches!(s.msg, RsmMsg::Promise { .. })),
+            "after expiry the competing prepare is promised"
+        );
+    }
+
+    #[test]
+    fn deposed_leader_grant_is_nacked_and_abdication_drops_the_lease() {
+        // Granter p1 has already promised a higher ballot: the old leader's
+        // renewal must be refused so it learns and abdicates.
+        let mut h = Harness::with_params(1, 3, lease_params());
+        h.start();
+        h.deliver_at(
+            t(200),
+            2,
+            RsmMsg::Prepare {
+                b: b(2, 2),
+                from_slot: 0,
+            },
+        );
+        let out = h.deliver_at(t(210), 0, RsmMsg::LeaseGrant { b: b(1, 0), seq: 4 });
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(0) && matches!(s.msg, RsmMsg::Nack { .. })),
+            "a grant under a superseded ballot is nacked"
+        );
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::LeaseAck { .. })),
+            "and never acked"
+        );
+        // The old leader, holding an active lease, abdicates on that Nack
+        // and must stop serving immediately.
+        let mut leader = led_leaseholder();
+        leader.retry_at(t(210));
+        leader.deliver_at(t(211), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        assert!(leader.sm.lease_read_allowed(t(212)));
+        leader.deliver_at(
+            t(213),
+            1,
+            RsmMsg::Nack {
+                b: b(1, 0),
+                higher: b(2, 2),
+            },
+        );
+        assert!(
+            !leader.sm.lease_read_allowed(t(214)),
+            "abdication must drop the lease with it"
+        );
+    }
+
+    #[test]
+    fn read_index_is_answered_only_under_an_active_lease() {
+        let mut h = led_leaseholder();
+        let out = h.deliver_at(t(205), 2, RsmMsg::ReadIndex { req: 7 });
+        assert!(
+            out.sends.is_empty(),
+            "no lease yet: the read-index request is dropped, not answered"
+        );
+        h.retry_at(t(210));
+        h.deliver_at(t(211), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        let out = h.deliver_at(t(212), 2, RsmMsg::ReadIndex { req: 7 });
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(2)
+                    && s.msg == RsmMsg::ReadIndexReply { req: 7, index: 0 }),
+            "a leaseholder answers with its committed length"
+        );
+        // Past the serving window the same request is dropped again.
+        let out = h.deliver_at(t(500), 2, RsmMsg::ReadIndex { req: 8 });
+        assert!(
+            out.sends.is_empty(),
+            "an expired lease must not certify reads"
+        );
+    }
+
+    #[test]
+    fn request_read_index_is_synchronous_on_the_leaseholder() {
+        let mut h = led_leaseholder();
+        h.retry_at(t(210));
+        h.deliver_at(t(211), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        let mut ctx = Ctx::new(&h.env, t(212), &mut h.fx);
+        h.sm.request_read_index(&mut ctx, 42);
+        let out = h.fx.take();
+        assert!(
+            out.outputs
+                .contains(&RsmEvent::ReadIndexAt { req: 42, index: 0 }),
+            "the leaseholder certifies its own reads synchronously"
+        );
+        assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn skew_inversion_widens_the_serving_window_past_the_holdoff() {
+        // The sabotage switch recreates the classic broken lease: the
+        // leader serves until +skew while granters free themselves at
+        // -skew — the E23 violation plane depends on this inversion.
+        let params = ConsensusParams {
+            lease: LeaseParams {
+                unsafe_skew_inversion: true,
+                ..LeaseParams::enabled()
+            },
+            ..ConsensusParams::default()
+        };
+        let mut h = Harness::with_params(0, 3, params);
+        h.start();
+        h.retry_at(t(200));
+        h.deliver_at(
+            t(201),
+            1,
+            RsmMsg::Promise {
+                b: b(1, 0),
+                accepted: vec![],
+                low_slot: 0,
+            },
+        );
+        h.retry_at(t(210));
+        h.deliver_at(t(211), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        // Broken serving window: 210 + 120 + 8 = 338 (safe: 322).
+        assert_eq!(h.sm.lease_active_until(), Some(t(338)));
+        // Broken granter holdoff, receiving side: a grant at 210 frees the
+        // granter at 210 + 120 - 8 = 322 < 338 — the stale-read gap.
+        let mut g = Harness::with_params(1, 3, params);
+        g.start();
+        g.deliver_at(t(210), 0, RsmMsg::LeaseGrant { b: b(1, 0), seq: 1 });
+        let out = g.deliver_at(
+            t(330),
+            2,
+            RsmMsg::Prepare {
+                b: b(2, 2),
+                from_slot: 0,
+            },
+        );
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(2) && matches!(s.msg, RsmMsg::Promise { .. })),
+            "the broken granter frees itself while the leader still serves"
+        );
     }
 }

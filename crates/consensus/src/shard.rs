@@ -36,8 +36,8 @@ use std::fmt;
 use lls_obs::{NoopProbe, Probe};
 use lls_primitives::wire::{Wire, WireError, WireReader};
 use lls_primitives::{
-    Ctx, Effects, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerCmd,
-    TimerId,
+    Ctx, Effects, Env, Instant, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle,
+    TimerCmd, TimerId,
 };
 use omega::{CommEffOmega, OmegaMsg};
 use serde::{Deserialize, Serialize};
@@ -290,6 +290,17 @@ pub enum ShardEvent<V> {
         /// The application state blob for that shard.
         state: Vec<u8>,
     },
+    /// One shard group resolved a read-index request: serving the read is
+    /// linearizable once the group's applied state covers slots `< index`.
+    ReadIndexAt {
+        /// The group the read targets.
+        shard: ShardId,
+        /// The opaque request token passed to
+        /// [`ShardedNode::request_read_index`].
+        req: u64,
+        /// The decided watermark the read must wait for.
+        index: u64,
+    },
 }
 
 /// A client command addressed to one shard group.
@@ -419,10 +430,10 @@ where
         let groups = placement
             .attached()
             .map(|shard| {
-                (
-                    shard,
-                    ReplicatedLog::new_externally_led_with_probe(env, params, probe.clone()),
-                )
+                let mut group =
+                    ReplicatedLog::new_externally_led_with_probe(env, params, probe.clone());
+                group.set_probe_shard(shard.0);
+                (shard, group)
             })
             .collect();
         ShardedNode {
@@ -494,7 +505,7 @@ where
                 .get(&shard)
                 .unwrap_or_else(|| panic!("no WAL segment for attached {shard}"))
                 .clone();
-            let group = match snaps.get(&shard) {
+            let mut group = match snaps.get(&shard) {
                 Some(snap) => ReplicatedLog::with_storage_snapshots_externally_led(
                     env,
                     params,
@@ -506,6 +517,7 @@ where
                     ReplicatedLog::with_storage_externally_led(env, params, store, probe.clone())?
                 }
             };
+            group.set_probe_shard(shard.0);
             groups.insert(shard, group);
         }
         // The shared Ω counter lives in its own segment: recover the highest
@@ -587,6 +599,31 @@ where
         self.believed
     }
 
+    /// Whether this node may serve a lease read for `shard` locally at
+    /// `now`: it leads that group and holds a quorum-acked, unexpired
+    /// lease. `false` when the shard is not attached.
+    pub fn lease_read_allowed(&self, shard: ShardId, now: Instant) -> bool {
+        self.groups
+            .get(&shard)
+            .is_some_and(|g| g.lease_read_allowed(now))
+    }
+
+    /// Requests a read index for `shard` (see
+    /// [`ReplicatedLog::request_read_index`]): the leaseholder answers with
+    /// [`ShardEvent::ReadIndexAt`] synchronously, a follower forwards to the
+    /// believed leader. Silently dropped when the shard is not attached.
+    pub fn request_read_index(
+        &mut self,
+        ctx: &mut Ctx<'_, ShardMsg<V>, ShardEvent<V>>,
+        shard: ShardId,
+        req: u64,
+    ) {
+        if self.wedged {
+            return;
+        }
+        self.drive_group(ctx, shard, |g, gctx| g.request_read_index(gctx, req));
+    }
+
     /// Attaches `shard` at runtime with this node's default parameters: a
     /// fresh externally-led group is created, started (its retry timer
     /// armed), and fed the currently believed leader. A no-op if already
@@ -608,8 +645,9 @@ where
             return;
         }
         self.placement.attach(shard);
-        let group =
+        let mut group =
             ReplicatedLog::new_externally_led_with_probe(&self.env, params, self.probe.clone());
+        group.set_probe_shard(shard.0);
         self.groups.insert(shard, group);
         self.drive_group(ctx, shard, |g, gctx| g.on_start(gctx));
         if let Some(leader) = self.believed {
@@ -676,6 +714,9 @@ where
                         watermark,
                         state,
                     });
+                }
+                RsmEvent::ReadIndexAt { req, index } => {
+                    ctx.output(ShardEvent::ReadIndexAt { shard, req, index });
                 }
             }
         }

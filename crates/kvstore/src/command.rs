@@ -46,6 +46,15 @@ pub enum KvCmd {
         /// The new value.
         value: String,
     },
+    /// Read `key`. With leases off this replicates through the log like any
+    /// command (the slow *log-read* baseline); with leases on the store
+    /// serves it on the fast path — locally under an active leader lease,
+    /// or via a read-index round on a follower — and it never enters the
+    /// log.
+    Read {
+        /// The key.
+        key: String,
+    },
 }
 
 impl KvCmd {
@@ -71,11 +80,24 @@ impl KvCmd {
         }
     }
 
+    /// Convenience `Read` constructor.
+    pub fn read(key: impl Into<String>) -> Self {
+        KvCmd::Read { key: key.into() }
+    }
+
     /// The key this command touches.
     pub fn key(&self) -> &str {
         match self {
-            KvCmd::Put { key, .. } | KvCmd::Delete { key } | KvCmd::Cas { key, .. } => key,
+            KvCmd::Put { key, .. }
+            | KvCmd::Delete { key }
+            | KvCmd::Cas { key, .. }
+            | KvCmd::Read { key } => key,
         }
+    }
+
+    /// `true` for commands that never mutate the store.
+    pub fn is_read(&self) -> bool {
+        matches!(self, KvCmd::Read { .. })
     }
 }
 
@@ -119,6 +141,11 @@ pub enum KvResponse {
     },
     /// The `(client, seq)` tag was already applied earlier; nothing changed.
     Duplicate,
+    /// A `Read` resolved; `value` is what the key held at the read point.
+    Value {
+        /// Current value of the key, if present.
+        value: Option<String>,
+    },
 }
 
 impl Wire for ClientId {
@@ -149,6 +176,10 @@ impl Wire for KvCmd {
                 expect.encode(out);
                 value.encode(out);
             }
+            KvCmd::Read { key } => {
+                out.push(3);
+                key.encode(out);
+            }
         }
     }
 
@@ -165,6 +196,9 @@ impl Wire for KvCmd {
                 key: String::decode(r)?,
                 expect: Option::decode(r)?,
                 value: String::decode(r)?,
+            }),
+            3 => Ok(KvCmd::Read {
+                key: String::decode(r)?,
             }),
             tag => Err(WireError::BadTag {
                 type_name: "KvCmd",
@@ -202,6 +236,10 @@ impl Wire for KvResponse {
                 actual.encode(out);
             }
             KvResponse::Duplicate => out.push(2),
+            KvResponse::Value { value } => {
+                out.push(3);
+                value.encode(out);
+            }
         }
     }
 
@@ -214,6 +252,9 @@ impl Wire for KvResponse {
                 actual: Option::decode(r)?,
             }),
             2 => Ok(KvResponse::Duplicate),
+            3 => Ok(KvResponse::Value {
+                value: Option::decode(r)?,
+            }),
             tag => Err(WireError::BadTag {
                 type_name: "KvResponse",
                 tag,
@@ -251,6 +292,26 @@ mod tests {
         assert_eq!(KvCmd::put("k", "v").key(), "k");
         assert_eq!(KvCmd::delete("d").key(), "d");
         assert_eq!(KvCmd::cas("c", None, "v").key(), "c");
+        assert_eq!(KvCmd::read("r").key(), "r");
+        assert!(KvCmd::read("r").is_read());
+        assert!(!KvCmd::put("k", "v").is_read());
+    }
+
+    #[test]
+    fn read_command_and_value_response_round_trip_on_the_wire() {
+        for cmd in [KvCmd::read("k"), KvCmd::put("k", "v")] {
+            let bytes = cmd.to_bytes();
+            assert_eq!(KvCmd::from_bytes(&bytes).unwrap(), cmd);
+        }
+        for resp in [
+            KvResponse::Value { value: None },
+            KvResponse::Value {
+                value: Some("v".into()),
+            },
+        ] {
+            let bytes = resp.to_bytes();
+            assert_eq!(KvResponse::from_bytes(&bytes).unwrap(), resp);
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The replica: a [`ReplicatedLog`] of tagged commands feeding a [`KvState`].
 
-use lls_obs::{CmdStage, NoopProbe, Probe, ProbeEvent};
+use std::collections::BTreeMap;
+
+use lls_obs::{CmdStage, NoopProbe, Probe, ProbeEvent, ReadMode};
 use lls_primitives::wire::Wire;
 use lls_primitives::{
     Ctx, Env, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
@@ -12,6 +14,19 @@ use omega::CommEffOmega;
 
 use crate::command::{ClientId, KvCmd, KvResponse, Tagged};
 use crate::state::KvState;
+
+/// A fast-path read parked while its linearization point resolves: first
+/// for the leaseholder's read-index answer, then (if the index is ahead of
+/// the local apply watermark) for the apply loop to catch up.
+#[derive(Debug, Clone)]
+struct PendingRead {
+    client: ClientId,
+    seq: u64,
+    key: String,
+    /// The decided watermark the read must wait for; `None` until the
+    /// leaseholder's [`RsmEvent::ReadIndexAt`] arrives.
+    index: Option<u64>,
+}
 
 /// Observable events of a replica.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,6 +65,12 @@ pub struct KvReplica<P: Probe = NoopProbe> {
     state: KvState,
     compact_every: u64,
     applied_since_compact: u64,
+    /// Contiguous slots folded into `state` (no-op fillers included) — the
+    /// local apply watermark that read-index reads wait on.
+    applied_upto: u64,
+    /// Fast-path reads awaiting a read index and/or the apply watermark.
+    reads: BTreeMap<u64, PendingRead>,
+    next_read_token: u64,
 }
 
 impl KvReplica {
@@ -166,6 +187,9 @@ impl<P: Probe> KvReplica<P> {
             state: KvState::new(),
             compact_every: 0,
             applied_since_compact: 0,
+            applied_upto: 0,
+            reads: BTreeMap::new(),
+            next_read_token: 0,
         };
         if let Some(snap) = replica.log.recovered_snapshot() {
             replica.state = KvState::from_bytes(&snap.data).map_err(StorageError::Decode)?;
@@ -183,6 +207,9 @@ impl<P: Probe> KvReplica<P> {
             state: KvState::new(),
             compact_every: 0,
             applied_since_compact: 0,
+            applied_upto: 0,
+            reads: BTreeMap::new(),
+            next_read_token: 0,
         };
         replica.replay_tail();
         replica
@@ -199,6 +226,7 @@ impl<P: Probe> KvReplica<P> {
         for cmd in &tail {
             self.state.apply(cmd);
         }
+        self.applied_upto = self.log.committed_len();
     }
 
     /// Enables automatic compaction: after every `every` applied commands
@@ -237,6 +265,89 @@ impl<P: Probe> KvReplica<P> {
         self.log.omega()
     }
 
+    /// Contiguous slots folded into the store (the local apply watermark).
+    pub fn applied_upto(&self) -> u64 {
+        self.applied_upto
+    }
+
+    /// Fast-path reads still waiting on a read index or the apply loop.
+    pub fn pending_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Answers one read from the materialized store and stamps it on the
+    /// probe plane — the single exit point of every fast-path read.
+    fn serve_read(
+        &self,
+        ctx: &mut Ctx<'_, <Self as Sm>::Msg, KvEvent>,
+        client: ClientId,
+        seq: u64,
+        key: &str,
+        mode: ReadMode,
+    ) {
+        let response = self.state.read(key);
+        if P::ENABLED {
+            self.log.probe().emit(ProbeEvent::ReadServed {
+                node: ctx.id(),
+                at: ctx.now(),
+                shard: 0,
+                mode,
+                watermark: self.applied_upto,
+            });
+        }
+        ctx.output(KvEvent::Applied {
+            slot: self.applied_upto,
+            client,
+            seq,
+            response,
+        });
+    }
+
+    /// Serves every parked read whose resolved index the apply watermark
+    /// has reached.
+    fn serve_ready_reads(&mut self, ctx: &mut Ctx<'_, <Self as Sm>::Msg, KvEvent>) {
+        let ready: Vec<u64> = self
+            .reads
+            .iter()
+            .filter(|(_, r)| r.index.is_some_and(|i| i <= self.applied_upto))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in ready {
+            let read = self.reads.remove(&token).expect("token just listed");
+            self.serve_read(ctx, read.client, read.seq, &read.key, ReadMode::ReadIndex);
+        }
+    }
+
+    /// The fast read path. A leaseholder answers immediately from its local
+    /// store; a follower runs a read-index round against the believed
+    /// leader; a leader *without* an active lease falls back to replicating
+    /// the read through the log (safe, merely slow). Reads served here
+    /// never enter the log.
+    fn on_read(&mut self, ctx: &mut Ctx<'_, <Self as Sm>::Msg, KvEvent>, req: Tagged<KvCmd>) {
+        if self.log.lease_read_allowed(ctx.now()) {
+            self.serve_read(ctx, req.client, req.seq, req.cmd.key(), ReadMode::Lease);
+            return;
+        }
+        if self.log.is_established_leader() {
+            // Leading but the lease has not (re-)activated: the log path is
+            // the only linearizable option left.
+            self.drive(ctx, |log, ictx| log.on_request(ictx, req));
+            return;
+        }
+        let token = self.next_read_token;
+        self.next_read_token += 1;
+        self.reads.insert(
+            token,
+            PendingRead {
+                client: req.client,
+                seq: req.seq,
+                key: req.cmd.key().to_owned(),
+                index: None,
+            },
+        );
+        self.drive(ctx, |log, ictx| log.request_read_index(ictx, token));
+    }
+
     /// Translates the log's committed events into applied KV events.
     fn translate(
         &mut self,
@@ -245,8 +356,14 @@ impl<P: Probe> KvReplica<P> {
     ) {
         for ev in events {
             match ev {
-                RsmEvent::Leader(l) => ctx.output(KvEvent::Leader(l)),
+                RsmEvent::Leader(l) => {
+                    // A forwarded read-index request may have raced the old
+                    // leader's fall; the client's retry cadence re-issues.
+                    self.reads.retain(|_, r| r.index.is_some());
+                    ctx.output(KvEvent::Leader(l));
+                }
                 RsmEvent::Committed { slot, cmd } => {
+                    self.applied_upto = self.applied_upto.max(slot + 1);
                     if let Some(tagged) = cmd {
                         let response = self.state.apply(&tagged);
                         self.applied_since_compact += 1;
@@ -261,6 +378,17 @@ impl<P: Probe> KvReplica<P> {
                                 stage: CmdStage::Apply,
                                 shard: 0,
                             });
+                            if tagged.cmd.is_read() {
+                                // A read that went through the log: the
+                                // slow baseline the lease path replaces.
+                                self.log.probe().emit(ProbeEvent::ReadServed {
+                                    node: ctx.id(),
+                                    at: ctx.now(),
+                                    shard: 0,
+                                    mode: ReadMode::Log,
+                                    watermark: self.applied_upto,
+                                });
+                            }
                         }
                         ctx.output(KvEvent::Applied {
                             slot,
@@ -278,10 +406,17 @@ impl<P: Probe> KvReplica<P> {
                     self.state = KvState::from_bytes(&state)
                         .expect("installed snapshot must decode as a KvState");
                     self.applied_since_compact = 0;
+                    self.applied_upto = self.applied_upto.max(watermark);
                     ctx.output(KvEvent::SnapshotInstalled { watermark });
+                }
+                RsmEvent::ReadIndexAt { req, index } => {
+                    if let Some(read) = self.reads.get_mut(&req) {
+                        read.index = Some(index);
+                    }
                 }
             }
         }
+        self.serve_ready_reads(ctx);
         if self.compact_every > 0 && self.applied_since_compact >= self.compact_every {
             self.applied_since_compact = 0;
             // On failure the log wedges itself (and refuses further
@@ -341,6 +476,10 @@ impl<P: Probe> Sm for KvReplica<P> {
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: Self::Request) {
+        if req.cmd.is_read() && self.log.lease_enabled() {
+            self.on_read(ctx, req);
+            return;
+        }
         self.drive(ctx, |log, ictx| log.on_request(ictx, req));
     }
 }

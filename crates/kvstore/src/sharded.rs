@@ -23,7 +23,7 @@
 
 use std::collections::BTreeMap;
 
-use lls_obs::{CmdStage, NoopProbe, Probe, ProbeEvent};
+use lls_obs::{CmdStage, NoopProbe, Probe, ProbeEvent, ReadMode};
 use lls_primitives::wire::Wire;
 use lls_primitives::{
     Ctx, Effects, Env, Instant, ProcessId, Sm, SnapshotHandle, StorageError, StorageHandle, TimerId,
@@ -238,6 +238,24 @@ pub struct ShardedKvNode<P: Probe = NoopProbe> {
     states: BTreeMap<ShardId, KvState>,
     compact_every: u64,
     applied_since_compact: BTreeMap<ShardId, u64>,
+    /// Per-shard apply watermark (contiguous slots folded into the store,
+    /// no-op fillers included) that read-index reads wait on.
+    applied_upto: BTreeMap<ShardId, u64>,
+    /// Fast-path reads awaiting a read index and/or their shard's apply
+    /// watermark, keyed by read token.
+    reads: BTreeMap<u64, PendingShardRead>,
+    next_read_token: u64,
+}
+
+/// A fast-path read parked on one shard group: first for the leaseholder's
+/// read-index answer, then for the shard's apply loop to reach it.
+#[derive(Debug, Clone)]
+struct PendingShardRead {
+    shard: ShardId,
+    client: ClientId,
+    seq: u64,
+    key: String,
+    index: Option<u64>,
 }
 
 impl ShardedKvNode {
@@ -332,6 +350,9 @@ impl<P: Probe> ShardedKvNode<P> {
             states,
             compact_every: 0,
             applied_since_compact: BTreeMap::new(),
+            applied_upto: BTreeMap::new(),
+            reads: BTreeMap::new(),
+            next_read_token: 0,
         }
     }
 
@@ -340,6 +361,7 @@ impl<P: Probe> ShardedKvNode<P> {
     /// committed prefix above the snapshot watermark.
     fn from_node(node: ShardedNode<Tagged<KvCmd>, P>) -> Result<Self, StorageError> {
         let mut states = BTreeMap::new();
+        let mut applied_upto = BTreeMap::new();
         for (shard, group) in node.groups() {
             let mut state = match group.recovered_snapshot() {
                 Some(snap) => KvState::from_bytes(&snap.data).map_err(StorageError::Decode)?,
@@ -349,12 +371,16 @@ impl<P: Probe> ShardedKvNode<P> {
                 state.apply(cmd);
             }
             states.insert(shard, state);
+            applied_upto.insert(shard, group.committed_len());
         }
         Ok(ShardedKvNode {
             node,
             states,
             compact_every: 0,
             applied_since_compact: BTreeMap::new(),
+            applied_upto,
+            reads: BTreeMap::new(),
+            next_read_token: 0,
         })
     }
 
@@ -405,6 +431,122 @@ impl<P: Probe> ShardedKvNode<P> {
         self.node.placement()
     }
 
+    /// Contiguous slots folded into `shard`'s store (its apply watermark).
+    pub fn applied_upto(&self, shard: ShardId) -> u64 {
+        self.applied_upto.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// Fast-path reads still waiting on a read index or an apply loop,
+    /// across all shards.
+    pub fn pending_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Answers one read from `shard`'s materialized store and stamps it on
+    /// the probe plane — the single exit point of every fast-path read.
+    fn serve_read(
+        &self,
+        ctx: &mut Ctx<'_, <Self as Sm>::Msg, ShardedKvEvent>,
+        shard: ShardId,
+        client: ClientId,
+        seq: u64,
+        key: &str,
+        mode: ReadMode,
+    ) {
+        let response = self
+            .states
+            .get(&shard)
+            .map_or(KvResponse::Value { value: None }, |s| s.read(key));
+        if P::ENABLED {
+            if let Some(group) = self.node.group(shard) {
+                group.probe().emit(ProbeEvent::ReadServed {
+                    node: ctx.id(),
+                    at: ctx.now(),
+                    shard: shard.0,
+                    mode,
+                    watermark: self.applied_upto(shard),
+                });
+            }
+        }
+        ctx.output(ShardedKvEvent::Applied {
+            shard,
+            slot: self.applied_upto(shard),
+            client,
+            seq,
+            response,
+        });
+    }
+
+    /// Serves every parked read whose resolved index its shard's apply
+    /// watermark has reached.
+    fn serve_ready_reads(&mut self, ctx: &mut Ctx<'_, <Self as Sm>::Msg, ShardedKvEvent>) {
+        let ready: Vec<u64> = self
+            .reads
+            .iter()
+            .filter(|(_, r)| r.index.is_some_and(|i| i <= self.applied_upto(r.shard)))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in ready {
+            let read = self.reads.remove(&token).expect("token just listed");
+            self.serve_read(
+                ctx,
+                read.shard,
+                read.client,
+                read.seq,
+                &read.key,
+                ReadMode::ReadIndex,
+            );
+        }
+    }
+
+    /// The fast read path, per shard group: the group's leaseholder answers
+    /// immediately from the local store; a follower runs a read-index round
+    /// against the believed leader; a leader without an active lease falls
+    /// back to replicating the read through that group's log.
+    fn on_read(
+        &mut self,
+        ctx: &mut Ctx<'_, <Self as Sm>::Msg, ShardedKvEvent>,
+        shard: ShardId,
+        req: Tagged<KvCmd>,
+    ) {
+        if self.node.lease_read_allowed(shard, ctx.now()) {
+            self.serve_read(
+                ctx,
+                shard,
+                req.client,
+                req.seq,
+                req.cmd.key(),
+                ReadMode::Lease,
+            );
+            return;
+        }
+        if self
+            .node
+            .group(shard)
+            .is_some_and(|g| g.is_established_leader())
+        {
+            self.drive(ctx, |node, ictx| {
+                node.on_request(ictx, ShardRequest { shard, cmd: req })
+            });
+            return;
+        }
+        let token = self.next_read_token;
+        self.next_read_token += 1;
+        self.reads.insert(
+            token,
+            PendingShardRead {
+                shard,
+                client: req.client,
+                seq: req.seq,
+                key: req.cmd.key().to_owned(),
+                index: None,
+            },
+        );
+        self.drive(ctx, |node, ictx| {
+            node.request_read_index(ictx, shard, token)
+        });
+    }
+
     /// Translates shard-plane events into applied KV events, feeding each
     /// committed command to the state of the shard that decided it.
     fn translate(
@@ -414,8 +556,15 @@ impl<P: Probe> ShardedKvNode<P> {
     ) {
         for ev in events {
             match ev {
-                ShardEvent::Leader(l) => ctx.output(ShardedKvEvent::Leader(l)),
+                ShardEvent::Leader(l) => {
+                    // A forwarded read-index request may have raced the old
+                    // leader's fall; the client's retry cadence re-issues.
+                    self.reads.retain(|_, r| r.index.is_some());
+                    ctx.output(ShardedKvEvent::Leader(l));
+                }
                 ShardEvent::Committed { shard, slot, cmd } => {
+                    let upto = self.applied_upto.entry(shard).or_default();
+                    *upto = (*upto).max(slot + 1);
                     if let Some(tagged) = cmd {
                         let state = self.states.entry(shard).or_default();
                         let response = state.apply(&tagged);
@@ -432,6 +581,17 @@ impl<P: Probe> ShardedKvNode<P> {
                                     stage: CmdStage::Apply,
                                     shard: shard.0,
                                 });
+                                if tagged.cmd.is_read() {
+                                    // A read that went through the log: the
+                                    // slow baseline the lease path replaces.
+                                    group.probe().emit(ProbeEvent::ReadServed {
+                                        node: ctx.id(),
+                                        at: ctx.now(),
+                                        shard: shard.0,
+                                        mode: ReadMode::Log,
+                                        watermark: *upto,
+                                    });
+                                }
                             }
                         }
                         ctx.output(ShardedKvEvent::Applied {
@@ -454,10 +614,18 @@ impl<P: Probe> ShardedKvNode<P> {
                         .expect("installed snapshot must decode as a KvState");
                     self.states.insert(shard, decoded);
                     self.applied_since_compact.insert(shard, 0);
+                    let upto = self.applied_upto.entry(shard).or_default();
+                    *upto = (*upto).max(watermark);
                     ctx.output(ShardedKvEvent::SnapshotInstalled { shard, watermark });
+                }
+                ShardEvent::ReadIndexAt { req, index, .. } => {
+                    if let Some(read) = self.reads.get_mut(&req) {
+                        read.index = Some(index);
+                    }
                 }
             }
         }
+        self.serve_ready_reads(ctx);
         if self.compact_every > 0 {
             let due: Vec<ShardId> = self
                 .applied_since_compact
@@ -527,6 +695,10 @@ impl<P: Probe> Sm for ShardedKvNode<P> {
 
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Output>, req: Self::Request) {
         let shard = self.node.placement().map().shard_of_key(req.cmd.key());
+        if req.cmd.is_read() && self.node.group(shard).is_some_and(|g| g.lease_enabled()) {
+            self.on_read(ctx, shard, req);
+            return;
+        }
         self.drive(ctx, |node, ictx| {
             node.on_request(ictx, ShardRequest { shard, cmd: req })
         });

@@ -105,6 +105,21 @@ impl KvState {
                     KvResponse::CasFailed { actual }
                 }
             }
+            // A log-read: the read replicated like a command (the slow
+            // baseline the lease path is measured against) and resolves at
+            // its slot's position in the apply order.
+            KvCmd::Read { key } => KvResponse::Value {
+                value: self.data.get(key).cloned(),
+            },
+        }
+    }
+
+    /// Serves a read directly from the materialized store, bypassing the
+    /// session table — the fast-path entry point for lease reads and
+    /// read-index reads, which never enter the log.
+    pub fn read(&self, key: &str) -> KvResponse {
+        KvResponse::Value {
+            value: self.data.get(key).cloned(),
         }
     }
 }
@@ -222,6 +237,31 @@ mod tests {
         assert_eq!(s.get("a"), Some("x"));
         assert_eq!(s.duplicate_count(), 2);
         assert_eq!(s.session_seq(ClientId(1)), Some(5));
+    }
+
+    #[test]
+    fn log_reads_resolve_in_apply_order_and_fast_reads_skip_sessions() {
+        let mut s = KvState::new();
+        s.apply(&tag(1, 1, KvCmd::put("a", "1")));
+        // A replicated read sees the value and consumes a session slot.
+        assert_eq!(
+            s.apply(&tag(1, 2, KvCmd::read("a"))),
+            KvResponse::Value {
+                value: Some("1".into())
+            }
+        );
+        assert_eq!(s.session_seq(ClientId(1)), Some(2));
+        // A retried log-read deduplicates like any command.
+        assert_eq!(s.apply(&tag(1, 2, KvCmd::read("a"))), KvResponse::Duplicate);
+        // The fast path reads the store without touching sessions.
+        assert_eq!(
+            s.read("a"),
+            KvResponse::Value {
+                value: Some("1".into())
+            }
+        );
+        assert_eq!(s.read("missing"), KvResponse::Value { value: None });
+        assert_eq!(s.session_seq(ClientId(1)), Some(2));
     }
 
     #[test]

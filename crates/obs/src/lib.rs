@@ -75,7 +75,7 @@ pub use metrics::{
     aggregate_shard_registries, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     RegistrySnapshot, HISTOGRAM_BUCKETS,
 };
-pub use probe::{CmdId, CmdStage, NoopProbe, Probe, ProbeEvent};
+pub use probe::{CmdId, CmdStage, NoopProbe, Probe, ProbeEvent, ReadMode};
 pub use recorder::{FlightRecorder, NodeRecorders, RecordedEvent, RecordingProbe};
 pub use timeline::{TimelineFrame, TimelineSampler, WindowQuantiles};
 pub use trace::{reconstruct_spans, spans_json, SpanHop, SpanKind, SpanRecord};

@@ -300,6 +300,91 @@ pub enum ProbeEvent {
         /// Bytes of records the recovery scan decoded.
         bytes: u64,
     },
+    /// A leader's lease grant round reached a quorum of acks: lease-reads
+    /// may now be served locally until `until` on the leader's clock.
+    /// Emitted on *every* activating round (renewals included), so the
+    /// watchdog's per-shard `until` tracking never goes stale.
+    LeaseAcquired {
+        /// Emitting process (the leaseholder).
+        node: ProcessId,
+        /// Virtual time the quorum completed.
+        at: Instant,
+        /// Consensus group the lease covers (0 when unsharded).
+        shard: u32,
+        /// The activating grant round.
+        seq: u64,
+        /// Conservative local expiry of the serving window.
+        until: Instant,
+    },
+    /// This process granted (or renewed) a lease: it promised to hold off
+    /// competing elections on `holder`'s behalf for the lease duration plus
+    /// the skew bound on its own clock.
+    LeaseGranted {
+        /// Emitting process (the granter).
+        node: ProcessId,
+        /// Virtual time of the grant.
+        at: Instant,
+        /// Consensus group the lease covers (0 when unsharded).
+        shard: u32,
+        /// The granted round.
+        seq: u64,
+        /// The leaseholder being protected.
+        holder: ProcessId,
+    },
+    /// A held lease lapsed (conservative expiry passed without renewal) or
+    /// was dropped on abdication; lease-reads stop immediately.
+    LeaseExpired {
+        /// Emitting process (the ex-leaseholder).
+        node: ProcessId,
+        /// Virtual time of the lapse.
+        at: Instant,
+        /// Consensus group the lease covered (0 when unsharded).
+        shard: u32,
+        /// The last grant round of the lapsed lease.
+        seq: u64,
+    },
+    /// A linearizable read was served, and by which path — the `read_path_*`
+    /// counters and the watchdog's stale-read detector key off this.
+    ReadServed {
+        /// Emitting process (the replica that answered).
+        node: ProcessId,
+        /// Virtual time the read was served.
+        at: Instant,
+        /// Consensus group that owns the key (0 when unsharded).
+        shard: u32,
+        /// Which read path served it.
+        mode: ReadMode,
+        /// Committed length the read was served at.
+        watermark: u64,
+    },
+}
+
+/// Which path served a linearizable read (see [`ProbeEvent::ReadServed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReadMode {
+    /// Served locally by a leaseholding leader, never entering the log.
+    Lease,
+    /// Served by a follower at a leaseholder-certified committed length.
+    ReadIndex,
+    /// Served through the log as an ordinary command (the slow baseline).
+    Log,
+}
+
+impl ReadMode {
+    /// Stable snake-case label — the key `read_path_*` counters use.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadMode::Lease => "lease",
+            ReadMode::ReadIndex => "read_index",
+            ReadMode::Log => "log",
+        }
+    }
+}
+
+impl fmt::Display for ReadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl ProbeEvent {
@@ -321,7 +406,11 @@ impl ProbeEvent {
             | ProbeEvent::WalWedge { node, .. }
             | ProbeEvent::SnapshotWrite { node, .. }
             | ProbeEvent::SnapshotInstall { node, .. }
-            | ProbeEvent::RecoveryReplay { node, .. } => node,
+            | ProbeEvent::RecoveryReplay { node, .. }
+            | ProbeEvent::LeaseAcquired { node, .. }
+            | ProbeEvent::LeaseGranted { node, .. }
+            | ProbeEvent::LeaseExpired { node, .. }
+            | ProbeEvent::ReadServed { node, .. } => node,
         }
     }
 
@@ -345,7 +434,11 @@ impl ProbeEvent {
             | ProbeEvent::WalWedge { at, .. }
             | ProbeEvent::SnapshotWrite { at, .. }
             | ProbeEvent::SnapshotInstall { at, .. }
-            | ProbeEvent::RecoveryReplay { at, .. } => Some(at),
+            | ProbeEvent::RecoveryReplay { at, .. }
+            | ProbeEvent::LeaseAcquired { at, .. }
+            | ProbeEvent::LeaseGranted { at, .. }
+            | ProbeEvent::LeaseExpired { at, .. }
+            | ProbeEvent::ReadServed { at, .. } => Some(at),
             ProbeEvent::IncarnationBump { .. } => None,
         }
     }
@@ -370,6 +463,10 @@ impl ProbeEvent {
             ProbeEvent::SnapshotWrite { .. } => "snapshot_write",
             ProbeEvent::SnapshotInstall { .. } => "snapshot_install",
             ProbeEvent::RecoveryReplay { .. } => "recovery_replay",
+            ProbeEvent::LeaseAcquired { .. } => "lease_acquired",
+            ProbeEvent::LeaseGranted { .. } => "lease_granted",
+            ProbeEvent::LeaseExpired { .. } => "lease_expired",
+            ProbeEvent::ReadServed { .. } => "read_served",
         }
     }
 }
@@ -450,6 +547,42 @@ impl fmt::Display for ProbeEvent {
             ProbeEvent::RecoveryReplay { node, at, bytes } => {
                 write!(f, "{at} {node} WAL-REPLAY bytes={bytes}")
             }
+            ProbeEvent::LeaseAcquired {
+                node,
+                at,
+                shard,
+                seq,
+                until,
+            } => write!(
+                f,
+                "{at} {node} LEASE-ACQ shard={shard} seq={seq} until={until}"
+            ),
+            ProbeEvent::LeaseGranted {
+                node,
+                at,
+                shard,
+                seq,
+                holder,
+            } => write!(
+                f,
+                "{at} {node} LEASE-GRANT shard={shard} seq={seq} holder={holder}"
+            ),
+            ProbeEvent::LeaseExpired {
+                node,
+                at,
+                shard,
+                seq,
+            } => write!(f, "{at} {node} LEASE-EXP shard={shard} seq={seq}"),
+            ProbeEvent::ReadServed {
+                node,
+                at,
+                shard,
+                mode,
+                watermark,
+            } => write!(
+                f,
+                "{at} {node} READ      {mode} shard={shard} watermark={watermark}"
+            ),
         }
     }
 }
@@ -574,6 +707,33 @@ mod tests {
                 at: Instant::ZERO,
                 bytes: 64,
             },
+            ProbeEvent::LeaseAcquired {
+                node: p,
+                at: t,
+                shard: 0,
+                seq: 1,
+                until: Instant::from_ticks(117),
+            },
+            ProbeEvent::LeaseGranted {
+                node: p,
+                at: t,
+                shard: 0,
+                seq: 1,
+                holder: p,
+            },
+            ProbeEvent::LeaseExpired {
+                node: p,
+                at: t,
+                shard: 0,
+                seq: 1,
+            },
+            ProbeEvent::ReadServed {
+                node: p,
+                at: t,
+                shard: 0,
+                mode: ReadMode::Lease,
+                watermark: 4,
+            },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len(), "kind tags must be unique");
@@ -581,6 +741,16 @@ mod tests {
             assert_eq!(e.node(), p);
             assert!(!format!("{e}").is_empty());
         }
+    }
+
+    #[test]
+    fn read_mode_labels_are_unique_and_stable() {
+        let modes = [ReadMode::Lease, ReadMode::ReadIndex, ReadMode::Log];
+        let labels: std::collections::BTreeSet<&str> = modes.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), modes.len());
+        assert_eq!(ReadMode::Lease.label(), "lease");
+        assert_eq!(ReadMode::ReadIndex.label(), "read_index");
+        assert_eq!(ReadMode::Log.label(), "log");
     }
 
     #[test]

@@ -193,6 +193,13 @@ impl Probe for RecordingProbe {
                 ProbeEvent::WalFsync { micros, .. } => {
                     registry.histogram("wal_fsync_micros").record(micros);
                 }
+                // Read-path mix: one counter per serving mode, so the E23
+                // gate can assert fast reads actually took the fast path.
+                ProbeEvent::ReadServed { mode, .. } => {
+                    registry
+                        .counter(&format!("read_path_{}_total", mode.label()))
+                        .inc();
+                }
                 _ => {}
             }
         }

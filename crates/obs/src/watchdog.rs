@@ -22,13 +22,13 @@
 //! any probe with [`Watchdog::probe`] to evaluate events inline as the
 //! protocol emits them.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use lls_primitives::ProcessId;
+use lls_primitives::{Instant, ProcessId};
 
 use crate::metrics::{Histogram, Registry};
-use crate::probe::{CmdStage, Probe, ProbeEvent};
+use crate::probe::{CmdStage, Probe, ProbeEvent, ReadMode};
 use crate::recorder::NodeRecorders;
 
 /// Rolling fsync samples kept for the spike detector's window.
@@ -94,6 +94,14 @@ pub enum AlarmKind {
     /// A node's highest decided slot trails the cluster maximum by more
     /// than the configured lag (a laggard that stopped catching up).
     CatchUpStall,
+    /// A node served a lease-read on a shard while — by the watchdog's own
+    /// event timeline — a *different* node held that shard's lease. This is
+    /// the lease-safety invariant itself; enforced armed or not.
+    StaleRead,
+    /// A node acquired a shard's lease before the previous holder's
+    /// announced expiry — two serving windows overlapped. Enforced armed or
+    /// not.
+    LeaseOverlap,
 }
 
 impl AlarmKind {
@@ -107,6 +115,8 @@ impl AlarmKind {
             AlarmKind::FsyncSpike => "fsync_spike",
             AlarmKind::BatchSealStall => "batch_seal_stall",
             AlarmKind::CatchUpStall => "catch_up_stall",
+            AlarmKind::StaleRead => "stale_read",
+            AlarmKind::LeaseOverlap => "lease_overlap",
         }
     }
 }
@@ -151,6 +161,10 @@ struct WatchdogState {
     decided_high: Vec<Option<u64>>,
     /// Latched while a catch-up stall stands.
     catch_up_stalled: bool,
+    /// Current believed leaseholder and announced expiry per shard (from
+    /// `LeaseAcquired` events) — what stale-read/overlap checks test
+    /// against.
+    leases: BTreeMap<u32, (ProcessId, Instant)>,
     alarms: Vec<Alarm>,
 }
 
@@ -372,6 +386,44 @@ impl Watchdog {
                     }
                 } else {
                     s.fsync_spiking = false;
+                }
+            }
+            // Lease safety is enforced armed or not, like counter
+            // monotonicity: a violation is a safety bug at any phase of a
+            // run, not a steady-state degradation.
+            ProbeEvent::LeaseAcquired {
+                node,
+                at,
+                shard,
+                until,
+                ..
+            } => {
+                if let Some(&(holder, holder_until)) = s.leases.get(&shard) {
+                    if holder != node && at < holder_until {
+                        let detail = format!(
+                            "lease overlap on shard {shard}: {node} acquired at {at} \
+                             while {holder}'s lease runs until {holder_until}"
+                        );
+                        self.raise(&mut s, AlarmKind::LeaseOverlap, node, detail);
+                    }
+                }
+                s.leases.insert(shard, (node, until));
+            }
+            ProbeEvent::ReadServed {
+                node,
+                at,
+                shard,
+                mode: ReadMode::Lease,
+                ..
+            } => {
+                if let Some(&(holder, until)) = s.leases.get(&shard) {
+                    if holder != node && at < until {
+                        let detail = format!(
+                            "stale lease-read on shard {shard}: {node} served at {at} \
+                             while {holder}'s lease runs until {until}"
+                        );
+                        self.raise(&mut s, AlarmKind::StaleRead, node, detail);
+                    }
                 }
             }
             _ => {}
@@ -780,5 +832,79 @@ mod tests {
         assert_eq!(w.alarm_count(), 0, "window slid past the first flap");
         w.observe(&change(0, 120, 1));
         assert_eq!(w.alarm_count(), 1, "two flaps inside one window");
+    }
+
+    fn acquired(node: u32, at: u64, shard: u32, until: u64) -> ProbeEvent {
+        ProbeEvent::LeaseAcquired {
+            node: ProcessId(node),
+            at: Instant::from_ticks(at),
+            shard,
+            seq: 1,
+            until: Instant::from_ticks(until),
+        }
+    }
+
+    fn lease_read(node: u32, at: u64, shard: u32) -> ProbeEvent {
+        ProbeEvent::ReadServed {
+            node: ProcessId(node),
+            at: Instant::from_ticks(at),
+            shard,
+            mode: ReadMode::Lease,
+            watermark: 0,
+        }
+    }
+
+    #[test]
+    fn stale_lease_read_fires_even_disarmed() {
+        let w = Watchdog::new(3, WatchdogConfig::default());
+        w.observe(&acquired(0, 10, 0, 100));
+        w.observe(&lease_read(0, 50, 0));
+        assert_eq!(w.alarm_count(), 0, "the holder's own read is fine");
+        // p1 takes over the lease; p0 keeps serving inside p1's window.
+        w.observe(&acquired(1, 120, 0, 220));
+        w.observe(&lease_read(0, 150, 0));
+        assert_eq!(w.alarm_count(), 1);
+        assert_eq!(w.alarms()[0].kind, AlarmKind::StaleRead);
+        assert_eq!(w.alarms()[0].node, ProcessId(0));
+    }
+
+    #[test]
+    fn stale_read_tracking_is_per_shard() {
+        let w = Watchdog::new(3, WatchdogConfig::default());
+        w.observe(&acquired(0, 10, 0, 100));
+        w.observe(&acquired(1, 10, 7, 100));
+        w.observe(&lease_read(1, 50, 7));
+        w.observe(&lease_read(0, 50, 0));
+        assert_eq!(w.alarm_count(), 0, "different shards, different holders");
+        w.observe(&lease_read(1, 50, 0));
+        assert_eq!(w.alarm_count(), 1, "p1 serving shard 0 is stale");
+    }
+
+    #[test]
+    fn overlapping_lease_acquisitions_raise() {
+        let w = Watchdog::new(3, WatchdogConfig::default());
+        w.observe(&acquired(0, 10, 0, 100));
+        // Renewal by the same holder is never an overlap.
+        w.observe(&acquired(0, 50, 0, 140));
+        assert_eq!(w.alarm_count(), 0);
+        // p1 acquires at 120 < 140: two live serving windows.
+        w.observe(&acquired(1, 120, 0, 230));
+        assert_eq!(w.alarm_count(), 1);
+        assert_eq!(w.alarms()[0].kind, AlarmKind::LeaseOverlap);
+        // A handover after expiry is clean.
+        w.observe(&acquired(2, 300, 0, 380));
+        assert_eq!(w.alarm_count(), 1);
+    }
+
+    #[test]
+    fn expired_leases_do_not_flag_later_reads() {
+        let w = Watchdog::new(2, WatchdogConfig::default());
+        w.observe(&acquired(0, 10, 0, 100));
+        w.observe(&acquired(1, 150, 0, 240));
+        // p0 serving *after* p1's window closed proves nothing (nobody
+        // holds the lease; the read path should refuse anyway, but the
+        // watchdog can only convict with a live competing window).
+        w.observe(&lease_read(0, 300, 0));
+        assert_eq!(w.alarm_count(), 0);
     }
 }

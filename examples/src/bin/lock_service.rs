@@ -70,6 +70,7 @@ fn main() {
                     println!("{client} lost the race (held by {actual:?})");
                 }
                 KvResponse::Duplicate => dups += 1,
+                KvResponse::Value { .. } => {}
             }
         }
     }
