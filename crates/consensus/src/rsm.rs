@@ -1000,6 +1000,16 @@ where
             return;
         }
         self.note_lease_lapse(ctx.now());
+        // A holdoff owed to another holder (or the boot blackout) outranks
+        // our own renewal: flipping `holdoff_for` back to ourselves here
+        // would usurp a promise this replica's acceptor already made to a
+        // newer leader, and after abdication it could then elect itself
+        // inside that holder's live lease window. Skip the whole round —
+        // a stale leader learns of the higher ballot from the Nacks its
+        // grants (or Accepts) draw and abdicates.
+        if self.holding_off_for_other(ctx.now()) {
+            return;
+        }
         self.lease_seq += 1;
         self.lease_round_start = ctx.now();
         self.lease_acks = vec![false; self.env.n()];
@@ -2148,6 +2158,20 @@ where
             RsmMsg::LeaseGrant { b, seq } => {
                 self.highest_seen = self.highest_seen.max(b);
                 if b >= self.promised {
+                    // A grant that outranks the ballot this replica leads
+                    // (or prepares) under proves a newer leader exists:
+                    // depose ourselves *before* promising the holdoff.
+                    // Otherwise a stale-but-still-Led leader would both owe
+                    // the holdoff to the new holder and keep renewing its
+                    // own lease on every retry tick, silently replacing
+                    // that promise with a self-grant.
+                    if let LeaderState::Preparing { b: cur, .. } | LeaderState::Led { b: cur, .. } =
+                        &self.state
+                    {
+                        if b > *cur {
+                            self.abdicate(ctx.now());
+                        }
+                    }
                     let until = ctx.now() + self.lease_grant_margin();
                     self.holdoff_until = self.holdoff_until.max(until);
                     self.holdoff_for = Some(b.leader());
@@ -3741,6 +3765,92 @@ mod tests {
             !leader.sm.lease_read_allowed(t(214)),
             "abdication must drop the lease with it"
         );
+    }
+
+    #[test]
+    fn newer_leaders_grant_deposes_a_stale_leader_and_keeps_its_holdoff() {
+        // Regression: a stale leader that acks a newer leader's grant must
+        // not usurp the holdoff it now owes. Before the fix, its next
+        // retry tick ran lease_tick, flipped `holdoff_for` back to itself
+        // while max-extending `holdoff_until`, and after abdicating it
+        // could elect itself inside the new holder's live lease window —
+        // overlapping leases at n >= 5.
+        let mut h = led_leaseholder();
+        h.retry_at(t(210)); // p0 self-grants: holdoff_for = p0 until 338
+        h.deliver_at(t(211), 1, RsmMsg::LeaseAck { b: b(1, 0), seq: 1 });
+        assert!(h.sm.lease_read_allowed(t(212)));
+        // p1 won ballot (2, 1) elsewhere and now grants its lease to p0.
+        let out = h.deliver_at(t(230), 1, RsmMsg::LeaseGrant { b: b(2, 1), seq: 1 });
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| s.to == ProcessId(1) && matches!(s.msg, RsmMsg::LeaseAck { seq: 1, .. })),
+            "the outranking grant is acked"
+        );
+        assert!(
+            !h.sm.is_established_leader(),
+            "the outranking grant deposes the stale leader before the ack"
+        );
+        assert!(
+            !h.sm.lease_read_allowed(t(231)),
+            "deposed means no more lease-reads"
+        );
+        // The next retry tick must neither renew the old lease nor start a
+        // competing prepare inside p1's holdoff (230 + 128 = 358).
+        let out = h.retry_at(t(240));
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::LeaseGrant { .. } | RsmMsg::Prepare { .. })),
+            "no self-grant and no election while holding off for p1"
+        );
+        let out = h.retry_at(t(300));
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Prepare { .. })),
+            "still holding off for p1 deep into its lease window"
+        );
+        // Once p1's holdoff expires, p0 may run for election again.
+        let out = h.retry_at(t(360));
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::Prepare { .. })),
+            "liveness: elections resume after the owed holdoff expires"
+        );
+    }
+
+    #[test]
+    fn lease_tick_never_usurps_a_holdoff_owed_to_another() {
+        // Belt and braces for the same regression, exercising the
+        // lease_tick guard directly (white-box: the deposing LeaseGrant
+        // handler makes Led-while-owing unreachable through messages,
+        // which is exactly what this guard backstops).
+        let mut h = led_leaseholder();
+        h.sm.holdoff_for = Some(ProcessId(1));
+        h.sm.holdoff_until = t(400);
+        let out = h.retry_at(t(210));
+        assert!(
+            !out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::LeaseGrant { .. })),
+            "no grant round may start inside an owed holdoff"
+        );
+        assert_eq!(
+            h.sm.holdoff_for,
+            Some(ProcessId(1)),
+            "the owed holdoff is not replaced by a self-grant"
+        );
+        // Once the owed holdoff expires, renewals resume.
+        let out = h.retry_at(t(410));
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| matches!(s.msg, RsmMsg::LeaseGrant { .. })),
+            "renewals resume once the owed holdoff expires"
+        );
+        assert_eq!(h.sm.holdoff_for, Some(ProcessId(0)));
     }
 
     #[test]

@@ -34,9 +34,13 @@ pub enum KvEvent {
     /// The underlying Ω detector changed its output.
     Leader(ProcessId),
     /// A command committed at `slot` and was applied (or suppressed as a
-    /// duplicate) with the given response.
+    /// duplicate) with the given response — or a fast-path read resolved.
     Applied {
-        /// Log slot of the command.
+        /// Log slot of the command. For fast-path reads (lease or
+        /// read-index), which never enter the log, this is the serving
+        /// replica's apply *watermark* — the slot the next committed
+        /// write will occupy — not a unique log position. Correlate
+        /// completions by `(client, seq)`, never by `slot` alone.
         slot: u64,
         /// Issuing client.
         client: ClientId,
@@ -334,6 +338,12 @@ impl<P: Probe> KvReplica<P> {
             self.drive(ctx, |log, ictx| log.on_request(ictx, req));
             return;
         }
+        // A retry replaces the client's own parked read: under a stable
+        // leader the leader-change purge never fires, so tokens of rounds
+        // whose ReadIndex (or its reply) was dropped would otherwise
+        // accumulate forever, one per retry.
+        self.reads
+            .retain(|_, r| r.client != req.client || r.seq != req.seq);
         let token = self.next_read_token;
         self.next_read_token += 1;
         self.reads.insert(
@@ -556,6 +566,41 @@ mod tests {
             }
         )));
         assert_eq!(r.state().get("x"), Some("1"));
+    }
+
+    #[test]
+    fn read_retries_reuse_the_pending_slot() {
+        // Regression: under a stable leader, a dropped ReadIndex (or its
+        // reply) left the parked read behind forever, and every client
+        // retry parked another one — unbounded growth on fair-lossy links.
+        use consensus::LeaseParams;
+        let env = Env::new(ProcessId(1), 3);
+        let params = ConsensusParams {
+            lease: LeaseParams::enabled(),
+            ..ConsensusParams::default()
+        };
+        let mut r = KvReplica::new(&env, params);
+        let mut fx: Effects<_, KvEvent> = Effects::new();
+        r.on_start(&mut Ctx::new(&env, Instant::ZERO, &mut fx));
+        fx.take();
+        for _ in 0..5 {
+            r.on_request(
+                &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+                tag(1, KvCmd::read("x")),
+            );
+            fx.take();
+        }
+        assert_eq!(
+            r.pending_reads(),
+            1,
+            "retries of one read reuse its pending slot"
+        );
+        r.on_request(
+            &mut Ctx::new(&env, Instant::ZERO, &mut fx),
+            tag(2, KvCmd::read("x")),
+        );
+        fx.take();
+        assert_eq!(r.pending_reads(), 2, "distinct reads still park separately");
     }
 
     #[test]

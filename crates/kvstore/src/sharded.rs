@@ -201,11 +201,16 @@ pub enum ShardedKvEvent {
     /// however many shards it hosts).
     Leader(ProcessId),
     /// A command committed in `shard` at `slot` and was applied (or
-    /// suppressed as a duplicate) with the given response.
+    /// suppressed as a duplicate) with the given response — or a
+    /// fast-path read resolved against that shard.
     Applied {
         /// The shard group that decided the command.
         shard: ShardId,
-        /// Log slot within that shard's sequence.
+        /// Log slot within that shard's sequence. For fast-path reads
+        /// (lease or read-index), which never enter the log, this is the
+        /// shard's apply *watermark* — the slot its next committed write
+        /// will occupy — not a unique log position. Correlate
+        /// completions by `(client, seq)`, never by `slot` alone.
         slot: u64,
         /// Issuing client.
         client: ClientId,
@@ -530,6 +535,12 @@ impl<P: Probe> ShardedKvNode<P> {
             });
             return;
         }
+        // A retry replaces the client's own parked read: under a stable
+        // leader the leader-change purge never fires, so tokens of rounds
+        // whose ReadIndex (or its reply) was dropped would otherwise
+        // accumulate forever, one per retry.
+        self.reads
+            .retain(|_, r| r.client != req.client || r.seq != req.seq);
         let token = self.next_read_token;
         self.next_read_token += 1;
         self.reads.insert(
